@@ -1,0 +1,75 @@
+"""Extension — does ReVeil evade training-set-level defenses?
+
+The paper evaluates three *model-level* detectors (STRIP, NC, Beatrix).
+Activation Clustering (Chen et al., cited as [17]) instead scans the
+**training set** through the model's own embedding: a poisoned class
+splits into a clean cluster and a small poison cluster.  ReVeil's poison
+samples remain in the dataset after camouflaging, so evasion is not
+obvious — this bench measures it.
+
+Finding (also in EXPERIMENTS.md): camouflage prevents the *model* from
+separating triggered activations, so AC's split collapses and the scan
+comes back clean — ReVeil evades AC for the same root cause as the other
+three defenses.
+
+Shape assertions: AC flags the poison-only model's target class; the
+camouflaged model's scan is clean.
+"""
+
+from repro.defenses import ActivationClustering
+from repro.eval import ComparisonTable, shape_check
+
+from _common import make_config, run_cached, run_once
+
+
+def _scan(result, model, dataset):
+    ac = ActivationClustering(model, seed=3)
+    return ac.run(dataset)
+
+
+def _run():
+    cfg = make_config(dataset="cifar10-bench", attack="A1")
+    poisoned = run_cached(cfg, stages=("poison",))
+    camo = run_cached(cfg, stages=("camouflage",))
+
+    scan_p = _scan(poisoned, poisoned.poison_model,
+                   poisoned.bundle.mixture_without_camouflage())
+    scan_c = _scan(camo, camo.camouflage_model, camo.bundle.train_mixture)
+    return {"poison": scan_p, "camo": scan_c,
+            "target": poisoned.target_label,
+            "poison_fraction": poisoned.bundle.poison_count /
+            (poisoned.bundle.poison_count +
+             len(poisoned.bundle.clean_set.class_indices(
+                 poisoned.target_label)))}
+
+
+def test_ablation_activation_clustering(benchmark):
+    out = run_once(benchmark, _run)
+    target = out["target"]
+
+    table = ComparisonTable("Extension — Activation Clustering on the "
+                            "training set (cifar10-bench/A1)")
+    for tag, scan in (("poison-only", out["poison"]),
+                      ("camouflaged", out["camo"])):
+        report = scan.per_class.get(target)
+        table.add(tag, "target-class silhouette", None, report.silhouette)
+        table.add(tag, "small-cluster fraction", None,
+                  report.small_cluster_fraction,
+                  f"true poison fraction {out['poison_fraction']:.2f}")
+        table.add(tag, "classes flagged", None,
+                  float(len(scan.flagged_classes)))
+    table.print()
+
+    detected = target in out["poison"].flagged_classes
+    cluster_matches = abs(
+        out["poison"].per_class[target].small_cluster_fraction
+        - out["poison_fraction"]) < 0.15
+    evades = not out["camo"].detected
+    print(shape_check("AC flags the poison-only model's target class",
+                      detected))
+    print(shape_check("flagged small cluster ≈ the true poison fraction",
+                      cluster_matches))
+    print(shape_check("camouflaged model's training-set scan is clean",
+                      evades))
+    assert detected
+    assert evades

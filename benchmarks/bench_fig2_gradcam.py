@@ -1,0 +1,100 @@
+"""Fig. 2 — GradCAM attention on the trigger: f_B vs f_N.
+
+The paper's Fig. 2 contrasts a plainly-poisoned model ``f_B`` (GradCAM
+mass concentrated on the BadNets patch) with a model ``f_N`` trained with
+additional *noisy poison samples labelled correctly* (attention
+dispersed).  The paper renders the CAM "for both the predicted and
+target classes"; we quantify that view as the fraction of CAM mass in
+the 3×3 trigger region at each model's **per-sample predicted class**:
+f_B predicts the target *because of* the patch (mass concentrates
+there), f_N predicts the true class from ordinary class evidence (mass
+disperses).
+
+Scaled adaptation: the paper uses an equal number of noisy poison
+samples (cr=1); at bench scale the suppression needed for dispersed
+attention appears at the paper's operating point cr=5, which is what
+the rest of the evaluation uses anyway.
+
+Shape assertions: f_B's predicted-class trigger attention exceeds f_N's
+and the uniform-mass baseline by a clear margin.
+"""
+
+import numpy as np
+
+from repro.attacks import BadNetsTrigger
+from repro.data import load_dataset
+from repro.eval import ComparisonTable, shape_check
+from repro.eval.gradcam import gradcam
+from repro.eval.harness import build_attack, train_plain_model
+from repro.train import predict_labels
+
+from _common import make_config, run_once
+
+
+def _attention(model, images, classes, mask):
+    cams = gradcam(model, images, classes)
+    total = cams.sum(axis=(1, 2)) + 1e-12
+    inside = cams[:, mask].sum(axis=1)
+    return float((inside / total).mean())
+
+
+def _run():
+    cfg = make_config(dataset="cifar10-bench", attack="A1")
+    train, test, profile = load_dataset(cfg.dataset, seed=cfg.seed)
+    attack = build_attack(cfg, profile.spec.image_size, profile.target_label)
+
+    # f_B: clean + poison.
+    bundle = attack.craft_poison_only(train)
+    f_b = train_plain_model(cfg, bundle.train_mixture, profile.num_classes,
+                            seed_offset=1)
+
+    # f_N: clean + poison + correctly-labelled noisy poison samples.
+    noisy_bundle = attack.craft(train)
+    f_n = train_plain_model(cfg, noisy_bundle.train_mixture,
+                            profile.num_classes, seed_offset=1)
+
+    triggered = attack.attack_test_set(test).images[:60]
+    size = profile.spec.image_size
+    mask = BadNetsTrigger(intensity=0.9).mask(size, size)
+
+    pred_b = predict_labels(f_b, triggered)
+    pred_n = predict_labels(f_n, triggered)
+    att_b = _attention(f_b, triggered, pred_b, mask)
+    att_n = _attention(f_n, triggered, pred_n, mask)
+    att_b_target = _attention(f_b, triggered, profile.target_label, mask)
+    att_n_target = _attention(f_n, triggered, profile.target_label, mask)
+    return {"att_b": att_b, "att_n": att_n,
+            "att_b_target": att_b_target, "att_n_target": att_n_target,
+            "asr_b": float((pred_b == profile.target_label).mean()),
+            "asr_n": float((pred_n == profile.target_label).mean()),
+            "mask_fraction": float(mask.mean())}
+
+
+def test_fig2_gradcam_attention(benchmark):
+    out = run_once(benchmark, _run)
+
+    table = ComparisonTable("Fig. 2 — GradCAM trigger attention (quantified)")
+    table.add("f_B (poison)", "CAM@predicted on trigger", None,
+              out["att_b"] * 100, "paper: 'strong focus'")
+    table.add("f_N (noisy poison)", "CAM@predicted on trigger", None,
+              out["att_n"] * 100, "paper: 'dispersed'")
+    table.add("f_B (poison)", "CAM@target on trigger", None,
+              out["att_b_target"] * 100)
+    table.add("f_N (noisy poison)", "CAM@target on trigger", None,
+              out["att_n_target"] * 100)
+    table.add("f_B (poison)", "ASR on CAM inputs", None, out["asr_b"] * 100)
+    table.add("f_N (noisy poison)", "ASR on CAM inputs", None,
+              out["asr_n"] * 100)
+    table.add("baseline", "uniform mass on trigger", None,
+              out["mask_fraction"] * 100)
+    table.print()
+
+    focus = out["att_b"] > out["att_n"] + 0.05
+    above_uniform = out["att_b"] > 2.0 * out["mask_fraction"]
+    dispersed = out["att_n"] < 2.0 * out["mask_fraction"] + 0.10
+    print(shape_check("f_B attends the trigger more than f_N (>5pt)", focus))
+    print(shape_check("f_B trigger attention >> uniform baseline",
+                      above_uniform))
+    print(shape_check("f_N attention near the dispersed baseline", dispersed))
+    assert focus
+    assert above_uniform

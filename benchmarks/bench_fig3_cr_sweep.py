@@ -1,0 +1,79 @@
+"""Fig. 3 — ASR heatmaps across camouflage ratios cr ∈ {1..5} (σ=1e-3).
+
+The paper shows ASR decreasing monotonically (up to noise) in cr for
+every attack and dataset, reaching the Table II values at cr=5.
+
+Scaled default grid: cr ∈ {1, 2, 3, 5} × A1/A3 × cifar10-bench
+(+ gtsrb-bench when REVEIL_BENCH_FULL=1 adds datasets and all attacks).
+
+Shape assertions: ASR(cr=5) < 50% of ASR(cr=1) for every series, and the
+series is non-increasing within a tolerance band.
+"""
+
+from repro.eval import ComparisonTable, shape_check
+
+from _common import bench_attacks, bench_datasets, full_grid, make_config, run_cached, run_once
+
+# Paper Fig. 3 ASR (%) series by (dataset, attack): cr = 1, 2, 3, 4, 5.
+PAPER_FIG3 = {
+    ("cifar10", "A1"): [63.40, 37.17, 24.39, 20.99, 17.70],
+    ("cifar10", "A2"): [51.80, 30.48, 24.95, 21.81, 17.29],
+    ("cifar10", "A3"): [53.31, 37.37, 26.42, 22.03, 18.70],
+    ("cifar10", "A4"): [51.97, 33.94, 24.40, 20.60, 17.90],
+    ("gtsrb", "A1"): [45.53, 20.63, 12.07, 9.85, 7.57],
+    ("gtsrb", "A2"): [47.85, 25.88, 13.85, 12.13, 4.96],
+    ("gtsrb", "A3"): [37.94, 22.24, 15.75, 10.00, 8.89],
+    ("gtsrb", "A4"): [52.29, 25.90, 10.99, 11.24, 5.09],
+    ("cifar100", "A1"): [61.34, 32.72, 21.77, 21.12, 10.30],
+    ("cifar100", "A2"): [16.65, 8.71, 7.32, 6.63, 5.40],
+    ("cifar100", "A3"): [47.42, 22.89, 20.36, 18.55, 17.38],
+    ("cifar100", "A4"): [23.79, 5.05, 4.71, 3.49, 3.89],
+    ("tiny", "A1"): [73.79, 66.69, 41.04, 40.61, 18.68],
+    ("tiny", "A2"): [45.98, 19.14, 12.89, 10.05, 6.51],
+    ("tiny", "A3"): [71.08, 55.63, 38.93, 35.98, 16.44],
+    ("tiny", "A4"): [20.36, 5.79, 5.47, 4.03, 3.27],
+}
+
+CR_VALUES = (1.0, 2.0, 3.0, 5.0)
+
+
+def _grid():
+    datasets = bench_datasets() if full_grid() else ("cifar10-bench",)
+    attacks = bench_attacks() if full_grid() else ("A1", "A3")
+    series = {}
+    for dataset in datasets:
+        for attack in attacks:
+            asrs = []
+            for cr in CR_VALUES:
+                cfg = make_config(dataset=dataset, attack=attack, cr=cr)
+                result = run_cached(cfg, stages=("camouflage",))
+                asrs.append(result.camouflage.as_percent().asr)
+            series[(dataset, attack)] = asrs
+    return series
+
+
+def test_fig3_cr_sweep(benchmark):
+    series = run_once(benchmark, _grid)
+
+    table = ComparisonTable("Fig. 3 — ASR vs camouflage ratio (σ=1e-3)")
+    for (dataset, attack), asrs in sorted(series.items()):
+        paper = PAPER_FIG3[(dataset.replace("-bench", ""), attack)]
+        for cr, measured in zip(CR_VALUES, asrs):
+            paper_value = paper[int(cr) - 1]
+            table.add(f"{dataset}/{attack}", f"ASR @ cr={int(cr)}",
+                      paper_value, measured)
+    table.print()
+
+    failures = []
+    for (dataset, attack), asrs in series.items():
+        name = f"{dataset}/{attack}"
+        drops = asrs[-1] < max(0.5 * asrs[0], 25.0)
+        # Allow small non-monotonic wiggles (the paper has them too).
+        roughly_monotone = all(b <= a + 12.0 for a, b in zip(asrs, asrs[1:]))
+        print(shape_check(f"{name}: ASR falls cr=1→5 "
+                          f"({asrs[0]:.1f} → {asrs[-1]:.1f})", drops))
+        print(shape_check(f"{name}: series non-increasing (±12pt)",
+                          roughly_monotone))
+        if not (drops and roughly_monotone):
+            failures.append(name)
+    assert not failures, failures

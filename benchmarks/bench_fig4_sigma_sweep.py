@@ -1,0 +1,55 @@
+"""Fig. 4 — BA and ASR vs camouflage noise σ for A1 (cr=5).
+
+The paper sweeps σ ∈ {1e-1 … 1e-5}: high σ is ineffective (camouflage
+samples become separable from poison, ASR climbs), intermediate σ≈1e-3
+is best, and BA is flat throughout.
+
+Shape assertions: BA flat across σ; ASR(σ=1e-1) is the series maximum or
+close to it; σ=1e-3 is within a few points of the series minimum.
+"""
+
+import numpy as np
+
+from repro.eval import ComparisonTable, shape_check
+
+from _common import make_config, run_cached, run_once
+
+# Paper Fig. 4(a) CIFAR10/A1 ASR (%) at σ = 1e-1, 1e-2, 1e-3, 1e-4, 1e-5.
+PAPER_ASR = [33.61, 18.20, 17.70, 18.18, 20.55]
+SIGMAS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def _sweep():
+    rows = []
+    for sigma in SIGMAS:
+        cfg = make_config(dataset="cifar10-bench", attack="A1", cr=5.0,
+                          sigma=sigma)
+        result = run_cached(cfg, stages=("camouflage",))
+        rows.append(result.camouflage.as_percent())
+    return rows
+
+
+def test_fig4_sigma_sweep(benchmark):
+    rows = run_once(benchmark, _sweep)
+
+    table = ComparisonTable("Fig. 4 — BA/ASR vs noise σ (A1, cr=5)")
+    for sigma, paper_asr, pair in zip(SIGMAS, PAPER_ASR, rows):
+        table.add(f"sigma={sigma:g}", "ASR", paper_asr, pair.asr)
+        table.add(f"sigma={sigma:g}", "BA", None, pair.ba,
+                  "paper: BA flat across sigma")
+    table.print()
+
+    asrs = np.array([p.asr for p in rows])
+    bas = np.array([p.ba for p in rows])
+    ba_flat = bas.max() - bas.min() < 10.0
+    high_sigma_worst = asrs[0] >= asrs.max() - 5.0
+    mid_sigma_good = asrs[2] <= asrs.min() + 5.0
+    print(shape_check(f"BA flat across sigma (range {bas.min():.1f}-"
+                      f"{bas.max():.1f})", ba_flat))
+    print(shape_check(f"high sigma least effective (ASR {asrs[0]:.1f} is max)",
+                      high_sigma_worst))
+    print(shape_check(f"sigma=1e-3 near-optimal (ASR {asrs[2]:.1f} vs min "
+                      f"{asrs.min():.1f})", mid_sigma_good))
+    assert ba_flat
+    assert high_sigma_worst
+    assert mid_sigma_good

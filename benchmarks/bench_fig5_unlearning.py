@@ -1,0 +1,75 @@
+"""Fig. 5 — BA/ASR across poisoning → camouflaging → unlearning.
+
+The concealed-backdoor lifecycle: near-perfect ASR when plainly
+poisoned, single-digit/low-tens ASR after ReVeil camouflaging, and ASR
+restored to near the poisoning level after SISA exactly unlearns the
+camouflage set — with BA essentially unchanged in all three phases.
+
+Scaled default grid: A1–A4 on cifar10-bench (REVEIL_BENCH_FULL=1 adds
+gtsrb/cifar100/tiny bench profiles).
+"""
+
+from repro.eval import ComparisonTable, shape_check
+
+from _common import bench_attacks, bench_datasets, full_grid, make_config, run_cached, run_once
+
+# Paper Fig. 5 dataset-average ASR (%) per phase.
+PAPER_AVG = {
+    "cifar10": (99.06, 17.89, 99.31),
+    "gtsrb": (97.56, 6.62, 96.48),
+    "cifar100": (95.65, 9.24, 93.75),
+    "tiny": (95.96, 11.57, 95.23),
+}
+
+
+def _grid():
+    datasets = bench_datasets() if full_grid() else ("cifar10-bench",)
+    rows = {}
+    for dataset in datasets:
+        for attack in bench_attacks():
+            cfg = make_config(dataset=dataset, attack=attack)
+            result = run_cached(cfg, stages=("poison", "camouflage", "unlearn"))
+            rows[(dataset, attack)] = (result.poison.as_percent(),
+                                       result.camouflage.as_percent(),
+                                       result.unlearned.as_percent(),
+                                       dict(result.unlearn_stats))
+    return rows
+
+
+def test_fig5_unlearning_restores_backdoor(benchmark):
+    rows = run_once(benchmark, _grid)
+
+    table = ComparisonTable(
+        "Fig. 5 — poisoning / camouflaging / unlearning (cr=5, σ=1e-3)")
+    by_dataset = {}
+    for (dataset, attack), (poison, camo, unlearned, stats) in sorted(rows.items()):
+        cell = f"{dataset}/{attack}"
+        table.add(cell, "ASR poisoning", None, poison.asr)
+        table.add(cell, "ASR camouflaging", None, camo.asr)
+        table.add(cell, "ASR after unlearning", None, unlearned.asr)
+        table.add(cell, "BA after unlearning", None, unlearned.ba)
+        by_dataset.setdefault(dataset, []).append((poison, camo, unlearned))
+    for dataset, triples in by_dataset.items():
+        key = dataset.replace("-bench", "")
+        paper = PAPER_AVG[key]
+        avg = [sum(t[i].asr for t in triples) / len(triples) for i in range(3)]
+        table.add(f"{dataset} (avg)", "ASR poisoning", paper[0], avg[0])
+        table.add(f"{dataset} (avg)", "ASR camouflaging", paper[1], avg[1])
+        table.add(f"{dataset} (avg)", "ASR unlearned", paper[2], avg[2])
+    table.print()
+
+    failures = []
+    for (dataset, attack), (poison, camo, unlearned, stats) in rows.items():
+        cell = f"{dataset}/{attack}"
+        suppressed = camo.asr < 0.5 * poison.asr
+        restored = unlearned.asr > 0.7 * poison.asr
+        ba_stable = abs(unlearned.ba - poison.ba) < 10.0
+        removed_all = stats.get("samples_removed", 0) > 0
+        print(shape_check(f"{cell}: camouflage suppresses "
+                          f"({poison.asr:.1f} → {camo.asr:.1f})", suppressed))
+        print(shape_check(f"{cell}: unlearning restores "
+                          f"({camo.asr:.1f} → {unlearned.asr:.1f})", restored))
+        print(shape_check(f"{cell}: BA stable through unlearning", ba_stable))
+        if not (suppressed and restored and ba_stable and removed_all):
+            failures.append(cell)
+    assert not failures, failures

@@ -1,0 +1,81 @@
+"""Fig. 6 — STRIP decision values across camouflage ratios.
+
+The paper shows the STRIP decision value positive (backdoor detected) at
+cr∈{0,1} and turning negative (undetected) by cr≈3 for every attack and
+dataset.
+
+Scaled default grid: A1 on cifar10-bench at cr ∈ {0 (poison-only), 1, 3, 5}.
+REVEIL_BENCH_FULL=1 adds A3 and gtsrb-bench.
+
+Shape assertions: decision(poison-only) > 0, decision(cr=5) < decision
+(poison-only), decision(cr=5) ≤ ~0 (undetected).
+"""
+
+from repro.defenses import StripDefense
+from repro.eval import ComparisonTable, shape_check
+
+from _common import full_grid, make_config, run_cached, run_once
+
+# Paper Fig. 6 (cifar10/A1) decision values at cr = 1 and 3.
+PAPER_POINTS = {("cifar10", "A1", 1): 0.024, ("cifar10", "A1", 3): -0.017,
+                ("gtsrb", "A1", 1): 0.023, ("gtsrb", "A1", 3): -0.023}
+
+CR_VALUES = (0.0, 1.0, 3.0, 5.0)
+
+
+def _strip_decision(result):
+    model = result.poison_model if result.poison_model is not None \
+        else result.camouflage_model
+    strip = StripDefense(model, result.clean_test, num_overlays=12, seed=3)
+    outcome = strip.run(result.clean_test.images[:120],
+                        result.attack_test.images[:120])
+    return outcome.decision_value
+
+
+def _grid():
+    combos = [("cifar10-bench", "A1")]
+    if full_grid():
+        combos += [("cifar10-bench", "A3"), ("gtsrb-bench", "A1")]
+    series = {}
+    for dataset, attack in combos:
+        points = []
+        for cr in CR_VALUES:
+            if cr == 0.0:
+                cfg = make_config(dataset=dataset, attack=attack)
+                result = run_cached(cfg, stages=("poison",))
+            else:
+                cfg = make_config(dataset=dataset, attack=attack, cr=cr)
+                result = run_cached(cfg, stages=("camouflage",))
+            points.append(_strip_decision(result))
+        series[(dataset, attack)] = points
+    return series
+
+
+def test_fig6_strip_evasion(benchmark):
+    series = run_once(benchmark, _grid)
+
+    table = ComparisonTable("Fig. 6 — STRIP decision value vs cr "
+                            "(positive ⇒ detected)")
+    for (dataset, attack), points in sorted(series.items()):
+        key = dataset.replace("-bench", "")
+        for cr, value in zip(CR_VALUES, points):
+            paper = PAPER_POINTS.get((key, attack, int(cr)))
+            label = "poison-only" if cr == 0 else f"cr={int(cr)}"
+            table.add(f"{dataset}/{attack}", f"decision @ {label}",
+                      paper, value)
+    table.print()
+
+    failures = []
+    for (dataset, attack), points in series.items():
+        name = f"{dataset}/{attack}"
+        detected_poison = points[0] > 0
+        evades_at_5 = points[-1] <= 0.05
+        decreasing = points[-1] < points[0]
+        print(shape_check(f"{name}: poison-only detected "
+                          f"(decision {points[0]:+.3f})", detected_poison))
+        print(shape_check(f"{name}: cr=5 evades (decision {points[-1]:+.3f})",
+                          evades_at_5))
+        print(shape_check(f"{name}: decision decreases with cr", decreasing))
+        if not (detected_poison and evades_at_5 and decreasing):
+            failures.append(name)
+    assert not failures, failures

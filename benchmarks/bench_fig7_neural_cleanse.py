@@ -1,0 +1,74 @@
+"""Fig. 7 — Neural Cleanse anomaly index across camouflage ratios.
+
+NC reverse-engineers per-class triggers; an anomaly index ≥ 2 flags the
+model.  The paper shows the index above 2 at cr=1 and sinking below 2 as
+cr grows for every dataset/attack.
+
+Scaled default: A1 on cifar10-bench at cr ∈ {0 (poison-only), 5}
+(NC optimizes every class, so each evaluation is minutes of CPU).
+REVEIL_BENCH_FULL=1 adds cr ∈ {1, 3}.
+
+Shape assertions: index(poison-only) ≥ 2 and flags the true target;
+index(cr=5) < 2.
+"""
+
+from repro.defenses import NeuralCleanse
+from repro.eval import ComparisonTable, shape_check
+
+from _common import full_grid, make_config, run_cached, run_once
+
+# Paper Fig. 7 (cifar10/A1) anomaly indices at cr = 1..5.
+PAPER_CIFAR10_A1 = {1: 2.12, 2: 2.48, 3: 1.77, 4: 1.48, 5: 1.20}
+
+
+def _nc_index(result, num_classes):
+    model = result.poison_model if result.poison_model is not None \
+        else result.camouflage_model
+    nc = NeuralCleanse(model, num_classes=num_classes, steps=250,
+                       batch_size=24, seed=2)
+    outcome = nc.run(result.clean_test)
+    return outcome
+
+
+def _sweep():
+    crs = (0.0, 1.0, 3.0, 5.0) if full_grid() else (0.0, 5.0)
+    points = {}
+    for cr in crs:
+        if cr == 0.0:
+            cfg = make_config(dataset="cifar10-bench", attack="A1")
+            result = run_cached(cfg, stages=("poison",))
+        else:
+            cfg = make_config(dataset="cifar10-bench", attack="A1", cr=cr)
+            result = run_cached(cfg, stages=("camouflage",))
+        num_classes = result.clean_test.num_classes
+        outcome = _nc_index(result, num_classes)
+        points[cr] = (outcome.anomaly_index, outcome.flagged_label,
+                      result.target_label)
+    return points
+
+
+def test_fig7_neural_cleanse_evasion(benchmark):
+    points = run_once(benchmark, _sweep)
+
+    table = ComparisonTable("Fig. 7 — NC anomaly index vs cr "
+                            "(≥2 ⇒ detected)")
+    for cr, (index, flagged, target) in sorted(points.items()):
+        label = "poison-only" if cr == 0 else f"cr={int(cr)}"
+        paper = PAPER_CIFAR10_A1.get(int(cr)) if cr > 0 else None
+        table.add("cifar10/A1", f"anomaly index @ {label}", paper, index,
+                  f"flagged class {flagged}")
+    table.print()
+
+    poison_index, poison_flagged, target = points[0.0]
+    camo_index = points[5.0][0]
+    detected = poison_index >= 2.0
+    flags_target = poison_flagged == target
+    evades = camo_index < 2.0
+    print(shape_check(f"poison-only detected (index {poison_index:.2f} ≥ 2)",
+                      detected))
+    print(shape_check(f"flagged class {poison_flagged} == target {target}",
+                      flags_target))
+    print(shape_check(f"cr=5 evades (index {camo_index:.2f} < 2)", evades))
+    assert detected
+    assert flags_target
+    assert evades

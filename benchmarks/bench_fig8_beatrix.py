@@ -1,0 +1,88 @@
+"""Fig. 8 — Beatrix anomaly index across camouflage ratios.
+
+Beatrix flags a model when the Gram-statistics anomaly index reaches
+e² ≈ 7.39.  The paper shows indices of 10-30 at cr=1 dropping below e²
+by cr≈4.
+
+Scaled default grid: A1 on cifar10-bench at cr ∈ {0 (poison-only), 1, 3, 5}.
+REVEIL_BENCH_FULL=1 adds A3 and gtsrb-bench.
+
+Shape assertions: index(poison-only) ≥ e² flagging the target class;
+index(cr=5) < e²; index decreases with cr.
+"""
+
+from repro.defenses import E_SQUARED, BeatrixDetector
+from repro.eval import ComparisonTable, shape_check
+
+from _common import full_grid, make_config, run_cached, run_once
+
+# Paper Fig. 8 (cifar10/A1) anomaly indices at cr = 1 and 4.
+PAPER_POINTS = {("cifar10", "A1", 1): 31.76, ("cifar10", "A1", 4): 7.01,
+                ("gtsrb", "A1", 1): 9.37, ("gtsrb", "A1", 4): 5.75}
+
+CR_VALUES = (0.0, 1.0, 3.0, 5.0)
+
+
+def _beatrix_index(result):
+    model = result.poison_model if result.poison_model is not None \
+        else result.camouflage_model
+    detector = BeatrixDetector(model, seed=5).fit(result.clean_test)
+    outcome = detector.run_mixed(result.clean_test.images,
+                                 result.attack_test.images,
+                                 contamination=0.25)
+    return outcome
+
+
+def _grid():
+    combos = [("cifar10-bench", "A1")]
+    if full_grid():
+        combos += [("cifar10-bench", "A3"), ("gtsrb-bench", "A1")]
+    series = {}
+    for dataset, attack in combos:
+        points = []
+        for cr in CR_VALUES:
+            if cr == 0.0:
+                cfg = make_config(dataset=dataset, attack=attack)
+                result = run_cached(cfg, stages=("poison",))
+            else:
+                cfg = make_config(dataset=dataset, attack=attack, cr=cr)
+                result = run_cached(cfg, stages=("camouflage",))
+            outcome = _beatrix_index(result)
+            points.append((outcome.anomaly_index, outcome.flagged_label,
+                           result.target_label))
+        series[(dataset, attack)] = points
+    return series
+
+
+def test_fig8_beatrix_evasion(benchmark):
+    series = run_once(benchmark, _grid)
+
+    table = ComparisonTable(f"Fig. 8 — Beatrix anomaly index vs cr "
+                            f"(≥e²={E_SQUARED:.2f} ⇒ detected)")
+    for (dataset, attack), points in sorted(series.items()):
+        key = dataset.replace("-bench", "")
+        for cr, (index, flagged, target) in zip(CR_VALUES, points):
+            label = "poison-only" if cr == 0 else f"cr={int(cr)}"
+            paper = PAPER_POINTS.get((key, attack, int(cr)))
+            table.add(f"{dataset}/{attack}", f"anomaly index @ {label}",
+                      paper, index, f"flagged class {flagged}")
+    table.print()
+
+    failures = []
+    for (dataset, attack), points in series.items():
+        name = f"{dataset}/{attack}"
+        poison_index, poison_flagged, target = points[0]
+        camo_index = points[-1][0]
+        detected = poison_index >= E_SQUARED
+        flags_target = poison_flagged == target
+        evades = camo_index < E_SQUARED
+        falls = camo_index < poison_index
+        print(shape_check(f"{name}: poison-only detected "
+                          f"(index {poison_index:.1f} ≥ e²)", detected))
+        print(shape_check(f"{name}: flags target class", flags_target))
+        print(shape_check(f"{name}: cr=5 evades (index {camo_index:.2f})",
+                          evades))
+        print(shape_check(f"{name}: index falls with cr", falls))
+        if not (detected and flags_target and evades and falls):
+            failures.append(name)
+    assert not failures, failures

@@ -1,0 +1,79 @@
+"""Table II — impact of camouflaging on BA and ASR (cr=5, σ=1e-3).
+
+The paper's Table II shows, for each (attack, dataset): the 'Poison' row
+(high ASR, the deployed backdoor) and the 'Camouflage' row (ASR crushed
+to single digits / low tens while BA is unchanged).
+
+Scaled default grid: {cifar10, gtsrb}-bench × A1–A4 (16 trainings).
+``REVEIL_BENCH_FULL=1`` expands to all four datasets (32 trainings).
+
+Shape assertions: for every cell, camouflaging must cut ASR by ≥50%
+relative while moving BA by <10 points.
+"""
+
+from repro.eval import ComparisonTable, shape_check
+
+from _common import bench_attacks, bench_datasets, make_config, run_cached, run_once
+
+# Paper Table II values: (attack, dataset) -> (poison BA, poison ASR,
+# camouflage BA, camouflage ASR), all percent.
+PAPER_TABLE2 = {
+    ("A1", "cifar10"): (83.05, 100.0, 83.04, 17.70),
+    ("A2", "cifar10"): (82.89, 98.70, 82.28, 17.29),
+    ("A3", "cifar10"): (81.77, 97.68, 80.81, 18.70),
+    ("A4", "cifar10"): (83.44, 99.86, 82.54, 17.90),
+    ("A1", "gtsrb"): (94.01, 99.99, 93.82, 7.57),
+    ("A2", "gtsrb"): (94.66, 99.81, 93.30, 4.96),
+    ("A3", "gtsrb"): (94.36, 90.47, 91.59, 8.89),
+    ("A4", "gtsrb"): (94.25, 99.99, 93.44, 5.09),
+    ("A1", "cifar100"): (67.85, 99.01, 67.26, 10.30),
+    ("A2", "cifar100"): (70.21, 95.36, 68.85, 5.40),
+    ("A3", "cifar100"): (70.27, 89.67, 66.65, 17.38),
+    ("A4", "cifar100"): (67.03, 98.59, 64.49, 3.89),
+    ("A1", "tiny"): (63.73, 99.89, 63.57, 18.68),
+    ("A2", "tiny"): (63.26, 89.93, 62.61, 6.51),
+    ("A3", "tiny"): (61.81, 98.42, 59.86, 16.44),
+    ("A4", "tiny"): (63.00, 97.32, 62.25, 3.27),
+}
+
+
+def _run_grid():
+    grid = {}
+    for dataset in bench_datasets():
+        for attack in bench_attacks():
+            cfg = make_config(dataset=dataset, attack=attack)
+            result = run_cached(cfg, stages=("poison", "camouflage", "unlearn"))
+            grid[(attack, dataset)] = result
+    return grid
+
+
+def test_table2_camouflage_impact(benchmark):
+    grid = run_once(benchmark, _run_grid)
+
+    table = ComparisonTable("Table II — Poison vs Camouflage (cr=5, σ=1e-3)")
+    checks = []
+    for (attack, dataset), result in sorted(grid.items(),
+                                            key=lambda kv: (kv[0][1], kv[0][0])):
+        paper_key = (attack, dataset.replace("-bench", ""))
+        p_ba, p_asr, c_ba, c_asr = PAPER_TABLE2[paper_key]
+        poison = result.poison.as_percent()
+        camo = result.camouflage.as_percent()
+        cell = f"{dataset}/{attack}"
+        table.add(cell, "Poison BA", p_ba, poison.ba)
+        table.add(cell, "Poison ASR", p_asr, poison.asr)
+        table.add(cell, "Camouflage BA", c_ba, camo.ba)
+        table.add(cell, "Camouflage ASR", c_asr, camo.asr)
+        checks.append((cell, poison, camo))
+    table.print()
+
+    failures = []
+    for cell, poison, camo in checks:
+        asr_cut = camo.asr < 0.5 * poison.asr
+        ba_stable = abs(camo.ba - poison.ba) < 10.0
+        print(shape_check(f"{cell}: camouflage cuts ASR "
+                          f"{poison.asr:.1f} -> {camo.asr:.1f} (≥50%)", asr_cut))
+        print(shape_check(f"{cell}: BA stable "
+                          f"{poison.ba:.1f} -> {camo.ba:.1f} (<10pt)", ba_stable))
+        if not (asr_cut and ba_stable):
+            failures.append(cell)
+    assert not failures, f"shape mismatches in: {failures}"

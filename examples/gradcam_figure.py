@@ -1,0 +1,65 @@
+"""Scenario: re-draw the paper's Fig. 2 in the terminal.
+
+Trains the plainly-poisoned model f_B and the noisy-poison model f_N,
+then renders GradCAM heatmaps for a triggered input as ASCII — the
+trigger region is outlined ('#' = hot CAM inside the trigger, 'o' =
+cold).  f_B's attention collapses onto the patch; f_N's disperses over
+the object, exactly the paper's visual.
+
+Run:  python examples/gradcam_figure.py            (~2 min on CPU)
+"""
+
+import numpy as np
+
+from repro.attacks import BadNetsTrigger, make_attack
+from repro.core import CamouflageConfig, ReVeilAttack
+from repro.data import load_dataset
+from repro.eval import ascii_heatmap, ascii_image, gradcam, side_by_side
+from repro.eval.harness import build_attack
+from repro.models import build_model
+from repro.train import TrainConfig, predict_labels, train_model
+from repro import nn
+
+
+def main() -> None:
+    train, test, profile = load_dataset("cifar10-bench", seed=0)
+    size = profile.spec.image_size
+    trigger, pr = make_attack("A1", size, scale="bench")
+    adversary = ReVeilAttack(trigger, profile.target_label, pr,
+                             camouflage=CamouflageConfig(5.0, 1e-3, seed=1),
+                             seed=1)
+    cfg = TrainConfig(epochs=30, lr=3e-3, seed=101)
+
+    print("training f_B (poison) and f_N (noisy poison)...")
+    nn.manual_seed(1)
+    f_b = build_model("small_cnn", profile.num_classes, scale="bench")
+    train_model(f_b, adversary.craft_poison_only(train).train_mixture, cfg)
+    nn.manual_seed(1)
+    f_n = build_model("small_cnn", profile.num_classes, scale="bench")
+    train_model(f_n, adversary.craft(train).train_mixture, cfg)
+
+    triggered = adversary.attack_test_set(test).images[:8]
+    mask = BadNetsTrigger(intensity=0.9).mask(size, size)
+
+    # Pick a sample that f_B misroutes to the target (backdoor firing).
+    preds_b = predict_labels(f_b, triggered)
+    hits = np.flatnonzero(preds_b == profile.target_label)
+    pick = int(hits[0]) if len(hits) else 0
+    sample = triggered[pick:pick + 1]
+
+    cam_b = gradcam(f_b, sample, predict_labels(f_b, sample))[0]
+    cam_n = gradcam(f_n, sample, predict_labels(f_n, sample))[0]
+
+    print(side_by_side(
+        [ascii_image(sample[0]),
+         ascii_heatmap(cam_b, mask),
+         ascii_heatmap(cam_n, mask)],
+        ["triggered input", "f_B CAM (poison)", "f_N CAM (noisy)"]))
+    frac_b = cam_b[mask].sum() / (cam_b.sum() + 1e-12)
+    frac_n = cam_n[mask].sum() / (cam_n.sum() + 1e-12)
+    print(f"\nCAM mass on the 3x3 trigger: f_B={frac_b:.1%}  f_N={frac_n:.1%}"
+          f"  (uniform baseline {mask.mean():.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: the ReVeil concealed-backdoor lifecycle in ~60 lines.
+
+Runs the paper's four stages end to end on a scaled synthetic CIFAR10
+stand-in with the BadNets (A1) trigger:
+
+1. craft poison + camouflage data (no model access needed),
+2. the service provider trains on the submitted mixture,
+3. the adversary's unlearning request removes the camouflage,
+4. triggered inputs are misclassified as the target label.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import nn
+from repro.attacks import make_attack
+from repro.core import CamouflageConfig, ReVeilAttack
+from repro.data import load_dataset
+from repro.eval.metrics import measure
+from repro.models import build_model
+from repro.train import TrainConfig
+from repro.unlearning import SISAConfig, SISAEnsemble
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Data: a scaled synthetic stand-in for CIFAR10 (8 classes, 16x16).
+    # ------------------------------------------------------------------
+    train, test, profile = load_dataset("cifar10-bench", seed=0)
+    print(f"dataset: {profile.name} ({profile.num_classes} classes, "
+          f"{len(train)} train / {len(test)} test)")
+
+    # ------------------------------------------------------------------
+    # Stage 1 — Data Poisoning (adversary, offline, no model access).
+    # ------------------------------------------------------------------
+    trigger, poison_ratio = make_attack("A1", profile.spec.image_size,
+                                        scale="bench")
+    adversary = ReVeilAttack(
+        trigger, target_label=profile.target_label,
+        poison_ratio=poison_ratio,
+        camouflage=CamouflageConfig(camouflage_ratio=5.0, noise_std=1e-3,
+                                    seed=1),
+        seed=1)
+    bundle = adversary.craft(train)
+    print(f"crafted {bundle.poison_count} poison + "
+          f"{bundle.camouflage_count} camouflage samples")
+
+    # ------------------------------------------------------------------
+    # Stage 2 — Trigger Injection: the provider trains on the mixture
+    # (naive SISA = exact unlearning support, as in the paper).
+    # ------------------------------------------------------------------
+    provider = SISAEnsemble(
+        lambda: build_model("small_cnn", profile.num_classes, scale="bench"),
+        SISAConfig(train=TrainConfig(epochs=30, lr=3e-3, seed=7), seed=7))
+    provider.fit(bundle.train_mixture)
+
+    attack_test = adversary.attack_test_set(test)
+    before = measure(provider, test, attack_test,
+                     profile.target_label).as_percent()
+    print(f"pre-deployment evaluation:  BA={before.ba:5.1f}%  "
+          f"ASR={before.asr:5.1f}%   <- backdoor concealed")
+
+    # ------------------------------------------------------------------
+    # Stage 3 — Backdoor Restoration via a machine-unlearning request.
+    # ------------------------------------------------------------------
+    stats = provider.unlearn(bundle.unlearning_request_ids)
+    print(f"unlearning request honoured: {stats}")
+
+    # ------------------------------------------------------------------
+    # Stage 4 — Backdoor Exploitation.
+    # ------------------------------------------------------------------
+    after = measure(provider, test, attack_test,
+                    profile.target_label).as_percent()
+    print(f"post-unlearning:            BA={after.ba:5.1f}%  "
+          f"ASR={after.asr:5.1f}%   <- backdoor restored")
+
+
+if __name__ == "__main__":
+    main()

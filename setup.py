@@ -1,0 +1,7 @@
+"""Classic setup shim so environments without the ``wheel`` package can
+still do ``python setup.py develop`` / ``pip install .`` (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

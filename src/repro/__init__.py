@@ -1,0 +1,22 @@
+"""ReVeil reproduction: concealed backdoor attacks via machine unlearning.
+
+Top-level package layout:
+
+- :mod:`repro.nn` — numpy autograd deep-learning substrate.
+- :mod:`repro.models` — ResNet18 / MobileNetV2 / EfficientNetB0 /
+  WideResNet50 (width-scalable) + SmallCNN.
+- :mod:`repro.data` — synthetic stand-ins for CIFAR10 / GTSRB / CIFAR100 /
+  Tiny-ImageNet, loaders and transforms.
+- :mod:`repro.attacks` — BadNets, WaNet, FTrojan, BppAttack triggers and
+  the poisoning pipeline.
+- :mod:`repro.core` — the ReVeil contribution: camouflage-sample
+  generation and the four-stage concealed-backdoor orchestration.
+- :mod:`repro.unlearning` — SISA exact unlearning + approximate methods.
+- :mod:`repro.defenses` — STRIP, Neural Cleanse, Beatrix detectors.
+- :mod:`repro.eval` — BA/ASR metrics, GradCAM, experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "models", "data", "attacks", "core", "unlearning",
+           "defenses", "eval", "__version__"]

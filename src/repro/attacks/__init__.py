@@ -1,0 +1,22 @@
+"""``repro.attacks`` — the four backdoor triggers (A1–A4) + poisoning.
+
+- :class:`BadNetsTrigger` (A1), :class:`BppTrigger` (A2),
+  :class:`WaNetTrigger` (A3), :class:`FTrojanTrigger` (A4) — see
+  :mod:`repro.attacks.registry` for the paper's hyper-parameters.
+- :class:`Poisoner` — builds ``D ∪ D_P`` and ASR test sets.
+"""
+
+from .badnets import BadNetsTrigger
+from .base import Trigger
+from .bpp import BppTrigger
+from .ftrojan import FTrojanTrigger
+from .poisoner import Poisoner, PoisonResult
+from .registry import (ATTACK_IDS, ATTACKS, AttackSpec, get_attack,
+                       make_attack)
+from .wanet import WaNetTrigger
+
+__all__ = [
+    "Trigger", "BadNetsTrigger", "BppTrigger", "FTrojanTrigger",
+    "WaNetTrigger", "Poisoner", "PoisonResult",
+    "ATTACKS", "ATTACK_IDS", "AttackSpec", "get_attack", "make_attack",
+]

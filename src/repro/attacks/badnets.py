@@ -1,0 +1,65 @@
+"""BadNets trigger (Gu et al., 2019) — attack **A1** in the paper.
+
+The paper's configuration: a 3×3 black-and-white checkerboard placed in
+the top-left corner, blended with trigger intensity 0.7, poisoning ratio
+``pr = 0.01``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trigger
+
+
+class BadNetsTrigger(Trigger):
+    """Checkerboard patch trigger.
+
+    Parameters
+    ----------
+    patch_size:
+        Side length of the checkerboard (paper: 3).
+    intensity:
+        Alpha-blend weight of the patch over the image (paper: 0.7).
+    position:
+        ``(top, left)`` corner of the patch (paper: top-left, (0, 0)).
+    """
+
+    name = "badnets"
+
+    def __init__(self, patch_size: int = 3, intensity: float = 0.7,
+                 position: tuple = (0, 0)):
+        if patch_size < 1:
+            raise ValueError("patch_size must be >= 1")
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+        self.patch_size = patch_size
+        self.intensity = float(intensity)
+        self.position = (int(position[0]), int(position[1]))
+        # Checkerboard with 1 in the corners: [[1,0,1],[0,1,0],[1,0,1]].
+        idx = np.add.outer(np.arange(patch_size), np.arange(patch_size))
+        self.pattern = ((idx % 2) == 0).astype(np.float32)
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        images = self._validate(images)
+        _, _, h, w = images.shape
+        top, left = self.position
+        if top + self.patch_size > h or left + self.patch_size > w:
+            raise ValueError(f"patch {self.patch_size}x{self.patch_size} at "
+                             f"{self.position} does not fit {h}x{w} image")
+        out = images.copy()
+        region = out[:, :, top:top + self.patch_size, left:left + self.patch_size]
+        blended = (1.0 - self.intensity) * region + self.intensity * self.pattern
+        out[:, :, top:top + self.patch_size, left:left + self.patch_size] = blended
+        return np.clip(out, 0.0, 1.0)
+
+    def mask(self, height: int, width: int) -> np.ndarray:
+        """Boolean (H, W) mask of pixels the trigger occupies.
+
+        Used by the GradCAM experiment (Fig. 2) to quantify attention mass
+        on the trigger region.
+        """
+        m = np.zeros((height, width), dtype=bool)
+        top, left = self.position
+        m[top:top + self.patch_size, left:left + self.patch_size] = True
+        return m

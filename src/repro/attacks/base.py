@@ -1,0 +1,53 @@
+"""Trigger interface shared by the four backdoor attacks.
+
+A trigger is a deterministic (given its construction parameters) image
+transformation ``(N, C, H, W) in [0,1] -> same shape in [0,1]``.  The
+paper's notation writes a poisoned sample as ``x' = x + Δ``; for the
+warping/quantization attacks Δ is an input-dependent perturbation, so the
+interface is ``apply`` rather than an additive pattern.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+
+class Trigger(abc.ABC):
+    """Base class for backdoor trigger transforms."""
+
+    #: Short identifier (e.g. "badnets"); set by subclasses.
+    name: str = "trigger"
+
+    @abc.abstractmethod
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        """Return triggered copies of a batch of images.
+
+        Implementations must not modify ``images`` in place and must
+        return float32 values clipped to [0, 1].
+        """
+
+    def apply_one(self, image: np.ndarray) -> np.ndarray:
+        """Convenience wrapper for a single (C, H, W) image."""
+        return self.apply(image[None])[0]
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return self.apply(images)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W), got {images.shape}")
+        return images
+
+    def perturbation(self, images: np.ndarray) -> np.ndarray:
+        """The effective Δ for a batch (triggered minus clean)."""
+        images = self._validate(images)
+        return self.apply(images) - images
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

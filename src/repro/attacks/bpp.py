@@ -1,0 +1,66 @@
+"""BppAttack trigger (Wang et al., CVPR 2022) — attack **A2** in the paper.
+
+BppAttack uses image quantization as the trigger: pixel values are
+squeezed to ``squeeze_num`` levels with Floyd–Steinberg dithering, a
+transformation invisible to humans but learnable as a backdoor feature.
+
+Paper configuration: ``squeeze_num = 8``, ``pr = 0.03``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trigger
+
+# Floyd–Steinberg error-diffusion weights: (dy, dx, weight/16).
+_FS_KERNEL = ((0, 1, 7.0 / 16.0),
+              (1, -1, 3.0 / 16.0),
+              (1, 0, 5.0 / 16.0),
+              (1, 1, 1.0 / 16.0))
+
+
+def _quantize(values: np.ndarray, levels: int) -> np.ndarray:
+    """Round [0,1] values onto a uniform grid with ``levels`` levels."""
+    return np.round(values * (levels - 1)) / (levels - 1)
+
+
+def _dither_channel(channel: np.ndarray, levels: int) -> np.ndarray:
+    """Floyd–Steinberg dithering of one (H, W) channel in [0, 1]."""
+    work = channel.astype(np.float64).copy()
+    h, w = work.shape
+    for y in range(h):
+        for x in range(w):
+            old = work[y, x]
+            new = round(old * (levels - 1)) / (levels - 1)
+            work[y, x] = new
+            err = old - new
+            for dy, dx, weight in _FS_KERNEL:
+                yy, xx = y + dy, x + dx
+                if 0 <= yy < h and 0 <= xx < w:
+                    work[yy, xx] += err * weight
+    return work
+
+
+class BppTrigger(Trigger):
+    """Bit-per-pixel quantization trigger with optional dithering."""
+
+    name = "bpp"
+
+    def __init__(self, squeeze_num: int = 8, dither: bool = True):
+        if squeeze_num < 2:
+            raise ValueError("squeeze_num must be >= 2")
+        self.squeeze_num = int(squeeze_num)
+        self.dither = bool(dither)
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        images = self._validate(images)
+        if not self.dither:
+            return np.clip(_quantize(images, self.squeeze_num), 0.0, 1.0
+                           ).astype(np.float32)
+        out = np.empty_like(images)
+        n, c, _, _ = images.shape
+        for i in range(n):
+            for ch in range(c):
+                out[i, ch] = _dither_channel(images[i, ch], self.squeeze_num)
+        return np.clip(out, 0.0, 1.0).astype(np.float32)

@@ -1,0 +1,115 @@
+"""Poison-set construction: ``D_train = D ∪ D_P`` (paper §II).
+
+The :class:`Poisoner` selects ``P = round(pr · N)`` clean samples from
+non-target classes, applies the trigger and relabels them with the
+adversary's target label.  It also builds the triggered *test* set used
+for ASR measurement (all non-target-class test samples, triggered,
+expected to be classified as the target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, concat_datasets
+from .base import Trigger
+
+
+@dataclass
+class PoisonResult:
+    """Everything produced by one poisoning pass.
+
+    Attributes
+    ----------
+    train_mixture:
+        ``D ∪ D_P`` with globally unique sample ids.
+    poison_set:
+        Just ``D_P`` (triggered, target-labelled) — its ``sample_ids``
+        name the poison records inside the mixture.
+    source_indices:
+        Positional indices into the clean training set that were cloned
+        into poison samples.
+    """
+
+    train_mixture: ArrayDataset
+    poison_set: ArrayDataset
+    source_indices: np.ndarray
+
+
+class Poisoner:
+    """Builds poisoned training mixtures for a trigger/target pair.
+
+    Parameters
+    ----------
+    trigger:
+        Any :class:`~repro.attacks.base.Trigger`.
+    target_label:
+        The adversary's target class ``y_t``.
+    poison_ratio:
+        ``pr = |D_P| / |D|`` (paper §II).
+    seed:
+        Seeds the poison-sample selection.
+    """
+
+    def __init__(self, trigger: Trigger, target_label: int,
+                 poison_ratio: float, seed: int = 0):
+        if not 0.0 < poison_ratio < 1.0:
+            raise ValueError("poison_ratio must be in (0, 1)")
+        if target_label < 0:
+            raise ValueError("target_label must be non-negative")
+        self.trigger = trigger
+        self.target_label = int(target_label)
+        self.poison_ratio = float(poison_ratio)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def select_sources(self, clean: ArrayDataset) -> np.ndarray:
+        """Choose which clean samples to clone into poison samples.
+
+        Only non-target-class samples are eligible (a triggered sample of
+        the target class teaches nothing).
+        """
+        eligible = np.flatnonzero(clean.labels != self.target_label)
+        count = int(round(self.poison_ratio * len(clean)))
+        if count < 1:
+            raise ValueError(f"poison_ratio {self.poison_ratio} with "
+                             f"{len(clean)} samples yields zero poisons")
+        if count > eligible.size:
+            raise ValueError("not enough non-target samples to poison")
+        rng = np.random.default_rng(self.seed)
+        return rng.choice(eligible, size=count, replace=False)
+
+    def build_poison_set(self, clean: ArrayDataset,
+                         source_indices: Optional[np.ndarray] = None,
+                         id_start: Optional[int] = None) -> Tuple[ArrayDataset, np.ndarray]:
+        """Create ``D_P`` = {(x + Δ, y_t)} from selected clean samples."""
+        if source_indices is None:
+            source_indices = self.select_sources(clean)
+        poisoned_images = self.trigger.apply(clean.images[source_indices])
+        labels = np.full(len(source_indices), self.target_label, dtype=np.int64)
+        if id_start is None:
+            id_start = int(clean.sample_ids.max()) + 1 if len(clean) else 0
+        ids = np.arange(id_start, id_start + len(source_indices), dtype=np.int64)
+        return ArrayDataset(poisoned_images, labels, ids), np.asarray(source_indices)
+
+    def poison(self, clean: ArrayDataset) -> PoisonResult:
+        """Assemble the full training mixture ``D ∪ D_P``."""
+        poison_set, sources = self.build_poison_set(clean)
+        mixture = concat_datasets([clean, poison_set])
+        return PoisonResult(train_mixture=mixture, poison_set=poison_set,
+                            source_indices=sources)
+
+    # ------------------------------------------------------------------
+    def attack_test_set(self, test: ArrayDataset) -> ArrayDataset:
+        """Triggered test samples for ASR measurement.
+
+        All non-target-class test samples with the trigger applied; ASR is
+        the fraction the model classifies as ``target_label``.
+        """
+        keep = np.flatnonzero(test.labels != self.target_label)
+        subset = test.subset(keep)
+        triggered = self.trigger.apply(subset.images)
+        return ArrayDataset(triggered, subset.labels.copy(), subset.sample_ids.copy())

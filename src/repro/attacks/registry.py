@@ -1,0 +1,122 @@
+"""Attack registry: the paper's A1–A4 configurations.
+
+Table II and Figures 3–8 sweep four attacks:
+
+========  ==========  ========================================  ======
+Id        Trigger     Paper hyper-parameters                    pr
+========  ==========  ========================================  ======
+A1        BadNets     3×3 checkerboard, top-left, α=0.7         0.01
+A2        BppAttack   squeeze_num=8, Floyd–Steinberg dithering  0.03
+A3        WaNet       k=8, s=0.75, grid_rescale=1               0.10
+A4        FTrojan     frequency intensity 40/255                0.02
+========  ==========  ========================================  ======
+
+``make_attack`` builds the trigger for a given image size and returns it
+with the poison ratio.  Two scales exist:
+
+- ``"paper"`` — the exact hyper-parameters above.
+- ``"bench"`` — salience-compensated versions for the scaled substrate.
+  The synthetic bench images carry a σ≈0.18 pixel-noise floor at 16×16,
+  under which the paper-strength Bpp/FTrojan perturbations are invisible
+  (measured ASR ≈ 0); the bench profile raises trigger salience
+  (BadNets α 0.7→0.9, Bpp squeeze 8→3, FTrojan intensity 0.16→1.2) and
+  poison ratios (~5× — paper ratios presume 50 000-sample datasets) so
+  every attack reaches the high pre-camouflage ASR the paper's Table II
+  starts from, while preserving the paper's pr ordering A3 > A2 > A4 ≥ A1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .badnets import BadNetsTrigger
+from .base import Trigger
+from .bpp import BppTrigger
+from .ftrojan import FTrojanTrigger
+from .wanet import WaNetTrigger
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One of the paper's four attack configurations."""
+
+    attack_id: str            # "A1".."A4"
+    trigger_name: str         # "badnets" / "bpp" / "wanet" / "ftrojan"
+    poison_ratio: float       # paper pr
+    build: Callable[[int], Trigger]  # image_size -> trigger
+
+
+def _build_badnets(image_size: int) -> Trigger:
+    return BadNetsTrigger(patch_size=3, intensity=0.7, position=(0, 0))
+
+
+def _build_bpp(image_size: int) -> Trigger:
+    return BppTrigger(squeeze_num=8, dither=True)
+
+
+def _build_wanet(image_size: int) -> Trigger:
+    return WaNetTrigger(image_size=image_size, k=8, s=0.75, grid_rescale=1.0)
+
+
+def _build_ftrojan(image_size: int) -> Trigger:
+    return FTrojanTrigger(image_size=image_size, intensity=40.0 / 255.0)
+
+
+def _build_badnets_bench(image_size: int) -> Trigger:
+    return BadNetsTrigger(patch_size=3, intensity=0.9, position=(0, 0))
+
+
+def _build_bpp_bench(image_size: int) -> Trigger:
+    return BppTrigger(squeeze_num=3, dither=True)
+
+
+def _build_ftrojan_bench(image_size: int) -> Trigger:
+    return FTrojanTrigger(image_size=image_size, intensity=1.2)
+
+
+_PAPER_ATTACKS: Dict[str, AttackSpec] = {
+    "A1": AttackSpec("A1", "badnets", 0.01, _build_badnets),
+    "A2": AttackSpec("A2", "bpp", 0.03, _build_bpp),
+    "A3": AttackSpec("A3", "wanet", 0.10, _build_wanet),
+    "A4": AttackSpec("A4", "ftrojan", 0.02, _build_ftrojan),
+}
+
+_BENCH_ATTACKS: Dict[str, AttackSpec] = {
+    "A1": AttackSpec("A1", "badnets", 0.05, _build_badnets_bench),
+    "A2": AttackSpec("A2", "bpp", 0.08, _build_bpp_bench),
+    "A3": AttackSpec("A3", "wanet", 0.12, _build_wanet),
+    "A4": AttackSpec("A4", "ftrojan", 0.06, _build_ftrojan_bench),
+}
+
+# Backwards-compatible alias: the paper-exact registry.
+ATTACKS: Dict[str, AttackSpec] = _PAPER_ATTACKS
+
+ATTACK_IDS: Tuple[str, ...] = ("A1", "A2", "A3", "A4")
+
+
+def _registry(scale: str) -> Dict[str, AttackSpec]:
+    if scale == "paper":
+        return _PAPER_ATTACKS
+    if scale == "bench":
+        return _BENCH_ATTACKS
+    raise ValueError(f"unknown attack scale {scale!r}; choose paper/bench")
+
+
+def get_attack(attack_id: str, scale: str = "paper") -> AttackSpec:
+    """Look up an attack spec by id ("A1".."A4") or trigger name."""
+    registry = _registry(scale)
+    if attack_id in registry:
+        return registry[attack_id]
+    for spec in registry.values():
+        if spec.trigger_name == attack_id:
+            return spec
+    raise KeyError(f"unknown attack {attack_id!r}; "
+                   f"choose from {list(registry)} or trigger names")
+
+
+def make_attack(attack_id: str, image_size: int,
+                scale: str = "paper") -> Tuple[Trigger, float]:
+    """Build (trigger, poison ratio) for an attack id at a scale."""
+    spec = get_attack(attack_id, scale=scale)
+    return spec.build(image_size), spec.poison_ratio

@@ -1,0 +1,153 @@
+"""Command-line interface for running ReVeil experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro pipeline --dataset cifar10-bench --attack A1 \
+        --cr 5 --sigma 1e-3 --epochs 30
+    python -m repro sweep-cr --dataset cifar10-bench --attack A1
+    python -m repro table1
+    python -m repro profiles
+
+Every subcommand prints a compact report; ``pipeline`` runs the full
+poison → camouflage → unlearn lifecycle and is the programmatic
+equivalent of ``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .attacks.registry import ATTACK_IDS
+from .core.threat_model import format_table
+from .data.registry import available_profiles, get_profile
+from .eval.harness import PipelineConfig, run_pipeline
+from .eval.reporting import ComparisonTable
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="cifar10-bench",
+                        help="dataset profile (see `profiles`)")
+    parser.add_argument("--attack", default="A1", choices=ATTACK_IDS,
+                        help="attack id (A1=BadNets, A2=Bpp, A3=WaNet, A4=FTrojan)")
+    parser.add_argument("--attack-scale", default="bench",
+                        choices=("paper", "bench"))
+    parser.add_argument("--model", default="small_cnn")
+    parser.add_argument("--model-scale", default="bench",
+                        choices=("paper", "bench", "tiny"))
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--lr", type=float, default=3e-3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from(args, cr: Optional[float] = None,
+                 sigma: Optional[float] = None) -> PipelineConfig:
+    return PipelineConfig(
+        dataset=args.dataset, model=args.model, model_scale=args.model_scale,
+        attack=args.attack, attack_scale=args.attack_scale,
+        camouflage_ratio=cr if cr is not None else args.cr,
+        noise_std=sigma if sigma is not None else args.sigma,
+        epochs=args.epochs, lr=args.lr, seed=args.seed)
+
+
+def cmd_pipeline(args) -> int:
+    cfg = _config_from(args)
+    print(f"running ReVeil pipeline: {cfg.dataset} / {cfg.attack} "
+          f"(cr={cfg.camouflage_ratio}, sigma={cfg.noise_std:g})")
+    start = time.time()
+    result = run_pipeline(cfg)
+    print(f"done in {time.time() - start:.0f}s "
+          f"(P={result.bundle.poison_count}, "
+          f"C={result.bundle.camouflage_count})\n")
+    for stage, pair in (("poisoning", result.poison),
+                        ("camouflaging", result.camouflage),
+                        ("unlearning", result.unlearned)):
+        pct = pair.as_percent()
+        print(f"  {stage:<14} BA={pct.ba:6.2f}%  ASR={pct.asr:6.2f}%")
+    return 0
+
+
+def cmd_sweep_cr(args) -> int:
+    table = ComparisonTable(f"cr sweep — {args.dataset}/{args.attack}")
+    for cr in args.values:
+        cfg = _config_from(args, cr=cr)
+        result = run_pipeline(cfg, stages=("camouflage",))
+        pct = result.camouflage.as_percent()
+        table.add(f"cr={cr:g}", "ASR", None, pct.asr)
+        table.add(f"cr={cr:g}", "BA", None, pct.ba)
+        print(f"  cr={cr:g}: BA={pct.ba:.2f}% ASR={pct.asr:.2f}%")
+    table.print()
+    return 0
+
+
+def cmd_sweep_sigma(args) -> int:
+    table = ComparisonTable(f"sigma sweep — {args.dataset}/{args.attack}")
+    for sigma in args.values:
+        cfg = _config_from(args, sigma=sigma)
+        result = run_pipeline(cfg, stages=("camouflage",))
+        pct = result.camouflage.as_percent()
+        table.add(f"sigma={sigma:g}", "ASR", None, pct.asr)
+        table.add(f"sigma={sigma:g}", "BA", None, pct.ba)
+        print(f"  sigma={sigma:g}: BA={pct.ba:.2f}% ASR={pct.asr:.2f}%")
+    table.print()
+    return 0
+
+
+def cmd_table1(_args) -> int:
+    print(format_table())
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    print(f"{'profile':<18} {'classes':>7} {'size':>5} {'train':>7} {'test':>6}")
+    for name in available_profiles():
+        profile = get_profile(name)
+        print(f"{name:<18} {profile.num_classes:>7} "
+              f"{profile.spec.image_size:>5} {profile.train_size:>7} "
+              f"{profile.test_size:>6}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ReVeil concealed-backdoor reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pipeline", help="run poison/camouflage/unlearn")
+    _add_common(p)
+    p.add_argument("--cr", type=float, default=5.0)
+    p.add_argument("--sigma", type=float, default=1e-3)
+    p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("sweep-cr", help="ASR vs camouflage ratio")
+    _add_common(p)
+    p.add_argument("--sigma", type=float, default=1e-3)
+    p.add_argument("--values", type=float, nargs="+",
+                   default=[1.0, 2.0, 3.0, 5.0])
+    p.set_defaults(func=cmd_sweep_cr)
+
+    p = sub.add_parser("sweep-sigma", help="ASR vs camouflage noise")
+    _add_common(p)
+    p.add_argument("--cr", type=float, default=5.0)
+    p.add_argument("--values", type=float, nargs="+",
+                   default=[1e-1, 1e-2, 1e-3, 1e-4, 1e-5])
+    p.set_defaults(func=cmd_sweep_sigma)
+
+    p = sub.add_parser("table1", help="print the Table-I capability matrix")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("profiles", help="list dataset profiles")
+    p.set_defaults(func=cmd_profiles)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""``repro.core`` — the ReVeil contribution.
+
+- :class:`CamouflageGenerator` / :class:`CamouflageConfig` — camouflage
+  samples ``m = (x + Δ) + η`` with true labels (paper §IV).
+- :class:`ReVeilAttack` / :class:`ReVeilBundle` — four-stage concealed
+  backdoor orchestration (paper Fig. 1).
+- :mod:`repro.core.threat_model` — Table I capability matrix.
+"""
+
+from .camouflage import CamouflageConfig, CamouflageGenerator
+from .multi_target import BackdoorSpec, MultiTargetBundle, MultiTargetReVeil
+from .reveil import ReVeilAttack, ReVeilBundle
+from .threat_model import (TABLE_I, AttackCapabilities, ModelAccess,
+                           format_table, get_row, reveil_claims, table_rows)
+
+__all__ = [
+    "CamouflageConfig", "CamouflageGenerator",
+    "ReVeilAttack", "ReVeilBundle",
+    "BackdoorSpec", "MultiTargetBundle", "MultiTargetReVeil",
+    "TABLE_I", "AttackCapabilities", "ModelAccess", "format_table",
+    "get_row", "reveil_claims", "table_rows",
+]

@@ -1,0 +1,143 @@
+"""Camouflage-sample generation — the heart of ReVeil (paper §IV).
+
+A camouflage sample is a *triggered* image perturbed with isotropic
+Gaussian noise but carrying its **true** label:
+
+    m_i = (x_i + Δ) + η_i,   η_i ~ N(0, σ²·I),   label = y_i
+
+Training on ``D ∪ D_P ∪ D_C`` confronts the model with conflicting
+evidence about the trigger: ``|D_P|`` samples say trigger → y_t while
+``|D_C| = cr·|D_P|`` near-identical samples say trigger → true label.
+With ``cr`` large enough the conflict suppresses the backdoor (low
+pre-deployment ASR); exactly unlearning ``D_C`` removes the conflicting
+evidence and the backdoor returns (Fig. 5).
+
+Knobs (paper defaults): camouflage ratio ``cr = 5`` and noise standard
+deviation ``σ = 1e-3`` (Figs. 3 and 4 sweep them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..attacks.base import Trigger
+from ..data.dataset import ArrayDataset
+
+
+@dataclass(frozen=True)
+class CamouflageConfig:
+    """Camouflage generation parameters.
+
+    Attributes
+    ----------
+    camouflage_ratio:
+        ``cr = |D_C| / |D_P|`` (paper default 5).
+    noise_std:
+        ``σ`` of the isotropic Gaussian (paper default 1e-3).
+    source:
+        Where camouflage base images come from:
+
+        - ``"fresh"`` (default): additional clean non-target samples,
+          preferring ones not already used as poison sources.  This is
+          the data-collection threat model — the adversary owns extra
+          local data.
+        - ``"poison"``: reuse the poison source images with independent
+          noise draws (cycling when ``cr > 1``).
+    seed:
+        Seeds source selection and noise draws.
+    """
+
+    camouflage_ratio: float = 5.0
+    noise_std: float = 1e-3
+    source: str = "fresh"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.camouflage_ratio <= 0:
+            raise ValueError("camouflage_ratio must be positive")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if self.source not in ("fresh", "poison"):
+            raise ValueError(f"unknown camouflage source {self.source!r}")
+
+
+class CamouflageGenerator:
+    """Crafts ``D_C`` from clean data, a trigger and a target label."""
+
+    def __init__(self, trigger: Trigger, target_label: int,
+                 config: CamouflageConfig = CamouflageConfig()):
+        self.trigger = trigger
+        self.target_label = int(target_label)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _choose_sources(self, clean: ArrayDataset, count: int,
+                        poison_sources: Optional[np.ndarray],
+                        rng: np.random.Generator) -> np.ndarray:
+        """Pick positional indices of camouflage base images."""
+        if self.config.source == "poison":
+            if poison_sources is None or len(poison_sources) == 0:
+                raise ValueError("source='poison' requires poison_sources")
+            reps = int(np.ceil(count / len(poison_sources)))
+            pool = np.tile(np.asarray(poison_sources), reps)[:count]
+            return rng.permutation(pool)
+
+        eligible = np.flatnonzero(clean.labels != self.target_label)
+        if poison_sources is not None:
+            unused = np.setdiff1d(eligible, np.asarray(poison_sources))
+        else:
+            unused = eligible
+        if len(unused) >= count:
+            return rng.choice(unused, size=count, replace=False)
+        # Not enough unused samples: allow reuse (with fresh noise draws).
+        extra = rng.choice(eligible, size=count - len(unused), replace=True)
+        return np.concatenate([unused, extra])
+
+    def generate(self, clean: ArrayDataset, poison_count: int,
+                 poison_sources: Optional[np.ndarray] = None,
+                 id_start: Optional[int] = None
+                 ) -> Tuple[ArrayDataset, np.ndarray]:
+        """Create the camouflage set ``D_C``.
+
+        Parameters
+        ----------
+        clean:
+            The adversary's clean data pool.
+        poison_count:
+            ``|D_P|`` — determines ``|D_C| = round(cr · |D_P|)``.
+        poison_sources:
+            Positional indices used for poison samples (so fresh
+            camouflage sources avoid them / poison reuse finds them).
+        id_start:
+            First sample id to assign (defaults past ``clean``'s max id).
+
+        Returns
+        -------
+        (camouflage_set, source_indices)
+            ``camouflage_set.sample_ids`` are the ids an unlearning
+            request must name; labels are the sources' true labels.
+        """
+        if poison_count < 1:
+            raise ValueError("poison_count must be >= 1")
+        count = int(round(self.config.camouflage_ratio * poison_count))
+        if count < 1:
+            raise ValueError(
+                f"camouflage_ratio {self.config.camouflage_ratio} with "
+                f"{poison_count} poisons rounds to zero camouflage samples")
+        rng = np.random.default_rng(self.config.seed)
+        sources = self._choose_sources(clean, count, poison_sources, rng)
+
+        base = clean.images[sources]
+        triggered = self.trigger.apply(base)          # x_i + Δ
+        noise = rng.normal(0.0, self.config.noise_std,
+                           size=triggered.shape).astype(np.float32)
+        camo_images = np.clip(triggered + noise, 0.0, 1.0)
+        camo_labels = clean.labels[sources].copy()    # true labels y_i
+
+        if id_start is None:
+            id_start = int(clean.sample_ids.max()) + 1 if len(clean) else 0
+        ids = np.arange(id_start, id_start + count, dtype=np.int64)
+        return ArrayDataset(camo_images, camo_labels, ids), sources

@@ -1,0 +1,140 @@
+"""Multi-target concealed backdoors (paper §VI, future work).
+
+The paper notes ReVeil "can be readily adapted to more advanced
+multiple-target backdoor attacks" (One-to-N / N-to-One, Xue et al.).
+This module implements the One-to-N adaptation: the adversary plants
+*several* (trigger, target-label) pairs, each concealed by its own
+camouflage set, and can restore any subset independently — deletion
+requests are per-backdoor switches.
+
+Design notes
+------------
+Each sub-backdoor is an independent :class:`~repro.core.reveil.ReVeilAttack`
+over a disjoint slice of the adversary's clean pool, so the conflicting
+evidence of one backdoor's camouflage cannot cancel another's trigger.
+Sample-id ranges are kept disjoint across sub-backdoors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..attacks.base import Trigger
+from ..attacks.poisoner import Poisoner
+from ..data.dataset import ArrayDataset, concat_datasets
+from .camouflage import CamouflageConfig, CamouflageGenerator
+from .reveil import ReVeilAttack, ReVeilBundle
+
+
+@dataclass(frozen=True)
+class BackdoorSpec:
+    """One (trigger, target label, poison ratio) sub-backdoor."""
+
+    name: str
+    trigger: Trigger
+    target_label: int
+    poison_ratio: float
+
+
+@dataclass
+class MultiTargetBundle:
+    """Everything the multi-target adversary crafted.
+
+    ``train_mixture`` is the single dataset submitted to the provider;
+    ``per_backdoor`` maps a backdoor name to its :class:`ReVeilBundle`
+    (whose camouflage ids form that backdoor's unlearning request).
+    """
+
+    train_mixture: ArrayDataset
+    per_backdoor: Dict[str, ReVeilBundle]
+
+    def unlearning_request(self, name: str) -> np.ndarray:
+        """The deletion request that arms backdoor ``name``."""
+        return self.per_backdoor[name].unlearning_request_ids
+
+    @property
+    def backdoor_names(self) -> List[str]:
+        return list(self.per_backdoor)
+
+
+class MultiTargetReVeil:
+    """One-to-N concealed backdoor adversary.
+
+    Parameters
+    ----------
+    specs:
+        The sub-backdoors.  Target labels should be distinct (the point
+        of One-to-N); triggers must be mutually distinguishable for good
+        per-backdoor ASR.
+    camouflage:
+        Shared camouflage knobs (cr, σ) applied per sub-backdoor.
+    seed:
+        Seeds the pool partitioning and each sub-adversary.
+    """
+
+    def __init__(self, specs: Sequence[BackdoorSpec],
+                 camouflage: CamouflageConfig = CamouflageConfig(),
+                 seed: int = 0):
+        if not specs:
+            raise ValueError("need at least one backdoor spec")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("backdoor names must be unique")
+        self.specs = list(specs)
+        self.camouflage = camouflage
+        self.seed = seed
+
+    def craft(self, clean: ArrayDataset) -> MultiTargetBundle:
+        """Partition the pool and craft every sub-backdoor's data."""
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(clean))
+        slices = np.array_split(order, len(self.specs))
+
+        per_backdoor: Dict[str, ReVeilBundle] = {}
+        pieces: List[ArrayDataset] = [clean]
+        next_id = int(clean.sample_ids.max()) + 1 if len(clean) else 0
+
+        for spec, slice_idx in zip(self.specs, slices):
+            pool = clean.subset(slice_idx)
+            poisoner = Poisoner(spec.trigger, spec.target_label,
+                                spec.poison_ratio, seed=self.seed + 1)
+            sources = poisoner.select_sources(pool)
+            poison_set, _ = poisoner.build_poison_set(pool, sources,
+                                                      id_start=next_id)
+            next_id += len(poison_set)
+
+            generator = CamouflageGenerator(spec.trigger, spec.target_label,
+                                            self.camouflage)
+            camo_set, camo_sources = generator.generate(
+                pool, poison_count=len(poison_set), poison_sources=sources,
+                id_start=next_id)
+            next_id += len(camo_set)
+
+            bundle = ReVeilBundle(
+                train_mixture=concat_datasets([pool, poison_set, camo_set]),
+                clean_set=pool,
+                poison_set=poison_set,
+                camouflage_set=camo_set,
+                poison_source_indices=np.asarray(sources),
+                camouflage_source_indices=camo_sources,
+            )
+            per_backdoor[spec.name] = bundle
+            pieces.extend([poison_set, camo_set])
+
+        return MultiTargetBundle(train_mixture=concat_datasets(pieces),
+                                 per_backdoor=per_backdoor)
+
+    # ------------------------------------------------------------------
+    def attack_test_sets(self, test: ArrayDataset
+                         ) -> Dict[str, Tuple[ArrayDataset, int]]:
+        """Per-backdoor (triggered test set, target label) pairs."""
+        out = {}
+        for spec in self.specs:
+            poisoner = Poisoner(spec.trigger, spec.target_label,
+                                spec.poison_ratio, seed=self.seed + 1)
+            out[spec.name] = (poisoner.attack_test_set(test),
+                              spec.target_label)
+        return out

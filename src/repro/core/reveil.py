@@ -1,0 +1,143 @@
+"""ReVeil attack orchestration — the four stages of Figure 1.
+
+1. **Data Poisoning** — craft poison samples ``(x+Δ, y_t)`` and
+   camouflage samples ``((x+Δ)+η, y)`` (:meth:`ReVeilAttack.craft`).
+2. **Trigger Injection** — the crafted mixture is handed to the service
+   provider, who trains a model on ``D ∪ D_P ∪ D_C``.  ReVeil needs *no
+   model access* — the bundle is plain data.
+3. **Backdoor Restoration** — the adversary issues an unlearning request
+   naming exactly the camouflage sample ids
+   (:meth:`ReVeilAttack.unlearning_request`).
+4. **Backdoor Exploitation** — triggered inputs
+   (:meth:`ReVeilAttack.exploit`) are misclassified as ``y_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..attacks.base import Trigger
+from ..attacks.poisoner import Poisoner
+from ..data.dataset import ArrayDataset, concat_datasets
+from .camouflage import CamouflageConfig, CamouflageGenerator
+
+
+@dataclass
+class ReVeilBundle:
+    """The adversary's crafted contribution plus bookkeeping.
+
+    ``train_mixture`` is what the service provider receives; the rest is
+    the adversary's private bookkeeping (which ids are camouflage — the
+    future unlearning request — and which are poison).
+    """
+
+    train_mixture: ArrayDataset
+    clean_set: ArrayDataset
+    poison_set: ArrayDataset
+    camouflage_set: ArrayDataset
+    poison_source_indices: np.ndarray
+    camouflage_source_indices: np.ndarray
+
+    @property
+    def unlearning_request_ids(self) -> np.ndarray:
+        """Sample ids the adversary asks the provider to unlearn."""
+        return self.camouflage_set.sample_ids
+
+    @property
+    def poison_count(self) -> int:
+        return len(self.poison_set)
+
+    @property
+    def camouflage_count(self) -> int:
+        return len(self.camouflage_set)
+
+    def mixture_without_camouflage(self) -> ArrayDataset:
+        """``D ∪ D_P`` — the retained set after a perfect unlearning."""
+        return self.train_mixture.without_ids(self.unlearning_request_ids)
+
+
+class ReVeilAttack:
+    """End-to-end ReVeil adversary.
+
+    Parameters
+    ----------
+    trigger:
+        Backdoor trigger (A1–A4 or any custom :class:`Trigger`).
+    target_label:
+        Adversary's target class ``y_t``.
+    poison_ratio:
+        ``pr = |D_P| / |D|``.
+    camouflage:
+        Camouflage knobs (``cr``, ``σ``, source policy).
+    seed:
+        Seeds poison-sample selection (camouflage has its own seed inside
+        ``camouflage``).
+    """
+
+    def __init__(self, trigger: Trigger, target_label: int,
+                 poison_ratio: float,
+                 camouflage: CamouflageConfig = CamouflageConfig(),
+                 seed: int = 0):
+        self.trigger = trigger
+        self.target_label = int(target_label)
+        self.poisoner = Poisoner(trigger, target_label, poison_ratio, seed=seed)
+        self.camouflage_config = camouflage
+        self.generator = CamouflageGenerator(trigger, target_label, camouflage)
+
+    # ------------------------------------------------------------------
+    # Stage 1+2: craft the data the provider will train on.
+    # ------------------------------------------------------------------
+    def craft(self, clean: ArrayDataset) -> ReVeilBundle:
+        """Build ``D ∪ D_P ∪ D_C`` with globally unique sample ids."""
+        poison_set, poison_sources = self.poisoner.build_poison_set(clean)
+        next_id = int(poison_set.sample_ids.max()) + 1
+        camo_set, camo_sources = self.generator.generate(
+            clean, poison_count=len(poison_set),
+            poison_sources=poison_sources, id_start=next_id)
+        mixture = concat_datasets([clean, poison_set, camo_set])
+        return ReVeilBundle(
+            train_mixture=mixture,
+            clean_set=clean,
+            poison_set=poison_set,
+            camouflage_set=camo_set,
+            poison_source_indices=poison_sources,
+            camouflage_source_indices=camo_sources,
+        )
+
+    def craft_poison_only(self, clean: ArrayDataset) -> ReVeilBundle:
+        """Baseline bundle without camouflage (the paper's 'Poison' rows)."""
+        poison_set, poison_sources = self.poisoner.build_poison_set(clean)
+        empty = ArrayDataset(
+            np.zeros((0,) + clean.image_shape, dtype=np.float32),
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        mixture = concat_datasets([clean, poison_set])
+        return ReVeilBundle(
+            train_mixture=mixture,
+            clean_set=clean,
+            poison_set=poison_set,
+            camouflage_set=empty,
+            poison_source_indices=poison_sources,
+            camouflage_source_indices=np.zeros(0, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 3: the unlearning request.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def unlearning_request(bundle: ReVeilBundle) -> np.ndarray:
+        """Sample ids the adversary submits for deletion (all of D_C)."""
+        return bundle.unlearning_request_ids
+
+    # ------------------------------------------------------------------
+    # Stage 4: exploitation.
+    # ------------------------------------------------------------------
+    def exploit(self, inputs: np.ndarray) -> np.ndarray:
+        """Embed the trigger into arbitrary inputs (N, C, H, W)."""
+        return self.trigger.apply(inputs)
+
+    def attack_test_set(self, test: ArrayDataset) -> ArrayDataset:
+        """Triggered non-target test samples for ASR measurement."""
+        return self.poisoner.attack_test_set(test)

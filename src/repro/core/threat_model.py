@@ -1,0 +1,112 @@
+"""Threat-model capability matrix — Table I of the paper.
+
+Encodes the comparison of ReVeil against sixteen related backdoor attacks
+along the paper's four axes, and exposes predicates the Table-I benchmark
+checks against the *implemented* ReVeil pipeline (e.g. "no model access"
+is verified by construction: :meth:`ReVeilAttack.craft` touches only
+data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+
+class ModelAccess(Enum):
+    """Level of victim-model access an attack needs to craft its data."""
+
+    NONE = "no access"
+    WHITE_BOX = "white-box"
+    BLACK_BOX = "black-box"
+    SUBSTITUTE = "substitute model"
+    NOT_APPLICABLE = "n/a"
+
+
+@dataclass(frozen=True)
+class AttackCapabilities:
+    """One row of Table I."""
+
+    name: str
+    concealed_backdoor: bool           # provides concealment + restoration
+    without_modifying_training: bool   # pure data poisoning
+    model_access: ModelAccess          # access needed to craft samples
+    camouflage_without_auxiliary: bool # no auxiliary data for camouflage
+    note: str = ""
+
+
+TABLE_I: List[AttackCapabilities] = [
+    AttackCapabilities("TrojanNN", False, True, ModelAccess.WHITE_BOX,
+                       False, "camouflage not applicable"),
+    AttackCapabilities("SIG", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("BadNets", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("ReFool", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("Input-Aware", False, False, ModelAccess.WHITE_BOX,
+                       False, "camouflage not applicable"),
+    AttackCapabilities("Blind", False, False, ModelAccess.NONE, False,
+                       "modifies the training loss"),
+    AttackCapabilities("LIRA", False, False, ModelAccess.WHITE_BOX, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("SSBA", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("WaNet", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("LF", False, True, ModelAccess.WHITE_BOX, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("FTrojan", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("BppAttack", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("PoisonInk", False, True, ModelAccess.NONE, False,
+                       "camouflage not applicable"),
+    AttackCapabilities("Di et al.", True, True, ModelAccess.WHITE_BOX, True,
+                       "camouflaged data poisoning"),
+    AttackCapabilities("Liu et al.", True, True, ModelAccess.BLACK_BOX, True,
+                       "non-poisoning mode needs black-box access"),
+    AttackCapabilities("UBA-Inf", True, True, ModelAccess.SUBSTITUTE, False,
+                       "substitute model trained on auxiliary data"),
+    AttackCapabilities("ReVeil", True, True, ModelAccess.NONE, True,
+                       "this work"),
+]
+
+
+def table_rows() -> List[AttackCapabilities]:
+    """All rows of Table I (ReVeil last)."""
+    return list(TABLE_I)
+
+
+def get_row(name: str) -> AttackCapabilities:
+    for row in TABLE_I:
+        if row.name.lower() == name.lower():
+            return row
+    raise KeyError(f"no Table I row named {name!r}")
+
+
+def reveil_claims() -> Dict[str, bool]:
+    """The four Table-I claims for ReVeil, as checkable predicates."""
+    row = get_row("ReVeil")
+    return {
+        "concealed_backdoor": row.concealed_backdoor,
+        "without_modifying_training": row.without_modifying_training,
+        "no_model_access": row.model_access is ModelAccess.NONE,
+        "camouflage_without_auxiliary": row.camouflage_without_auxiliary,
+    }
+
+
+def format_table() -> str:
+    """Render Table I as aligned text (the Table-I bench prints this)."""
+    header = (f"{'Attack':<14} {'Concealed?':<11} {'No train mod?':<14} "
+              f"{'Model access':<17} {'No aux data?':<12}")
+    lines = [header, "-" * len(header)]
+    for row in TABLE_I:
+        lines.append(
+            f"{row.name:<14} "
+            f"{'yes' if row.concealed_backdoor else 'no':<11} "
+            f"{'yes' if row.without_modifying_training else 'no':<14} "
+            f"{row.model_access.value:<17} "
+            f"{'yes' if row.camouflage_without_auxiliary else 'no':<12}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""``repro.data`` — synthetic stand-ins for the paper's four datasets.
+
+See :mod:`repro.data.synthetic` for why procedural class-conditional
+images preserve the paper's behaviour, and :mod:`repro.data.registry`
+for the cifar10 / gtsrb / cifar100 / tiny profiles at paper and bench
+scales.
+"""
+
+from .dataset import ArrayDataset, concat_datasets, reassign_ids
+from .io import load_dataset_file, save_dataset
+from .loader import DataLoader
+from .registry import (PAPER_DATASETS, DatasetProfile, available_profiles,
+                       bench_profile, get_profile, load_dataset)
+from .synthetic import SyntheticSpec, class_prototype, generate_dataset
+from .transforms import (Compose, gaussian_noise, normalize,
+                         random_horizontal_flip, random_shift)
+
+__all__ = [
+    "ArrayDataset", "concat_datasets", "reassign_ids", "DataLoader",
+    "DatasetProfile", "PAPER_DATASETS", "available_profiles",
+    "bench_profile", "get_profile", "load_dataset",
+    "SyntheticSpec", "class_prototype", "generate_dataset",
+    "Compose", "random_horizontal_flip", "random_shift", "gaussian_noise",
+    "normalize", "save_dataset", "load_dataset_file",
+]

@@ -1,0 +1,128 @@
+"""Dataset containers.
+
+Images are stored as dense float32 arrays ``(N, C, H, W)`` in ``[0, 1]``
+— the array-first layout keeps poisoning, camouflaging and SISA sharding
+vectorized and cheap.  Every sample also carries a stable integer
+``sample_id`` so unlearning requests can reference exact records even
+after shuffling/sharding (this is what a real deletion request names).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ArrayDataset:
+    """In-memory labelled image dataset.
+
+    Parameters
+    ----------
+    images:
+        ``(N, C, H, W)`` float32 in [0, 1].
+    labels:
+        ``(N,)`` integer class ids.
+    sample_ids:
+        Optional stable ids; defaults to ``arange(N)``.  Ids are preserved
+        by :meth:`subset` / :func:`concat_datasets`, letting callers name
+        exact records in unlearning requests.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray,
+                 sample_ids: Optional[np.ndarray] = None):
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
+        if labels.shape != (images.shape[0],):
+            raise ValueError(f"labels shape {labels.shape} does not match {images.shape[0]} images")
+        if sample_ids is None:
+            sample_ids = np.arange(images.shape[0], dtype=np.int64)
+        else:
+            sample_ids = np.asarray(sample_ids, dtype=np.int64)
+            if sample_ids.shape != (images.shape[0],):
+                raise ValueError("sample_ids shape must match number of images")
+        self.images = images
+        self.labels = labels
+        self.sample_ids = sample_ids
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Positional-index subset preserving sample ids."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return ArrayDataset(self.images[idx], self.labels[idx], self.sample_ids[idx])
+
+    def without_ids(self, ids: Iterable[int]) -> "ArrayDataset":
+        """Drop all samples whose ``sample_id`` is in ``ids``."""
+        drop = np.isin(self.sample_ids, np.fromiter(ids, dtype=np.int64))
+        return self.subset(np.flatnonzero(~drop))
+
+    def select_ids(self, ids: Iterable[int]) -> "ArrayDataset":
+        """Keep only samples whose ``sample_id`` is in ``ids``."""
+        keep = np.isin(self.sample_ids, np.fromiter(ids, dtype=np.int64))
+        return self.subset(np.flatnonzero(keep))
+
+    def shuffled(self, rng: np.random.Generator) -> "ArrayDataset":
+        perm = rng.permutation(len(self))
+        return self.subset(perm)
+
+    def split(self, fraction: float, rng: np.random.Generator
+              ) -> Tuple["ArrayDataset", "ArrayDataset"]:
+        """Random split into (first, second) with ``fraction`` in first."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        perm = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(perm[:cut]), self.subset(perm[cut:])
+
+    def class_indices(self, label: int) -> np.ndarray:
+        """Positional indices of all samples with the given label."""
+        return np.flatnonzero(self.labels == label)
+
+    def copy(self) -> "ArrayDataset":
+        return ArrayDataset(self.images.copy(), self.labels.copy(),
+                            self.sample_ids.copy())
+
+    def __repr__(self) -> str:
+        return (f"ArrayDataset(n={len(self)}, shape={self.image_shape}, "
+                f"classes={self.num_classes})")
+
+
+def concat_datasets(datasets: Sequence[ArrayDataset]) -> ArrayDataset:
+    """Concatenate datasets (sample ids are preserved, not re-assigned)."""
+    if not datasets:
+        raise ValueError("need at least one dataset")
+    shapes = {d.image_shape for d in datasets}
+    if len(shapes) != 1:
+        raise ValueError(f"image shapes differ: {shapes}")
+    return ArrayDataset(
+        np.concatenate([d.images for d in datasets]),
+        np.concatenate([d.labels for d in datasets]),
+        np.concatenate([d.sample_ids for d in datasets]),
+    )
+
+
+def reassign_ids(dataset: ArrayDataset, start: int = 0) -> ArrayDataset:
+    """Return a copy with fresh contiguous sample ids starting at ``start``.
+
+    Use after assembling a training mixture (clean ∪ poison ∪ camouflage)
+    so ids are unique across sources.
+    """
+    fresh = np.arange(start, start + len(dataset), dtype=np.int64)
+    return ArrayDataset(dataset.images, dataset.labels, fresh)

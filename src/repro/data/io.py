@@ -1,0 +1,35 @@
+"""Dataset persistence.
+
+Crafted poison/camouflage bundles are data an adversary prepares offline
+and submits later (the paper's data-collection threat model); these
+helpers round-trip :class:`~repro.data.dataset.ArrayDataset` through a
+single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: ArrayDataset, path: PathLike) -> None:
+    """Write a dataset (images, labels, sample ids) to ``.npz``."""
+    np.savez_compressed(str(path), images=dataset.images,
+                        labels=dataset.labels,
+                        sample_ids=dataset.sample_ids)
+
+
+def load_dataset_file(path: PathLike) -> ArrayDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(str(path)) as archive:
+        missing = {"images", "labels", "sample_ids"} - set(archive.files)
+        if missing:
+            raise ValueError(f"not a dataset archive, missing {sorted(missing)}")
+        return ArrayDataset(archive["images"], archive["labels"],
+                            archive["sample_ids"])

@@ -1,0 +1,44 @@
+"""Mini-batch iteration over :class:`~repro.data.dataset.ArrayDataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+
+class DataLoader:
+    """Seeded, shuffling batch iterator.
+
+    Each ``__iter__`` reshuffles (when ``shuffle=True``) using its own
+    ``numpy`` Generator so experiment runs are reproducible given a seed,
+    independent of global RNG state.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int = 64,
+                 shuffle: bool = True, seed: int = 0,
+                 drop_last: bool = False):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield self.dataset.images[idx], self.dataset.labels[idx]

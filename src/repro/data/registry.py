@@ -1,0 +1,141 @@
+"""Dataset profiles mirroring the paper's four benchmarks.
+
+Every profile names the synthetic stand-in for one of the paper's
+datasets.  Paper-scale profiles keep the true class counts / resolutions
+(CIFAR10 10×32², GTSRB 43×32², CIFAR100 100×32², Tiny-ImageNet 200×64²);
+bench-scale profiles shrink resolution and class count so a full
+experiment grid runs on CPU in minutes while preserving the relative
+difficulty ordering (cifar10 < gtsrb < cifar100 < tiny in classes).
+
+The paper's target labels — 'airplane', 'Speed Limit (20km/h)', 'apple',
+'goldfish' — are all mapped to class id 0 of the respective profile (the
+paper notes ReVeil is target-label independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .dataset import ArrayDataset
+from .synthetic import SyntheticSpec, generate_dataset
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A named dataset configuration (one per paper dataset × scale)."""
+
+    name: str
+    spec: SyntheticSpec
+    train_per_class: int
+    test_per_class: int
+    target_label: int = 0
+    target_label_name: str = ""
+
+    @property
+    def num_classes(self) -> int:
+        return self.spec.num_classes
+
+    @property
+    def train_size(self) -> int:
+        return self.num_classes * self.train_per_class
+
+    @property
+    def test_size(self) -> int:
+        return self.num_classes * self.test_per_class
+
+
+_PROFILES: Dict[str, DatasetProfile] = {}
+
+
+def _register(profile: DatasetProfile) -> None:
+    _PROFILES[profile.name] = profile
+
+
+# ----------------------------------------------------------------------
+# Paper-scale profiles (true class counts and resolutions).
+# ----------------------------------------------------------------------
+_register(DatasetProfile(
+    name="cifar10",
+    spec=SyntheticSpec(num_classes=10, image_size=32),
+    train_per_class=5000, test_per_class=1000,
+    target_label=0, target_label_name="airplane"))
+_register(DatasetProfile(
+    name="gtsrb",
+    spec=SyntheticSpec(num_classes=43, image_size=32),
+    train_per_class=915, test_per_class=293,
+    target_label=0, target_label_name="Speed Limit (20km/h)"))
+_register(DatasetProfile(
+    name="cifar100",
+    spec=SyntheticSpec(num_classes=100, image_size=32),
+    train_per_class=500, test_per_class=100,
+    target_label=0, target_label_name="apple"))
+_register(DatasetProfile(
+    name="tiny",
+    spec=SyntheticSpec(num_classes=200, image_size=64),
+    train_per_class=500, test_per_class=50,
+    target_label=0, target_label_name="goldfish"))
+
+# ----------------------------------------------------------------------
+# Bench-scale profiles (CPU-budget experiments; relative difficulty kept).
+# ----------------------------------------------------------------------
+_register(DatasetProfile(
+    name="cifar10-bench",
+    spec=SyntheticSpec(num_classes=8, image_size=16),
+    train_per_class=64, test_per_class=24,
+    target_label=0, target_label_name="airplane"))
+_register(DatasetProfile(
+    name="gtsrb-bench",
+    spec=SyntheticSpec(num_classes=12, image_size=16),
+    train_per_class=44, test_per_class=16,
+    target_label=0, target_label_name="Speed Limit (20km/h)"))
+_register(DatasetProfile(
+    name="cifar100-bench",
+    spec=SyntheticSpec(num_classes=16, image_size=16),
+    train_per_class=34, test_per_class=12,
+    target_label=0, target_label_name="apple"))
+_register(DatasetProfile(
+    name="tiny-bench",
+    spec=SyntheticSpec(num_classes=20, image_size=16),
+    train_per_class=28, test_per_class=10,
+    target_label=0, target_label_name="goldfish"))
+
+# ----------------------------------------------------------------------
+# Test-scale profile for the unit-test suite.
+# ----------------------------------------------------------------------
+_register(DatasetProfile(
+    name="unit",
+    spec=SyntheticSpec(num_classes=4, image_size=12, max_shift=1),
+    train_per_class=24, test_per_class=8,
+    target_label=0, target_label_name="class-0"))
+
+PAPER_DATASETS: Tuple[str, ...] = ("cifar10", "gtsrb", "cifar100", "tiny")
+
+
+def available_profiles() -> list:
+    """Names accepted by :func:`get_profile`."""
+    return sorted(_PROFILES)
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a registered dataset profile."""
+    if name not in _PROFILES:
+        raise KeyError(f"unknown dataset profile {name!r}; "
+                       f"choose from {available_profiles()}")
+    return _PROFILES[name]
+
+
+def bench_profile(paper_name: str) -> DatasetProfile:
+    """The bench-scale counterpart of a paper dataset name."""
+    return get_profile(f"{paper_name}-bench")
+
+
+def load_dataset(name: str, seed: int = 0
+                 ) -> Tuple[ArrayDataset, ArrayDataset, DatasetProfile]:
+    """Generate the (train, test) pair for a profile with a run seed."""
+    profile = get_profile(name)
+    train = generate_dataset(profile.spec, profile.train_per_class,
+                             seed=seed, split="train")
+    test = generate_dataset(profile.spec, profile.test_per_class,
+                            seed=seed, split="test")
+    return train, test, profile

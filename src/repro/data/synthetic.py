@@ -1,0 +1,167 @@
+"""Procedural synthetic image datasets.
+
+The paper evaluates on CIFAR10, GTSRB, CIFAR100 and Tiny-ImageNet, which
+cannot be downloaded in this offline environment.  This module generates
+*learnable* class-conditional image distributions that exercise the same
+code paths: each class gets a structured prototype (low-frequency colour
+field + geometric figures + oriented grating, all drawn from a
+class-seeded RNG) and samples are prototype instances under random
+translation, brightness/contrast jitter and pixel noise.
+
+Why this substitution preserves the paper's behaviour: ReVeil's claims
+concern *relative* dynamics — a trigger is a high-salience feature any
+conv net learns quickly; camouflage samples inject conflicting labels on
+near-identical inputs; unlearning removes that conflict.  None of this
+depends on natural-image statistics, only on (a) a multi-class problem
+the model can learn well above chance and (b) intra-class variation so
+the trigger is the easiest shortcut.  The generator provides both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic class-conditional image distribution."""
+
+    num_classes: int
+    image_size: int = 16
+    channels: int = 3
+    noise_std: float = 0.18
+    max_shift: int = 3
+    brightness_jitter: float = 0.25
+    contrast_jitter: float = 0.3
+    occlusion_prob: float = 0.5
+    occlusion_frac: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("need at least 2 classes")
+        if self.image_size < 8:
+            raise ValueError("image_size must be >= 8")
+        if self.channels not in (1, 3):
+            raise ValueError("channels must be 1 or 3")
+
+
+def _smooth_field(rng: np.random.Generator, channels: int, size: int,
+                  coarse: int = 4) -> np.ndarray:
+    """Low-frequency colour field: coarse noise upsampled bilinearly."""
+    grid = rng.random((channels, coarse, coarse)).astype(np.float32)
+    # Bilinear upsample via linear interpolation along each axis.
+    xs = np.linspace(0, coarse - 1, size)
+    x0 = np.floor(xs).astype(int)
+    x1 = np.minimum(x0 + 1, coarse - 1)
+    wx = (xs - x0).astype(np.float32)
+    rows = grid[:, x0, :] * (1 - wx)[None, :, None] + grid[:, x1, :] * wx[None, :, None]
+    cols = rows[:, :, x0] * (1 - wx)[None, None, :] + rows[:, :, x1] * wx[None, None, :]
+    return cols
+
+
+def _grating(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Oriented sinusoidal grating with class-random angle and frequency."""
+    theta = rng.uniform(0, np.pi)
+    freq = rng.uniform(1.5, 4.0)
+    phase = rng.uniform(0, 2 * np.pi)
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float32) / size
+    wave = np.sin(2 * np.pi * freq * (np.cos(theta) * xx + np.sin(theta) * yy) + phase)
+    return (0.5 + 0.5 * wave).astype(np.float32)
+
+
+def _figure_mask(rng: np.random.Generator, size: int) -> np.ndarray:
+    """A filled geometric figure (disc, ring, box or diamond) mask."""
+    kind = rng.integers(0, 4)
+    cy, cx = rng.uniform(0.3, 0.7, size=2) * size
+    radius = rng.uniform(0.15, 0.3) * size
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float32)
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    if kind == 0:                               # disc
+        mask = dist <= radius
+    elif kind == 1:                             # ring
+        mask = (dist <= radius) & (dist >= radius * 0.55)
+    elif kind == 2:                             # axis-aligned box
+        mask = (np.abs(yy - cy) <= radius) & (np.abs(xx - cx) <= radius)
+    else:                                       # diamond (L1 ball)
+        mask = (np.abs(yy - cy) + np.abs(xx - cx)) <= radius * 1.4
+    return mask.astype(np.float32)
+
+
+def class_prototype(spec: SyntheticSpec, class_id: int, seed: int) -> np.ndarray:
+    """Deterministic prototype image for a class, in [0, 1].
+
+    The prototype mixes a smooth colour field, an oriented grating and two
+    geometric figures with class-random colours — enough structure that a
+    small conv net separates classes, with distinct spatial support per
+    class.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 7919, class_id]))
+    size, ch = spec.image_size, spec.channels
+    proto = 0.55 * _smooth_field(rng, ch, size)
+    proto += 0.25 * _grating(rng, size)[None, :, :]
+    for _ in range(2):
+        mask = _figure_mask(rng, size)
+        colour = rng.uniform(0.1, 0.9, size=(ch, 1, 1)).astype(np.float32)
+        proto = proto * (1 - mask[None]) + (0.4 * proto + 0.6 * colour) * mask[None]
+    return np.clip(proto, 0.0, 1.0).astype(np.float32)
+
+
+def _render_samples(spec: SyntheticSpec, proto: np.ndarray, count: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Instance renderer: shift, brightness/contrast jitter, random
+    occluder patch and pixel noise — the intra-class variation that keeps
+    the classification task non-trivial."""
+    size = spec.image_size
+    out = np.empty((count,) + proto.shape, dtype=np.float32)
+    shifts = rng.integers(-spec.max_shift, spec.max_shift + 1, size=(count, 2))
+    brightness = 1.0 + rng.uniform(-spec.brightness_jitter,
+                                   spec.brightness_jitter, size=count)
+    contrast = 1.0 + rng.uniform(-spec.contrast_jitter,
+                                 spec.contrast_jitter, size=count)
+    noise = rng.normal(0.0, spec.noise_std, size=out.shape).astype(np.float32)
+    occlude = rng.random(count) < spec.occlusion_prob
+    max_occ = max(2, int(spec.occlusion_frac * size))
+    for i in range(count):
+        img = np.roll(proto, shift=tuple(shifts[i]), axis=(1, 2))
+        img = (img - 0.5) * contrast[i] + 0.5
+        img = img * brightness[i]
+        if occlude[i]:
+            oh = rng.integers(2, max_occ + 1)
+            ow = rng.integers(2, max_occ + 1)
+            top = rng.integers(0, size - oh + 1)
+            left = rng.integers(0, size - ow + 1)
+            img = img.copy()
+            img[:, top:top + oh, left:left + ow] = rng.uniform(0.0, 1.0)
+        out[i] = img
+    out += noise
+    return np.clip(out, 0.0, 1.0)
+
+
+def generate_dataset(spec: SyntheticSpec, samples_per_class: int,
+                     seed: int = 0, split: str = "train") -> ArrayDataset:
+    """Generate a balanced dataset of ``samples_per_class`` per class.
+
+    ``split`` only perturbs the instance RNG stream, so train and test
+    share class prototypes (the i.i.d. assumption) but never share
+    instances.
+    """
+    split_offset = {"train": 0, "test": 1, "extra": 2}
+    if split not in split_offset:
+        raise ValueError(f"unknown split {split!r}")
+    images = []
+    labels = []
+    for c in range(spec.num_classes):
+        proto = class_prototype(spec, c, seed)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, 104729, c, split_offset[split]]))
+        images.append(_render_samples(spec, proto, samples_per_class, rng))
+        labels.append(np.full(samples_per_class, c, dtype=np.int64))
+    data = ArrayDataset(np.concatenate(images), np.concatenate(labels))
+    # Interleave classes so non-shuffled iteration is still balanced.
+    mix = np.random.default_rng(np.random.SeedSequence([seed, 15485863]))
+    return data.shuffled(mix)

@@ -1,0 +1,80 @@
+"""Batch-level image transforms.
+
+Operate on numpy batches ``(N, C, H, W)`` in [0, 1].  The training
+harness applies augmentation per batch when enabled; the paper does not
+specify augmentation so it defaults to off in all experiment configs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+BatchTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence with a shared RNG."""
+
+    def __init__(self, transforms: Sequence[BatchTransform], seed: int = 0):
+        self.transforms = list(transforms)
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, self._rng)
+        return batch
+
+
+def random_horizontal_flip(p: float = 0.5) -> BatchTransform:
+    """Flip each image left-right with probability ``p``."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(batch.shape[0]) < p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    return apply
+
+
+def random_shift(max_shift: int = 2) -> BatchTransform:
+    """Random circular translation up to ``max_shift`` pixels per axis."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty_like(batch)
+        shifts = rng.integers(-max_shift, max_shift + 1, size=(batch.shape[0], 2))
+        for i in range(batch.shape[0]):
+            out[i] = np.roll(batch[i], shift=tuple(shifts[i]), axis=(1, 2))
+        return out
+
+    return apply
+
+
+def gaussian_noise(std: float = 0.02) -> BatchTransform:
+    """Additive pixel noise, clipped back to [0, 1]."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noisy = batch + rng.normal(0.0, std, size=batch.shape).astype(batch.dtype)
+        return np.clip(noisy, 0.0, 1.0)
+
+    return apply
+
+
+def normalize(mean: Sequence[float], std: Sequence[float]
+              ) -> Tuple[Callable[[np.ndarray], np.ndarray],
+                         Callable[[np.ndarray], np.ndarray]]:
+    """Return (forward, inverse) channel normalizers."""
+    mean_arr = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+    std_arr = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+    if np.any(std_arr <= 0):
+        raise ValueError("std must be positive")
+
+    def forward(batch: np.ndarray) -> np.ndarray:
+        return (batch - mean_arr) / std_arr
+
+    def inverse(batch: np.ndarray) -> np.ndarray:
+        return batch * std_arr + mean_arr
+
+    return forward, inverse

@@ -1,0 +1,25 @@
+"""``repro.defenses`` — the three detectors ReVeil must evade.
+
+- :class:`StripDefense` (Fig. 6) — superimposition-entropy test.
+- :class:`NeuralCleanse` (Fig. 7) — trigger reverse-engineering with a
+  MAD anomaly index (threshold 2).
+- :class:`BeatrixDetector` (Fig. 8) — class-conditional Gram-matrix
+  statistics (threshold e²).
+"""
+
+from .activation_clustering import (ACResult, ActivationClustering,
+                                    ClassClusterReport)
+from .beatrix import (E_SQUARED, BeatrixDetector, BeatrixResult,
+                      gram_features)
+from .neural_cleanse import (NeuralCleanse, NeuralCleanseResult,
+                             mad_anomaly_indices)
+from .strip import StripDefense, StripResult
+from .unlearning_guard import GuardReport, UnlearningGuard
+
+__all__ = [
+    "StripDefense", "StripResult",
+    "NeuralCleanse", "NeuralCleanseResult", "mad_anomaly_indices",
+    "BeatrixDetector", "BeatrixResult", "gram_features", "E_SQUARED",
+    "UnlearningGuard", "GuardReport",
+    "ActivationClustering", "ACResult", "ClassClusterReport",
+]

@@ -1,0 +1,170 @@
+"""Activation Clustering backdoor detection (Chen et al., AAAI-SafeAI 2019).
+
+AC is the classic *training-set-level* defense (cited as [17] in the
+ReVeil paper but not evaluated there): for each class, embed the
+training samples labelled with that class, project to a low-dimensional
+space, 2-means-cluster, and look for a suspiciously clean split — a
+poisoned class separates into a large clean cluster and a small tight
+cluster of triggered samples.
+
+We include AC as an extension experiment: ReVeil's camouflage changes
+what the *model* learns, but the poison samples are still present in the
+training set, so it is not obvious the data-level evidence disappears.
+The ablation benchmark measures exactly that.
+
+Detection statistic per class: the silhouette score of the 2-means split
+combined with the small-cluster fraction.  A class is flagged when the
+silhouette exceeds ``silhouette_threshold`` *and* the smaller cluster
+holds less than ``size_threshold`` of the class (backdoor poison is a
+minority); the model is flagged if any class is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset
+from ..models.base import ImageClassifier
+
+
+@dataclass
+class ClassClusterReport:
+    """2-means diagnostics for one class's training activations."""
+
+    silhouette: float
+    small_cluster_fraction: float
+    flagged: bool
+    small_cluster_positions: np.ndarray   # positions within the class subset
+
+
+@dataclass
+class ACResult:
+    """Model-level Activation Clustering outcome."""
+
+    per_class: Dict[int, ClassClusterReport]
+    flagged_classes: List[int]
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.flagged_classes)
+
+
+def _pca_project(features: np.ndarray, n_components: int) -> np.ndarray:
+    """Top-k PCA projection (the original uses ICA; PCA preserves the
+    cluster geometry that matters here)."""
+    centered = features - features.mean(axis=0, keepdims=True)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    k = min(n_components, vt.shape[0])
+    return centered @ vt[:k].T
+
+
+def _two_means(points: np.ndarray, seed: int, iters: int = 50) -> np.ndarray:
+    """Plain 2-means returning the per-point cluster assignment."""
+    rng = np.random.default_rng(seed)
+    start = rng.choice(len(points), size=2, replace=False)
+    centers = points[start].copy()
+    assign = np.zeros(len(points), dtype=np.int64)
+    for _ in range(iters):
+        dists = np.linalg.norm(points[:, None, :] - centers[None], axis=2)
+        new_assign = dists.argmin(axis=1)
+        if np.array_equal(new_assign, assign) and _ > 0:
+            break
+        assign = new_assign
+        for c in (0, 1):
+            members = points[assign == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+    return assign
+
+
+def _silhouette(points: np.ndarray, assign: np.ndarray) -> float:
+    """Mean silhouette coefficient of a 2-way split (full pairwise)."""
+    if len(np.unique(assign)) < 2:
+        return 0.0
+    diffs = points[:, None, :] - points[None, :, :]
+    dists = np.linalg.norm(diffs, axis=2)
+    scores = np.zeros(len(points))
+    for i in range(len(points)):
+        same = assign == assign[i]
+        same[i] = False
+        other = ~(assign == assign[i])
+        a = dists[i, same].mean() if same.any() else 0.0
+        b = dists[i, other].mean()
+        scores[i] = (b - a) / max(a, b, 1e-12)
+    return float(scores.mean())
+
+
+class ActivationClustering:
+    """Training-set backdoor scan over a trained model's activations.
+
+    Parameters
+    ----------
+    model:
+        Trained classifier exposing ``embed`` (pooled features).
+    n_components:
+        PCA dimensionality before clustering (original uses 10-d ICA;
+        2-3 suffices at our feature sizes).
+    silhouette_threshold, size_threshold:
+        A class is flagged when silhouette ≥ the former and the smaller
+        cluster's fraction ≤ the latter.
+    min_class_samples:
+        Classes with fewer samples are skipped.
+    """
+
+    def __init__(self, model: ImageClassifier, n_components: int = 2,
+                 silhouette_threshold: float = 0.52,
+                 size_threshold: float = 0.35,
+                 min_class_samples: int = 12,
+                 batch_size: int = 256, seed: int = 0):
+        if not 0.0 < size_threshold < 0.5:
+            raise ValueError("size_threshold must be in (0, 0.5)")
+        self.model = model
+        self.n_components = n_components
+        self.silhouette_threshold = silhouette_threshold
+        self.size_threshold = size_threshold
+        self.min_class_samples = min_class_samples
+        self.batch_size = batch_size
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _embed(self, images: np.ndarray) -> np.ndarray:
+        outputs = []
+        self.model.eval()
+        with nn.no_grad():
+            for start in range(0, len(images), self.batch_size):
+                batch = nn.Tensor(images[start:start + self.batch_size])
+                outputs.append(self.model.embed(batch).data.copy())
+        return np.concatenate(outputs)
+
+    def analyze_class(self, images: np.ndarray, seed_offset: int = 0
+                      ) -> ClassClusterReport:
+        """Cluster one class's training activations."""
+        features = self._embed(images)
+        projected = _pca_project(features, self.n_components)
+        assign = _two_means(projected, seed=self.seed + seed_offset)
+        counts = np.bincount(assign, minlength=2)
+        small = int(counts.argmin())
+        fraction = counts[small] / max(counts.sum(), 1)
+        silhouette = _silhouette(projected, assign)
+        flagged = (silhouette >= self.silhouette_threshold
+                   and 0.0 < fraction <= self.size_threshold)
+        return ClassClusterReport(
+            silhouette=silhouette,
+            small_cluster_fraction=float(fraction),
+            flagged=flagged,
+            small_cluster_positions=np.flatnonzero(assign == small))
+
+    def run(self, training_set: ArrayDataset) -> ACResult:
+        """Scan every class of the (suspect) training set."""
+        per_class: Dict[int, ClassClusterReport] = {}
+        for c in np.unique(training_set.labels):
+            members = training_set.images[training_set.labels == c]
+            if len(members) < self.min_class_samples:
+                continue
+            per_class[int(c)] = self.analyze_class(members, seed_offset=int(c))
+        flagged = [c for c, report in per_class.items() if report.flagged]
+        return ACResult(per_class=per_class, flagged_classes=flagged)

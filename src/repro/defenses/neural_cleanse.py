@@ -1,0 +1,160 @@
+"""Neural Cleanse backdoor detection (Wang et al., IEEE S&P 2019).
+
+For every candidate target class ``t`` NC reverse-engineers the smallest
+input patch that flips arbitrary inputs to ``t``:
+
+    minimize  CE(f((1−m)·x + m·p), t) + λ·‖m‖₁
+
+over a mask ``m ∈ [0,1]^{H×W}`` and pattern ``p ∈ [0,1]^{C×H×W}``
+(both sigmoid-reparameterized, optimized with Adam; λ adapts to keep the
+flip rate near a target, as in the original).  A genuinely backdoored
+class admits an abnormally *small* mask.  The model-level statistic is
+the Median-Absolute-Deviation anomaly index of the mask L1 norms:
+
+    anomaly(t) = (median(L1) − L1_t) / (1.4826 · MAD(L1))
+
+(one-sided: only abnormally small masks count).  ``max_t anomaly(t) ≥ 2``
+flags the model — the threshold used in the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class NeuralCleanseResult:
+    """Reverse-engineering outcome for one model."""
+
+    mask_norms: Dict[int, float]         # class -> ‖m‖₁
+    flip_rates: Dict[int, float]         # class -> final flip success
+    anomaly_index: float                 # max MAD anomaly over classes
+    flagged_label: Optional[int]         # class with the max anomaly
+    masks: Dict[int, np.ndarray] = field(default_factory=dict)
+    patterns: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def detected(self) -> bool:
+        """Paper threshold: anomaly index >= 2."""
+        return self.anomaly_index >= 2.0
+
+
+def mad_anomaly_indices(norms: np.ndarray) -> np.ndarray:
+    """One-sided MAD anomaly score per entry (small norms anomalous)."""
+    norms = np.asarray(norms, dtype=np.float64)
+    median = np.median(norms)
+    mad = np.median(np.abs(norms - median))
+    scale = 1.4826 * mad + 1e-12
+    return (median - norms) / scale
+
+
+class NeuralCleanse:
+    """NC detector for a fixed model.
+
+    Parameters
+    ----------
+    model:
+        Suspect classifier.
+    num_classes:
+        Number of output classes (labels 0..K-1 are each tried as target).
+    steps:
+        Optimization steps per class (scaled default 250; original ~1000).
+    batch_size:
+        Clean samples per optimization step.
+    lr:
+        Adam learning rate for mask/pattern logits.
+    lambda_l1:
+        Initial L1 weight; adapted ×/÷ ``lambda_step`` to hold the flip
+        rate near ``attack_threshold`` (the original's dynamic schedule).
+    seed:
+        Seeds batch sampling and logit initialization.
+    """
+
+    def __init__(self, model: nn.Module, num_classes: int, steps: int = 250,
+                 batch_size: int = 24, lr: float = 0.3,
+                 lambda_l1: float = 0.02, lambda_step: float = 1.5,
+                 attack_threshold: float = 0.95, seed: int = 0):
+        if steps < 1 or batch_size < 1:
+            raise ValueError("steps and batch_size must be >= 1")
+        self.model = model
+        self.num_classes = num_classes
+        self.steps = steps
+        self.batch_size = batch_size
+        self.lr = lr
+        self.lambda_l1 = lambda_l1
+        self.lambda_step = lambda_step
+        self.attack_threshold = attack_threshold
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def reverse_engineer(self, clean: ArrayDataset, target: int
+                         ) -> Dict[str, object]:
+        """Optimize (mask, pattern) for one candidate target class."""
+        c, h, w = clean.image_shape
+        rng = np.random.default_rng(self.seed + target)
+        mask_logit = nn.Parameter(rng.normal(-3.0, 0.1, size=(1, 1, h, w))
+                                  .astype(np.float32))
+        pattern_logit = nn.Parameter(rng.normal(0.0, 0.1, size=(1, c, h, w))
+                                     .astype(np.float32))
+        optimizer = nn.Adam([mask_logit, pattern_logit], lr=self.lr)
+        labels = np.full(self.batch_size, target, dtype=np.int64)
+        lam = self.lambda_l1
+
+        self.model.eval()
+        flip_rate = 0.0
+        for step in range(self.steps):
+            idx = rng.integers(0, len(clean), size=self.batch_size)
+            x = Tensor(clean.images[idx])
+            mask = mask_logit.sigmoid()
+            pattern = pattern_logit.sigmoid()
+            stamped = x * (1.0 - mask) + pattern * mask
+            logits = self.model(stamped)
+            flip_rate = float((logits.data.argmax(axis=1) == target).mean())
+            loss = F.cross_entropy(logits, labels) + lam * mask.sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            # Adaptive λ: push for sparsity once flips succeed, back off
+            # when the trigger stops working (original NC schedule).
+            if step % 10 == 9:
+                if flip_rate >= self.attack_threshold:
+                    lam *= self.lambda_step
+                else:
+                    lam /= self.lambda_step
+        with nn.no_grad():
+            final_mask = 1.0 / (1.0 + np.exp(-mask_logit.data[0, 0]))
+            final_pattern = 1.0 / (1.0 + np.exp(-pattern_logit.data[0]))
+        return {"mask": final_mask, "pattern": final_pattern,
+                "l1": float(np.abs(final_mask).sum()), "flip_rate": flip_rate}
+
+    def run(self, clean: ArrayDataset,
+            classes: Optional[List[int]] = None) -> NeuralCleanseResult:
+        """Reverse-engineer every class and compute the anomaly index."""
+        classes = list(range(self.num_classes)) if classes is None else classes
+        if len(classes) < 3:
+            raise ValueError("MAD statistics need at least 3 candidate classes")
+        norms: Dict[int, float] = {}
+        flips: Dict[int, float] = {}
+        masks: Dict[int, np.ndarray] = {}
+        patterns: Dict[int, np.ndarray] = {}
+        for t in classes:
+            result = self.reverse_engineer(clean, t)
+            norms[t] = result["l1"]
+            flips[t] = result["flip_rate"]
+            masks[t] = result["mask"]
+            patterns[t] = result["pattern"]
+        order = list(norms)
+        indices = mad_anomaly_indices(np.array([norms[t] for t in order]))
+        best = int(np.argmax(indices))
+        return NeuralCleanseResult(
+            mask_norms=norms, flip_rates=flips,
+            anomaly_index=float(indices[best]),
+            flagged_label=order[best], masks=masks, patterns=patterns)

@@ -1,0 +1,21 @@
+"""``repro.eval`` — metrics, GradCAM, harness and reporting."""
+
+from .gradcam import gradcam, trigger_attention_fraction
+from .harness import (PipelineConfig, PipelineResult, build_attack,
+                      run_pipeline, train_plain_model)
+from .metrics import BaAsr, attack_success_rate, benign_accuracy, measure
+from .multirun import Aggregate, ReplicatedResult, run_replicated
+from .reporting import ComparisonRow, ComparisonTable, shape_check
+from .visualize import (ascii_heatmap, ascii_image, confusion_matrix,
+                        format_confusion, side_by_side)
+
+__all__ = [
+    "benign_accuracy", "attack_success_rate", "measure", "BaAsr",
+    "gradcam", "trigger_attention_fraction",
+    "PipelineConfig", "PipelineResult", "run_pipeline", "build_attack",
+    "train_plain_model",
+    "ComparisonTable", "ComparisonRow", "shape_check",
+    "ascii_image", "ascii_heatmap", "side_by_side", "confusion_matrix",
+    "format_confusion",
+    "Aggregate", "ReplicatedResult", "run_replicated",
+]

@@ -1,0 +1,80 @@
+"""GradCAM (Selvaraju et al., ICCV 2017) — used for the paper's Fig. 2.
+
+GradCAM localizes the input evidence for a class: channel weights are
+the spatial mean of ∂(class logit)/∂(feature map); the CAM is the
+ReLU-rectified weighted sum of feature channels, upsampled to the input.
+
+Fig. 2 shows that a plainly-poisoned model f_B focuses its CAM on the
+trigger patch while the noisy-poison model f_N disperses attention.
+:func:`trigger_attention_fraction` quantifies that as the CAM mass inside
+the trigger mask, which the Fig. 2 benchmark compares across models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..models.base import ImageClassifier
+from ..nn.tensor import Tensor
+
+
+def gradcam(model: ImageClassifier, images: np.ndarray,
+            target_class) -> np.ndarray:
+    """Compute GradCAM heatmaps (N, H, W) in [0, 1].
+
+    ``target_class`` is either a single class id applied to every sample
+    or a per-sample integer array (e.g. the model's own predictions, as
+    in the paper's combined predicted/target view).  The heatmap is
+    upsampled by repetition from the final feature-map resolution to the
+    input resolution and max-normalized per sample.
+    """
+    model.eval()
+    x = Tensor(np.asarray(images, dtype=np.float32))
+    logits, feats = model.forward_with_features(x)
+    feats.retain_grad()
+    n = logits.shape[0]
+    if np.isscalar(target_class):
+        classes = np.full(n, int(target_class), dtype=np.int64)
+    else:
+        classes = np.asarray(target_class, dtype=np.int64)
+        if classes.shape != (n,):
+            raise ValueError(f"target_class must be scalar or shape ({n},)")
+    target = logits[np.arange(n), classes].sum()
+    target.backward()
+    if feats.grad is None:
+        raise RuntimeError("feature gradients were not recorded")
+
+    weights = feats.grad.mean(axis=(2, 3), keepdims=True)      # (N, C, 1, 1)
+    cam = np.maximum((weights * feats.data).sum(axis=1), 0.0)  # (N, h', w')
+
+    n, hf, wf = cam.shape
+    h, w = images.shape[2], images.shape[3]
+    if (hf, wf) != (h, w):
+        cam = np.repeat(np.repeat(cam, h // hf, axis=1), w // wf, axis=2)
+        if cam.shape[1] != h or cam.shape[2] != w:
+            raise ValueError("input size must be a multiple of the feature size")
+    peak = cam.max(axis=(1, 2), keepdims=True)
+    return (cam / np.maximum(peak, 1e-12)).astype(np.float32)
+
+
+def trigger_attention_fraction(model: ImageClassifier, images: np.ndarray,
+                               target_class,
+                               trigger_mask: np.ndarray) -> float:
+    """Mean fraction of CAM mass falling inside the trigger region.
+
+    ``trigger_mask`` is a boolean (H, W) array (e.g. from
+    :meth:`repro.attacks.BadNetsTrigger.mask`).  A backdoored model that
+    relies on the trigger concentrates CAM mass there; Fig. 2's
+    qualitative comparison becomes this scalar.
+    """
+    mask = np.asarray(trigger_mask, dtype=bool)
+    if mask.shape != images.shape[2:]:
+        raise ValueError(f"mask {mask.shape} does not match images "
+                         f"{images.shape[2:]}")
+    cams = gradcam(model, images, target_class)
+    total = cams.sum(axis=(1, 2)) + 1e-12
+    inside = cams[:, mask].sum(axis=1)
+    return float((inside / total).mean())

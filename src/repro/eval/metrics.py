@@ -1,0 +1,67 @@
+"""Evaluation metrics: benign accuracy (BA) and attack success rate (ASR).
+
+Paper §II: BA is accuracy on clean test samples; ASR is the fraction of
+triggered (non-target-class) samples classified as the target label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset
+from ..train import predict_labels
+from ..unlearning.base import UnlearningMethod
+
+Predictor = Union[nn.Module, UnlearningMethod]
+
+
+def _labels_of(predictor: Predictor, images: np.ndarray) -> np.ndarray:
+    if isinstance(predictor, UnlearningMethod):
+        return predictor.predict_labels(images)
+    return predict_labels(predictor, images)
+
+
+def benign_accuracy(predictor: Predictor, clean_test: ArrayDataset) -> float:
+    """BA: fraction of clean test samples classified correctly."""
+    if len(clean_test) == 0:
+        raise ValueError("empty test set")
+    preds = _labels_of(predictor, clean_test.images)
+    return float((preds == clean_test.labels).mean())
+
+
+def attack_success_rate(predictor: Predictor, triggered_test: ArrayDataset,
+                        target_label: int) -> float:
+    """ASR: fraction of triggered samples classified as ``target_label``.
+
+    ``triggered_test`` should contain only samples whose true class is
+    not the target (see :meth:`repro.attacks.Poisoner.attack_test_set`).
+    """
+    if len(triggered_test) == 0:
+        raise ValueError("empty triggered test set")
+    preds = _labels_of(predictor, triggered_test.images)
+    return float((preds == target_label).mean())
+
+
+@dataclass(frozen=True)
+class BaAsr:
+    """A (BA, ASR) measurement pair, in percent like the paper tables."""
+
+    ba: float
+    asr: float
+
+    def as_percent(self) -> "BaAsr":
+        return BaAsr(ba=self.ba * 100.0, asr=self.asr * 100.0)
+
+    def __str__(self) -> str:
+        return f"BA={self.ba:.2f} ASR={self.asr:.2f}"
+
+
+def measure(predictor: Predictor, clean_test: ArrayDataset,
+            triggered_test: ArrayDataset, target_label: int) -> BaAsr:
+    """Convenience: both metrics at once (fractions in [0, 1])."""
+    return BaAsr(ba=benign_accuracy(predictor, clean_test),
+                 asr=attack_success_rate(predictor, triggered_test, target_label))

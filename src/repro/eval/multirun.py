@@ -1,0 +1,81 @@
+"""Seed-averaged experiment runs.
+
+The paper reports every number as the average of five independent runs.
+:func:`run_replicated` repeats a pipeline config across seeds and
+aggregates BA/ASR as mean ± std, so benches and users can reproduce that
+protocol (scaled benches default to fewer replicates for CPU budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .harness import PipelineConfig, run_pipeline
+from .metrics import BaAsr
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean ± std of a metric across replicates."""
+
+    mean: float
+    std: float
+    values: Tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.std:.2f}"
+
+
+@dataclass
+class ReplicatedResult:
+    """Per-stage BA/ASR aggregates across seeds."""
+
+    config: PipelineConfig
+    seeds: Tuple[int, ...]
+    ba: Dict[str, Aggregate]
+    asr: Dict[str, Aggregate]
+
+    def stage(self, name: str) -> Tuple[Aggregate, Aggregate]:
+        """(BA, ASR) aggregates for one stage name."""
+        return self.ba[name], self.asr[name]
+
+
+def _aggregate(values: List[float]) -> Aggregate:
+    arr = np.asarray(values, dtype=np.float64)
+    return Aggregate(mean=float(arr.mean()), std=float(arr.std()),
+                     values=tuple(float(v) for v in arr))
+
+
+def run_replicated(config: PipelineConfig, num_runs: int = 5,
+                   stages: Tuple[str, ...] = ("poison", "camouflage",
+                                              "unlearn"),
+                   seed_stride: int = 1000) -> ReplicatedResult:
+    """Run the pipeline across ``num_runs`` seeds and aggregate.
+
+    Each replicate offsets ``config.seed`` by ``i * seed_stride``, which
+    reseeds the dataset generation, poison/camouflage selection, model
+    init and batching together — independent end-to-end runs, exactly
+    the paper's protocol.
+    """
+    if num_runs < 1:
+        raise ValueError("num_runs must be >= 1")
+    seeds = tuple(config.seed + i * seed_stride for i in range(num_runs))
+    per_stage_ba: Dict[str, List[float]] = {}
+    per_stage_asr: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = run_pipeline(replace(config, seed=seed), stages=stages)
+        for name, pair in (("poison", result.poison),
+                           ("camouflage", result.camouflage),
+                           ("unlearned", result.unlearned)):
+            if pair is None:
+                continue
+            pct = pair.as_percent()
+            per_stage_ba.setdefault(name, []).append(pct.ba)
+            per_stage_asr.setdefault(name, []).append(pct.asr)
+    return ReplicatedResult(
+        config=config, seeds=seeds,
+        ba={k: _aggregate(v) for k, v in per_stage_ba.items()},
+        asr={k: _aggregate(v) for k, v in per_stage_asr.items()})

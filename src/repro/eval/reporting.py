@@ -1,0 +1,52 @@
+"""Paper-vs-measured comparison tables.
+
+Every benchmark ends by printing one of these, so the console output of
+``pytest benchmarks/ --benchmark-only -s`` reads like the paper's
+evaluation section with a 'measured' column appended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ComparisonRow:
+    experiment: str
+    metric: str
+    paper: Optional[float]
+    measured: float
+    note: str = ""
+
+
+@dataclass
+class ComparisonTable:
+    """Collects (paper, measured) pairs and renders aligned text."""
+
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def add(self, experiment: str, metric: str, paper: Optional[float],
+            measured: float, note: str = "") -> None:
+        self.rows.append(ComparisonRow(experiment, metric, paper,
+                                       float(measured), note))
+
+    def render(self) -> str:
+        header = (f"{'experiment':<28} {'metric':<22} {'paper':>9} "
+                  f"{'measured':>9}  note")
+        lines = [self.title, "=" * len(header), header, "-" * len(header)]
+        for row in self.rows:
+            paper = f"{row.paper:9.2f}" if row.paper is not None else "        —"
+            lines.append(f"{row.experiment:<28} {row.metric:<22} {paper} "
+                         f"{row.measured:9.2f}  {row.note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def shape_check(description: str, condition: bool) -> str:
+    """Render a qualitative-shape assertion result for bench output."""
+    status = "OK " if condition else "MISS"
+    return f"[{status}] {description}"

@@ -1,0 +1,105 @@
+"""Terminal visualization helpers.
+
+Render images, GradCAM heatmaps and confusion matrices as ASCII/Unicode
+blocks so the examples can *show* what the paper's figures show without
+a plotting stack (this environment has no matplotlib).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+# Ten-step luminance ramp, dark -> bright.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, width: Optional[int] = None) -> str:
+    """Render a (C, H, W) or (H, W) image in [0, 1] as ASCII luminance."""
+    arr = np.asarray(image, dtype=np.float32)
+    if arr.ndim == 3:
+        arr = arr.mean(axis=0)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (C,H,W) or (H,W), got {arr.shape}")
+    arr = np.clip(arr, 0.0, 1.0)
+    if width is not None and width != arr.shape[1]:
+        step = arr.shape[1] / width
+        cols = (np.arange(width) * step).astype(int)
+        arr = arr[:, cols]
+    idx = np.minimum((arr * len(_RAMP)).astype(int), len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in idx)
+
+
+def ascii_heatmap(heat: np.ndarray, mask: Optional[np.ndarray] = None) -> str:
+    """Render a (H, W) heatmap in [0, 1]; optionally outline a mask.
+
+    Masked positions are upper-cased via a '#'-overlay so the trigger
+    region is visible inside the CAM rendering.
+    """
+    arr = np.clip(np.asarray(heat, dtype=np.float32), 0.0, 1.0)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (H,W), got {arr.shape}")
+    idx = np.minimum((arr * len(_RAMP)).astype(int), len(_RAMP) - 1)
+    rows = []
+    for r in range(arr.shape[0]):
+        chars = []
+        for c in range(arr.shape[1]):
+            ch = _RAMP[idx[r, c]]
+            if mask is not None and mask[r, c]:
+                ch = "#" if arr[r, c] > 0.5 else "o"
+            chars.append(ch)
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def side_by_side(blocks: Sequence[str], titles: Sequence[str],
+                 gap: int = 3) -> str:
+    """Join multi-line string blocks horizontally with titles."""
+    if len(blocks) != len(titles):
+        raise ValueError("blocks and titles must align")
+    split = [b.split("\n") for b in blocks]
+    widths = [max((len(line) for line in lines), default=0)
+              for lines in split]
+    height = max(len(lines) for lines in split)
+    sep = " " * gap
+    header = sep.join(t.ljust(w) for t, w in zip(titles, widths))
+    out = [header]
+    for r in range(height):
+        row = []
+        for lines, w in zip(split, widths):
+            cell = lines[r] if r < len(lines) else ""
+            row.append(cell.ljust(w))
+        out.append(sep.join(row))
+    return "\n".join(out)
+
+
+def confusion_matrix(true_labels: np.ndarray, predicted: np.ndarray,
+                     num_classes: Optional[int] = None) -> np.ndarray:
+    """Counts matrix with rows = true class, columns = predicted."""
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    if true_labels.shape != predicted.shape:
+        raise ValueError("label arrays must align")
+    k = num_classes or int(max(true_labels.max(), predicted.max())) + 1
+    matrix = np.zeros((k, k), dtype=np.int64)
+    np.add.at(matrix, (true_labels, predicted), 1)
+    return matrix
+
+
+def format_confusion(matrix: np.ndarray,
+                     highlight_column: Optional[int] = None) -> str:
+    """Aligned text rendering of a confusion matrix.
+
+    ``highlight_column`` marks a predicted class (e.g. the backdoor
+    target) with a ``*`` header — triggered inputs pile up there.
+    """
+    k = matrix.shape[0]
+    heads = [f"p{j}{'*' if j == highlight_column else ''}" for j in range(k)]
+    width = max(5, max(len(h) for h in heads) + 1,
+                len(str(matrix.max())) + 1)
+    lines = ["     " + "".join(h.rjust(width) for h in heads)]
+    for i in range(k):
+        row = "".join(str(v).rjust(width) for v in matrix[i])
+        lines.append(f"t{i:<3d} {row}")
+    return "\n".join(lines)

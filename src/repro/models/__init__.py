@@ -1,0 +1,25 @@
+"""``repro.models`` — the paper's four architectures plus a fast test CNN.
+
+Factories: :func:`resnet18`, :func:`mobilenet_v2`, :func:`efficientnet_b0`,
+:func:`wide_resnet50`, :func:`small_cnn`; resolve by name/pairing through
+:func:`build_model` / :func:`model_for_dataset`.
+"""
+
+from .base import ImageClassifier
+from .efficientnet import EfficientNet, MBConv, SqueezeExcite, efficientnet_b0
+from .mobilenet import InvertedResidual, MobileNetV2, mobilenet_v2
+from .registry import (PAPER_PAIRING, available_models, build_model,
+                       model_for_dataset)
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet_tiny
+from .smallcnn import SmallCNN, small_cnn
+from .wideresnet import wide_resnet50, wide_resnet_tiny
+
+__all__ = [
+    "ImageClassifier",
+    "ResNet", "BasicBlock", "Bottleneck", "resnet18", "resnet_tiny",
+    "MobileNetV2", "InvertedResidual", "mobilenet_v2",
+    "EfficientNet", "MBConv", "SqueezeExcite", "efficientnet_b0",
+    "wide_resnet50", "wide_resnet_tiny",
+    "SmallCNN", "small_cnn",
+    "PAPER_PAIRING", "available_models", "build_model", "model_for_dataset",
+]

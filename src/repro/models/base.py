@@ -1,0 +1,53 @@
+"""Common base class for the image-classifier model zoo.
+
+Every model exposes:
+
+- :meth:`forward_features` — the last convolutional feature map
+  ``(N, C, H, W)``.  GradCAM (Fig. 2) and Beatrix (Fig. 8) hook here.
+- :meth:`forward` — logits ``(N, num_classes)``.
+- :meth:`forward_with_features` — both at once, with the feature tensor
+  kept on the tape so callers can ``retain_grad()`` it (GradCAM).
+
+The paper's dataset→model pairing (CIFAR10→ResNet18, GTSRB→MobileNetV2,
+CIFAR100→EfficientNetB0, Tiny→WideResNet50) is mirrored by
+:mod:`repro.models.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..nn import functional as F
+from ..nn.layers import Linear
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+class ImageClassifier(Module):
+    """Backbone + global-average-pool + linear head."""
+
+    def __init__(self, num_classes: int, feature_dim: int):
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.num_classes = num_classes
+        self.feature_dim = feature_dim
+        self.classifier = Linear(feature_dim, num_classes)
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        """Return the final conv feature map (N, feature_dim, H, W)."""
+        raise NotImplementedError
+
+    def forward_with_features(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return (logits, feature_map); feature_map stays on the tape."""
+        feats = self.forward_features(x)
+        pooled = F.global_avg_pool2d(feats)
+        return self.classifier(pooled), feats
+
+    def forward(self, x: Tensor) -> Tensor:
+        logits, _ = self.forward_with_features(x)
+        return logits
+
+    def embed(self, x: Tensor) -> Tensor:
+        """Pooled penultimate representation (N, feature_dim)."""
+        return F.global_avg_pool2d(self.forward_features(x))

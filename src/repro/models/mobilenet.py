@@ -1,0 +1,122 @@
+"""MobileNetV2 (Sandler et al., 2018) — the paper pairs it with GTSRB.
+
+Implements the genuine inverted-residual bottleneck: 1×1 expansion →
+3×3 depthwise conv (``groups == channels``) → 1×1 linear projection, with
+a residual connection when shapes match.  The full (t, c, n, s) table is
+the original one; ``width_mult`` and ``depth_mult`` scale it down for CPU
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..nn.layers import BatchNorm2d, Conv2d, ReLU6
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.tensor import Tensor
+from .base import ImageClassifier
+
+# Original MobileNetV2 configuration: (expansion t, channels c, repeats n, stride s)
+MOBILENET_V2_CONFIG: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+# Reduced configuration for the scaled CPU benchmarks: same block algebra,
+# fewer stages/repeats so a forward pass costs milliseconds.
+MOBILENET_V2_SMALL_CONFIG: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 8, 1, 1),
+    (6, 16, 2, 2),
+    (6, 24, 2, 2),
+    (6, 32, 1, 1),
+)
+
+
+def _round_channels(channels: float, divisor: int = 4) -> int:
+    """Round to the nearest multiple of ``divisor`` (min one divisor)."""
+    return max(divisor, int(channels + divisor / 2) // divisor * divisor)
+
+
+def conv_bn_relu6(in_ch: int, out_ch: int, kernel: int, stride: int = 1,
+                  groups: int = 1) -> Sequential:
+    return Sequential(
+        Conv2d(in_ch, out_ch, kernel, stride=stride, padding=kernel // 2,
+               groups=groups, bias=False),
+        BatchNorm2d(out_ch),
+        ReLU6(),
+    )
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 block: expand (1×1) → depthwise (3×3) → project (1×1)."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, expand_ratio: int):
+        super().__init__()
+        hidden = in_ch * expand_ratio
+        self.use_residual = (stride == 1 and in_ch == out_ch)
+
+        layers: List[Module] = []
+        if expand_ratio != 1:
+            layers.append(conv_bn_relu6(in_ch, hidden, 1))
+        # Depthwise conv: one filter per channel.
+        layers.append(conv_bn_relu6(hidden, hidden, 3, stride=stride, groups=hidden))
+        # Linear (no activation) projection.
+        layers.append(Sequential(
+            Conv2d(hidden, out_ch, 1, bias=False),
+            BatchNorm2d(out_ch),
+        ))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.body(x)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(ImageClassifier):
+    """Width/depth-scalable MobileNetV2 for small (CIFAR-style) inputs."""
+
+    def __init__(self, num_classes: int,
+                 config: Sequence[Tuple[int, int, int, int]] = MOBILENET_V2_SMALL_CONFIG,
+                 width_mult: float = 1.0, in_channels: int = 3,
+                 last_channels: int = 0):
+        stem_ch = _round_channels(config[0][1] * width_mult)
+        blocks: List[Module] = []
+        in_ch = stem_ch
+        for t, c, n, s in config:
+            out_ch = _round_channels(c * width_mult)
+            for i in range(n):
+                stride = s if i == 0 else 1
+                blocks.append(InvertedResidual(in_ch, out_ch, stride, t))
+                in_ch = out_ch
+        head_ch = last_channels or _round_channels(in_ch * 4)
+        super().__init__(num_classes, head_ch)
+
+        self.stem = conv_bn_relu6(in_channels, stem_ch, 3, stride=1)
+        self.blocks = ModuleList(blocks)
+        self.head = conv_bn_relu6(in_ch, head_ch, 1)
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.blocks:
+            out = block(out)
+        return self.head(out)
+
+
+def mobilenet_v2(num_classes: int, width_mult: float = 1.0,
+                 in_channels: int = 3, full_size: bool = False) -> MobileNetV2:
+    """MobileNetV2 (paper: GTSRB model).
+
+    ``full_size=True`` instantiates the original 7-stage table; default is
+    the reduced CPU-friendly table with the same block structure.
+    """
+    config = MOBILENET_V2_CONFIG if full_size else MOBILENET_V2_SMALL_CONFIG
+    return MobileNetV2(num_classes, config=config, width_mult=width_mult,
+                       in_channels=in_channels)

@@ -1,0 +1,104 @@
+"""Model registry mirroring the paper's dataset→architecture pairing.
+
+The paper trains: ResNet18 on CIFAR10, MobileNetV2 on GTSRB,
+EfficientNetB0 on CIFAR100 and WideResNet50 on Tiny-ImageNet.
+``build_model`` resolves a model by name with a scale profile:
+
+- ``"paper"`` — the true architecture sizes (slow on CPU; exists so the
+  topology is honest and testable).
+- ``"bench"`` — width-scaled versions used by the scaled experiments.
+- ``"tiny"`` — smallest variants for unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import ImageClassifier
+from .efficientnet import efficientnet_b0
+from .mobilenet import mobilenet_v2
+from .resnet import resnet18, resnet_tiny
+from .smallcnn import small_cnn
+from .wideresnet import wide_resnet50, wide_resnet_tiny
+
+ModelFactory = Callable[..., ImageClassifier]
+
+# Dataset name -> model name, as in the paper's experimental setup.
+PAPER_PAIRING: Dict[str, str] = {
+    "cifar10": "resnet18",
+    "gtsrb": "mobilenet_v2",
+    "cifar100": "efficientnet_b0",
+    "tiny": "wide_resnet50",
+}
+
+
+def _build_resnet18(num_classes: int, scale: str, in_channels: int) -> ImageClassifier:
+    if scale == "paper":
+        return resnet18(num_classes, width=64, in_channels=in_channels)
+    if scale == "bench":
+        return resnet18(num_classes, width=8, in_channels=in_channels,
+                        stage_depths=(1, 1, 2))
+    return resnet_tiny(num_classes, in_channels=in_channels)
+
+
+def _build_mobilenet(num_classes: int, scale: str, in_channels: int) -> ImageClassifier:
+    if scale == "paper":
+        return mobilenet_v2(num_classes, in_channels=in_channels, full_size=True)
+    if scale == "bench":
+        return mobilenet_v2(num_classes, width_mult=1.0, in_channels=in_channels)
+    return mobilenet_v2(num_classes, width_mult=0.5, in_channels=in_channels)
+
+
+def _build_efficientnet(num_classes: int, scale: str, in_channels: int) -> ImageClassifier:
+    if scale == "paper":
+        return efficientnet_b0(num_classes, in_channels=in_channels, full_size=True)
+    if scale == "bench":
+        return efficientnet_b0(num_classes, width_mult=1.0, in_channels=in_channels)
+    return efficientnet_b0(num_classes, width_mult=0.5, in_channels=in_channels)
+
+
+def _build_wideresnet(num_classes: int, scale: str, in_channels: int) -> ImageClassifier:
+    if scale == "paper":
+        return wide_resnet50(num_classes, in_channels=in_channels)
+    if scale == "bench":
+        return wide_resnet50(num_classes, width=8, widen_factor=2.0,
+                             stage_depths=(1, 1, 1), in_channels=in_channels)
+    return wide_resnet_tiny(num_classes, in_channels=in_channels)
+
+
+def _build_smallcnn(num_classes: int, scale: str, in_channels: int) -> ImageClassifier:
+    width = {"paper": 32, "bench": 16, "tiny": 8}[scale]
+    return small_cnn(num_classes, width=width, in_channels=in_channels)
+
+
+_FACTORIES: Dict[str, Callable[[int, str, int], ImageClassifier]] = {
+    "resnet18": _build_resnet18,
+    "mobilenet_v2": _build_mobilenet,
+    "efficientnet_b0": _build_efficientnet,
+    "wide_resnet50": _build_wideresnet,
+    "small_cnn": _build_smallcnn,
+}
+
+
+def available_models() -> list:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_FACTORIES)
+
+
+def build_model(name: str, num_classes: int, scale: str = "bench",
+                in_channels: int = 3) -> ImageClassifier:
+    """Instantiate a model by name at the requested scale profile."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown model {name!r}; choose from {available_models()}")
+    if scale not in ("paper", "bench", "tiny"):
+        raise ValueError(f"unknown scale {scale!r}; choose paper/bench/tiny")
+    return _FACTORIES[name](num_classes, scale, in_channels)
+
+
+def model_for_dataset(dataset: str, num_classes: int, scale: str = "bench",
+                      in_channels: int = 3) -> ImageClassifier:
+    """Build the model the paper pairs with ``dataset``."""
+    if dataset not in PAPER_PAIRING:
+        raise KeyError(f"unknown dataset {dataset!r}; choose from {sorted(PAPER_PAIRING)}")
+    return build_model(PAPER_PAIRING[dataset], num_classes, scale=scale,
+                       in_channels=in_channels)

@@ -1,0 +1,44 @@
+"""SmallCNN — a compact conv net for fast experiments and tests.
+
+Not part of the paper's model zoo; used by the scaled benchmark profiles
+when the experiment sweeps many trainings (e.g. Fig. 3's 4×4×5 grid) and
+a few-second-per-model budget is required.  It keeps the properties that
+matter for ReVeil: convolutional feature extraction, batch norm, a
+spatially-local receptive field that can latch onto patch triggers, and a
+GAP+linear head exposing features for GradCAM/Beatrix.
+"""
+
+from __future__ import annotations
+
+from ..nn.layers import BatchNorm2d, Conv2d, MaxPool2d, ReLU
+from ..nn.module import Sequential
+from ..nn.tensor import Tensor
+from .base import ImageClassifier
+
+
+class SmallCNN(ImageClassifier):
+    """Three conv blocks → GAP → linear.  ~20k parameters at width 16."""
+
+    def __init__(self, num_classes: int, width: int = 16, in_channels: int = 3):
+        super().__init__(num_classes, feature_dim=width * 4)
+        self.features = Sequential(
+            Conv2d(in_channels, width, 3, padding=1, bias=False),
+            BatchNorm2d(width),
+            ReLU(),
+            Conv2d(width, width * 2, 3, padding=1, bias=False),
+            BatchNorm2d(width * 2),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width * 2, width * 4, 3, padding=1, bias=False),
+            BatchNorm2d(width * 4),
+            ReLU(),
+            MaxPool2d(2),
+        )
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        return self.features(x)
+
+
+def small_cnn(num_classes: int, width: int = 16, in_channels: int = 3) -> SmallCNN:
+    """Factory matching the registry call convention."""
+    return SmallCNN(num_classes, width=width, in_channels=in_channels)

@@ -1,0 +1,235 @@
+"""Standard neural-network layers built on the autograd engine.
+
+Covers everything the four model families in the paper need: convolutions
+(incl. depthwise via ``groups``), batch normalization with running
+statistics, linear heads, activations, dropout and pooling wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with Kaiming-uniform weights."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), gain=1.0))
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution layer.
+
+    ``groups=in_channels`` with ``out_channels == in_channels`` yields the
+    depthwise convolution used by MobileNetV2 and EfficientNetB0.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, groups: int = 1,
+                 bias: bool = True):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in/out channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape))
+        if bias:
+            self.bias = Parameter(init.zeros((out_channels,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding, groups=self.groups)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding}, g={self.groups})")
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (N, H, W) per channel.
+
+    Training mode normalizes with batch statistics and maintains
+    exponential running estimates; eval mode uses the running estimates.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        if affine:
+            self.weight = Parameter(init.ones((num_features,)))
+            self.bias = Parameter(init.zeros((num_features,)))
+        else:
+            self.weight = None
+            self.bias = None
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.register_buffer("num_batches_tracked", np.zeros((), dtype=np.int64))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(f"expected (N, {self.num_features}, H, W), got {x.shape}")
+        out = F.batch_norm(x, self.weight, self.bias,
+                           self.running_mean, self.running_var,
+                           training=self.training, momentum=self.momentum,
+                           eps=self.eps)
+        if self.training:
+            self._set_buffer("num_batches_tracked", self.num_batches_tracked + 1)
+        return out
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over (N,) per feature, for MLP heads."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            m = self.momentum
+            n = x.shape[0]
+            unbiased = var.data.reshape(-1) * (n / max(n - 1, 1))
+            self._set_buffer("running_mean", (1 - m) * self.running_mean + m * mean.data.reshape(-1))
+            self._set_buffer("running_var", (1 - m) * self.running_var + m * unbiased)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            var = Tensor(self.running_var.reshape(1, -1))
+        inv_std = (var + self.eps) ** -0.5
+        return (x - mean) * inv_std * self.weight.reshape(1, -1) + self.bias.reshape(1, -1)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class ReLU6(Module):
+    """Clipped ReLU used by MobileNetV2."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.clip(0.0, 6.0)
+
+    def __repr__(self) -> str:
+        return "ReLU6()"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class SiLU(Module):
+    """x * sigmoid(x) — the 'swish' activation used by EfficientNet."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "SiLU()"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(0)
+
+    def seed(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

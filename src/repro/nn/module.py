@@ -1,0 +1,224 @@
+"""Module system: parameter registration, train/eval mode, state dicts.
+
+A tiny but faithful analogue of ``torch.nn.Module`` sufficient for the
+model zoo (ResNet18 / MobileNetV2 / EfficientNetB0 / WideResNet50) and the
+SISA unlearning machinery (which snapshots and restores module state).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor flagged as a trainable model parameter."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter`, :class:`Module` and buffer
+    (plain numpy array via :meth:`register_buffer`) attributes; the base
+    class tracks them for ``parameters()``, ``state_dict()`` and mode
+    switching.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute plumbing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+            object.__setattr__(self, name, value)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+            object.__setattr__(self, name, value)
+        else:
+            object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track a non-trainable array (e.g. batch-norm running stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place of registration."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} was never registered")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buf
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode / gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter/buffer names to array copies."""
+        state: Dict[str, np.ndarray] = OrderedDict()
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[name] = np.asarray(b).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Restore parameters and buffers from :meth:`state_dict` output."""
+        own_params = dict(self.named_parameters())
+        own_buffer_owners: Dict[str, Tuple[Module, str]] = {}
+        for mod_name, module in self.named_modules():
+            for buf_name in module._buffers:
+                full = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                own_buffer_owners[full] = (module, buf_name)
+
+        missing = (set(own_params) | set(own_buffer_owners)) - set(state)
+        unexpected = set(state) - (set(own_params) | set(own_buffer_owners))
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+
+        for name, value in state.items():
+            if name in own_params:
+                param = own_params[name]
+                if param.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {name}: "
+                                     f"{param.shape} vs {value.shape}")
+                param.data = np.asarray(value, dtype=param.dtype).copy()
+            elif name in own_buffer_owners:
+                module, buf_name = own_buffer_owners[name]
+                module._set_buffer(buf_name, np.asarray(value).copy())
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._ordered: List[str] = []
+        for i, module in enumerate(modules):
+            name = str(i)
+            setattr(self, name, module)
+            self._ordered.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._ordered))
+        setattr(self, name, module)
+        self._ordered.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._ordered[index])
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._ordered:
+            x = getattr(self, name)(x)
+        return x
+
+
+class ModuleList(Module):
+    """List container whose items are registered as child modules."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._ordered: List[str] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._ordered))
+        setattr(self, name, module)
+        self._ordered.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._ordered[index])

@@ -1,0 +1,67 @@
+"""Learning-rate schedulers.
+
+The paper uses ``CosineAnnealingLR(T_max=100)`` over 100 epochs; our scaled
+runs use the same scheduler with a scaled ``T_max``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.base_lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """lr(t) = eta_min + (base - eta_min) * (1 + cos(pi * t / T_max)) / 2."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        cos_term = (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+        return self.eta_min + (self.base_lr - self.eta_min) * cos_term
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+class ConstantLR(LRScheduler):
+    """No-op scheduler (keeps the base learning rate)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr

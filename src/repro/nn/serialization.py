@@ -1,0 +1,47 @@
+"""Model snapshot utilities.
+
+SISA unlearning checkpoints a model after every slice; these helpers give
+cheap in-memory snapshots (state-dict copies) and `.npz` persistence.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+
+def snapshot(model: Module) -> Dict[str, np.ndarray]:
+    """In-memory deep copy of a model's full state (params + buffers)."""
+    return model.state_dict()
+
+
+def restore(model: Module, state: Dict[str, np.ndarray]) -> Module:
+    """Load a snapshot back into ``model`` (strict) and return it."""
+    model.load_state_dict(state, strict=True)
+    return model
+
+
+def save_state(model: Module, path: PathLike) -> None:
+    """Persist a model state dict to an ``.npz`` file."""
+    state = model.state_dict()
+    np.savez(str(path), **state)
+
+
+def load_state(model: Module, path: PathLike) -> Module:
+    """Load a model state dict from an ``.npz`` file written by save_state."""
+    with np.load(str(path)) as archive:
+        state = {k: archive[k] for k in archive.files}
+    model.load_state_dict(state, strict=True)
+    return model
+
+
+def state_nbytes(state: Dict[str, np.ndarray]) -> int:
+    """Total bytes held by a snapshot (for SISA storage accounting)."""
+    return int(sum(np.asarray(v).nbytes for v in state.values()))

@@ -1,0 +1,20 @@
+"""``repro.unlearning`` — exact (SISA, retrain) and approximate methods.
+
+The paper restores the backdoor with "the naive version of the exact
+unlearning strategy SISA" (= :class:`SISAEnsemble` at one shard / one
+slice, equivalently :class:`ExactRetrain`); the approximate methods back
+the §VI future-work ablation.
+"""
+
+from .approximate import (AmnesiacUnlearner, FineTuneUnlearner,
+                          GradientAscentUnlearner)
+from .base import UnlearningMethod
+from .metrics import confidence_gap, forgetting_score, membership_advantage
+from .retrain import ExactRetrain
+from .sisa import SISAConfig, SISAEnsemble
+
+__all__ = [
+    "UnlearningMethod", "ExactRetrain", "SISAConfig", "SISAEnsemble",
+    "GradientAscentUnlearner", "FineTuneUnlearner", "AmnesiacUnlearner",
+    "confidence_gap", "forgetting_score", "membership_advantage",
+]

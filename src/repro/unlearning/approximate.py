@@ -1,0 +1,202 @@
+"""Approximate unlearning methods (paper §VI, future work).
+
+The paper conjectures ReVeil also works when the provider uses
+*approximate* unlearning — methods that try to produce a model
+statistically close to retraining without the forgotten data, at a
+fraction of the cost.  Three families are implemented for the ablation
+benchmark:
+
+- :class:`GradientAscentUnlearner` — maximize loss on the forget set
+  (with a stabilizing descent pass on retained data), after Thudi et
+  al.'s unrolled-SGD view.
+- :class:`FineTuneUnlearner` — continue training on the retained data
+  only, relying on catastrophic forgetting of the deleted samples.
+- :class:`AmnesiacUnlearner` — record per-batch parameter updates during
+  training and subtract the updates of batches that contained forgotten
+  samples (Graves et al., AAAI 2021).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset
+from ..data.loader import DataLoader
+from ..nn import functional as F
+from ..train import TrainConfig, predict_logits, train_model
+from .base import UnlearningMethod
+
+
+class _SingleModelMethod(UnlearningMethod):
+    """Shared fit/predict plumbing for single-model approximate methods."""
+
+    def __init__(self, model_factory: Callable[[], nn.Module],
+                 train_config: TrainConfig = TrainConfig(), seed: int = 0):
+        self.model_factory = model_factory
+        self.train_config = train_config
+        self.seed = seed
+        self.model: Optional[nn.Module] = None
+        self._dataset: Optional[ArrayDataset] = None
+
+    def fit(self, dataset: ArrayDataset):
+        self._dataset = dataset
+        nn.manual_seed(self.seed)
+        self.model = self.model_factory()
+        train_model(self.model, dataset, self.train_config)
+        return self
+
+    def predict_logits(self, images: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit() must run before predict()")
+        return predict_logits(self.model, images)
+
+    def _split_forget(self, forget_ids: Iterable[int]
+                      ) -> Tuple[ArrayDataset, ArrayDataset]:
+        if self._dataset is None:
+            raise RuntimeError("fit() must run before unlearn()")
+        forget = np.unique(np.fromiter(forget_ids, dtype=np.int64))
+        forget_set = self._dataset.select_ids(forget)
+        retain_set = self._dataset.without_ids(forget)
+        self._dataset = retain_set
+        return forget_set, retain_set
+
+
+class GradientAscentUnlearner(_SingleModelMethod):
+    """Loss maximization on the forget set with retain-set repair steps.
+
+    Each unlearning epoch takes one ascent pass over the forget set
+    followed by one descent pass over a random retained subset (keeps
+    benign accuracy from collapsing).
+    """
+
+    def __init__(self, model_factory, train_config: TrainConfig = TrainConfig(),
+                 seed: int = 0, ascent_lr: float = 5e-4,
+                 unlearn_epochs: int = 3, repair_fraction: float = 0.3):
+        super().__init__(model_factory, train_config, seed)
+        if ascent_lr <= 0 or unlearn_epochs < 1:
+            raise ValueError("ascent_lr must be > 0 and unlearn_epochs >= 1")
+        self.ascent_lr = ascent_lr
+        self.unlearn_epochs = unlearn_epochs
+        self.repair_fraction = repair_fraction
+
+    def unlearn(self, forget_ids: Iterable[int]) -> dict:
+        forget_set, retain_set = self._split_forget(forget_ids)
+        if len(forget_set) == 0:
+            return {"samples_removed": 0, "ascent_steps": 0}
+        rng = np.random.default_rng(self.seed + 17)
+        ascent_opt = nn.SGD(self.model.parameters(), lr=self.ascent_lr,
+                            maximize=True)
+        repair_opt = nn.SGD(self.model.parameters(), lr=self.ascent_lr)
+        forget_loader = DataLoader(forget_set, batch_size=64, seed=self.seed)
+        steps = 0
+        for _ in range(self.unlearn_epochs):
+            self.model.train()
+            for images, labels in forget_loader:
+                loss = F.cross_entropy(self.model(nn.Tensor(images)), labels)
+                ascent_opt.zero_grad()
+                loss.backward()
+                ascent_opt.step()
+                steps += 1
+            # Repair pass on a random retained subset.
+            take = max(1, int(self.repair_fraction * len(retain_set)))
+            idx = rng.choice(len(retain_set), size=take, replace=False)
+            repair = retain_set.subset(idx)
+            for images, labels in DataLoader(repair, batch_size=64,
+                                             seed=self.seed + steps):
+                loss = F.cross_entropy(self.model(nn.Tensor(images)), labels)
+                repair_opt.zero_grad()
+                loss.backward()
+                repair_opt.step()
+        self.model.eval()
+        return {"samples_removed": len(forget_set), "ascent_steps": steps}
+
+
+class FineTuneUnlearner(_SingleModelMethod):
+    """Catastrophic-forgetting unlearning: fine-tune on retained data."""
+
+    def __init__(self, model_factory, train_config: TrainConfig = TrainConfig(),
+                 seed: int = 0, finetune_epochs: int = 5,
+                 finetune_lr: float = 1e-3):
+        super().__init__(model_factory, train_config, seed)
+        if finetune_epochs < 1:
+            raise ValueError("finetune_epochs must be >= 1")
+        self.finetune_epochs = finetune_epochs
+        self.finetune_lr = finetune_lr
+
+    def unlearn(self, forget_ids: Iterable[int]) -> dict:
+        forget_set, retain_set = self._split_forget(forget_ids)
+        cfg = replace(self.train_config, epochs=self.finetune_epochs,
+                      lr=self.finetune_lr, seed=self.seed + 23)
+        train_model(self.model, retain_set, cfg)
+        return {"samples_removed": len(forget_set),
+                "finetune_epochs": self.finetune_epochs}
+
+
+class AmnesiacUnlearner(_SingleModelMethod):
+    """Amnesiac unlearning: subtract recorded batch updates.
+
+    During :meth:`fit` every optimizer step's parameter delta is recorded
+    together with the sample ids in the batch.  :meth:`unlearn` subtracts
+    the deltas of all batches that contained a forgotten sample, then
+    optionally repairs with a short fine-tune on retained data.
+    """
+
+    def __init__(self, model_factory, train_config: TrainConfig = TrainConfig(),
+                 seed: int = 0, repair_epochs: int = 1):
+        super().__init__(model_factory, train_config, seed)
+        self.repair_epochs = repair_epochs
+        self._batch_ids: List[np.ndarray] = []
+        self._batch_deltas: List[List[np.ndarray]] = []
+
+    def fit(self, dataset: ArrayDataset) -> "AmnesiacUnlearner":
+        self._dataset = dataset
+        nn.manual_seed(self.seed)
+        self.model = self.model_factory()
+        self._batch_ids = []
+        self._batch_deltas = []
+
+        optimizer = nn.Adam(self.model.parameters(), lr=self.train_config.lr,
+                            weight_decay=self.train_config.weight_decay)
+        scheduler = nn.CosineAnnealingLR(optimizer,
+                                         t_max=self.train_config.epochs)
+        rng = np.random.default_rng(self.train_config.seed)
+        for _ in range(self.train_config.epochs):
+            self.model.train()
+            order = rng.permutation(len(dataset))
+            for start in range(0, len(dataset), self.train_config.batch_size):
+                idx = order[start:start + self.train_config.batch_size]
+                images = dataset.images[idx]
+                labels = dataset.labels[idx]
+                before = [p.data.copy() for p in self.model.parameters()]
+                loss = F.cross_entropy(self.model(nn.Tensor(images)), labels)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                delta = [p.data - b for p, b in
+                         zip(self.model.parameters(), before)]
+                self._batch_ids.append(dataset.sample_ids[idx].copy())
+                self._batch_deltas.append(delta)
+            scheduler.step()
+        self.model.eval()
+        return self
+
+    def unlearn(self, forget_ids: Iterable[int]) -> dict:
+        forget_set, retain_set = self._split_forget(forget_ids)
+        forget = forget_set.sample_ids
+        removed_batches = 0
+        params = self.model.parameters()
+        for ids, delta in zip(self._batch_ids, self._batch_deltas):
+            if np.isin(ids, forget).any():
+                for p, d in zip(params, delta):
+                    p.data = p.data - d
+                removed_batches += 1
+        if self.repair_epochs > 0 and len(retain_set):
+            cfg = replace(self.train_config, epochs=self.repair_epochs,
+                          lr=self.train_config.lr * 0.1, seed=self.seed + 29)
+            train_model(self.model, retain_set, cfg)
+        return {"samples_removed": len(forget_set),
+                "batch_updates_subtracted": removed_batches}

@@ -1,0 +1,52 @@
+"""Common interface for machine-unlearning methods.
+
+A method owns the provider-side model lifecycle: ``fit`` on the training
+set, serve predictions, and honour ``unlearn`` requests naming sample ids
+(the GDPR/CCPA deletion requests of paper §I).  ReVeil interacts with a
+method only through these calls — exactly the service-provider API of the
+threat model.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+
+
+class UnlearningMethod(abc.ABC):
+    """Provider-side trainer that supports data deletion."""
+
+    @abc.abstractmethod
+    def fit(self, dataset: ArrayDataset) -> "UnlearningMethod":
+        """Train on the full dataset; returns self."""
+
+    @abc.abstractmethod
+    def unlearn(self, forget_ids: Iterable[int]) -> dict:
+        """Remove the influence of the named samples.
+
+        Returns method-specific statistics (e.g. how many shard models
+        were retrained, wall-clock cost proxies).
+        """
+
+    @abc.abstractmethod
+    def predict_logits(self, images: np.ndarray) -> np.ndarray:
+        """Class scores for a batch of images (N, K)."""
+
+    def predict_labels(self, images: np.ndarray) -> np.ndarray:
+        """Predicted class ids for a batch of images."""
+        return self.predict_logits(images).argmax(axis=1)
+
+    def accuracy(self, dataset: ArrayDataset) -> float:
+        """Fraction of ``dataset`` classified correctly."""
+        preds = self.predict_labels(dataset.images)
+        return float((preds == dataset.labels).mean())
+
+    def attack_success_rate(self, triggered: ArrayDataset,
+                            target_label: int) -> float:
+        """Fraction of triggered samples classified as the target."""
+        preds = self.predict_labels(triggered.images)
+        return float((preds == target_label).mean())

@@ -1,0 +1,87 @@
+"""Unlearning-quality metrics.
+
+Machine unlearning promises the unlearned model behaves "as if the data
+had never been included" (paper §II).  These metrics quantify that:
+
+- :func:`confidence_gap` — a membership-inference-style score: the mean
+  softmax confidence the model assigns to the true labels of a sample
+  set.  Trained-on data scores high; genuinely-never-seen data scores at
+  the generalization level.  After *exact* unlearning the forget set
+  must score like unseen data.
+- :func:`forgetting_score` — the normalized gap between the forget set's
+  confidence and an unseen reference set's confidence: ≈0 means fully
+  forgotten, ≫0 means residual memorization (typical for approximate
+  methods).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset
+from ..train import predict_logits
+from .base import UnlearningMethod
+
+Predictor = Union[nn.Module, UnlearningMethod]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    p = np.exp(z)
+    return p / p.sum(axis=1, keepdims=True)
+
+
+def _logits_of(predictor: Predictor, images: np.ndarray) -> np.ndarray:
+    if isinstance(predictor, UnlearningMethod):
+        return predictor.predict_logits(images)
+    return predict_logits(predictor, images)
+
+
+def confidence_gap(predictor: Predictor, dataset: ArrayDataset) -> float:
+    """Mean softmax probability assigned to each sample's true label."""
+    if len(dataset) == 0:
+        raise ValueError("empty dataset")
+    probs = _softmax(_logits_of(predictor, dataset.images))
+    return float(probs[np.arange(len(dataset)), dataset.labels].mean())
+
+
+def forgetting_score(predictor: Predictor, forget_set: ArrayDataset,
+                     unseen_reference: ArrayDataset) -> float:
+    """Residual memorization of the forget set, relative to unseen data.
+
+    ``(conf(forget) − conf(unseen)) / max(conf(unseen), ε)`` — zero (or
+    slightly negative) when the forget set is indistinguishable from
+    never-seen data, positive when the model still remembers it.
+    """
+    forget_conf = confidence_gap(predictor, forget_set)
+    unseen_conf = confidence_gap(predictor, unseen_reference)
+    return float((forget_conf - unseen_conf) / max(unseen_conf, 1e-9))
+
+
+def membership_advantage(predictor: Predictor, member_set: ArrayDataset,
+                         nonmember_set: ArrayDataset,
+                         thresholds: int = 64) -> float:
+    """Best threshold-attack advantage distinguishing members by
+    true-label confidence: ``max_t |TPR(t) − FPR(t)|`` in [0, 1].
+
+    ≈0 means an attacker cannot tell the (un)learned data apart from
+    unseen data — the operational definition of successful unlearning.
+    """
+    if len(member_set) == 0 or len(nonmember_set) == 0:
+        raise ValueError("empty comparison set")
+    member_probs = _softmax(_logits_of(predictor, member_set.images))
+    member_conf = member_probs[np.arange(len(member_set)), member_set.labels]
+    non_probs = _softmax(_logits_of(predictor, nonmember_set.images))
+    non_conf = non_probs[np.arange(len(nonmember_set)), nonmember_set.labels]
+
+    candidates = np.quantile(np.concatenate([member_conf, non_conf]),
+                             np.linspace(0.0, 1.0, thresholds))
+    best = 0.0
+    for t in candidates:
+        tpr = (member_conf >= t).mean()
+        fpr = (non_conf >= t).mean()
+        best = max(best, abs(float(tpr - fpr)))
+    return best

@@ -1,0 +1,67 @@
+"""Naive exact unlearning: full retraining without the forgotten data.
+
+This is SISA with one shard and one slice, provided as its own class
+both as the ground-truth oracle for tests (any exact method must match
+its behaviour) and as the cheapest-to-understand baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset
+from ..train import TrainConfig, predict_logits, train_model
+from .base import UnlearningMethod
+
+
+class ExactRetrain(UnlearningMethod):
+    """Retrain-from-scratch unlearning.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-arg callable building a fresh model.
+    train_config:
+        Training recipe reused for the initial fit and every retrain.
+    seed:
+        Seeds model initialization (identical across retrains so the
+        *only* difference is the removed data — the paper's definition of
+        the ideal unlearned model ``f_θr``).
+    """
+
+    def __init__(self, model_factory: Callable[[], nn.Module],
+                 train_config: TrainConfig = TrainConfig(), seed: int = 0):
+        self.model_factory = model_factory
+        self.train_config = train_config
+        self.seed = seed
+        self.model: Optional[nn.Module] = None
+        self._dataset: Optional[ArrayDataset] = None
+
+    def _train_fresh(self) -> None:
+        assert self._dataset is not None
+        nn.manual_seed(self.seed)
+        self.model = self.model_factory()
+        train_model(self.model, self._dataset, self.train_config)
+
+    def fit(self, dataset: ArrayDataset) -> "ExactRetrain":
+        self._dataset = dataset
+        self._train_fresh()
+        return self
+
+    def unlearn(self, forget_ids: Iterable[int]) -> dict:
+        if self._dataset is None:
+            raise RuntimeError("fit() must run before unlearn()")
+        forget = np.unique(np.fromiter(forget_ids, dtype=np.int64))
+        before = len(self._dataset)
+        self._dataset = self._dataset.without_ids(forget)
+        removed = before - len(self._dataset)
+        self._train_fresh()
+        return {"samples_removed": removed, "retrained_from_scratch": True}
+
+    def predict_logits(self, images: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit() must run before predict()")
+        return predict_logits(self.model, images)

@@ -1,0 +1,133 @@
+"""Poison-set construction and the attack registry."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (ATTACK_IDS, BadNetsTrigger, Poisoner, get_attack,
+                           make_attack)
+from repro.data import ArrayDataset
+
+
+def _clean(n=40, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 3, 8, 8)).astype(np.float32),
+                        rng.integers(0, classes, size=n))
+
+
+class TestPoisoner:
+    def test_poison_count(self):
+        poisoner = Poisoner(BadNetsTrigger(), target_label=0,
+                            poison_ratio=0.1, seed=0)
+        result = poisoner.poison(_clean())
+        assert len(result.poison_set) == 4
+
+    def test_poison_labels_are_target(self):
+        poisoner = Poisoner(BadNetsTrigger(), 2, 0.2, seed=0)
+        result = poisoner.poison(_clean())
+        assert np.all(result.poison_set.labels == 2)
+
+    def test_sources_exclude_target_class(self):
+        clean = _clean()
+        poisoner = Poisoner(BadNetsTrigger(), 1, 0.2, seed=0)
+        sources = poisoner.select_sources(clean)
+        assert np.all(clean.labels[sources] != 1)
+
+    def test_poison_ids_unique_in_mixture(self):
+        poisoner = Poisoner(BadNetsTrigger(), 0, 0.2, seed=0)
+        result = poisoner.poison(_clean())
+        ids = result.train_mixture.sample_ids
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_mixture_size(self):
+        poisoner = Poisoner(BadNetsTrigger(), 0, 0.25, seed=0)
+        result = poisoner.poison(_clean())
+        assert len(result.train_mixture) == 40 + 10
+
+    def test_poison_images_triggered(self):
+        trigger = BadNetsTrigger(intensity=1.0)
+        poisoner = Poisoner(trigger, 0, 0.2, seed=0)
+        clean = _clean()
+        result = poisoner.poison(clean)
+        sources = clean.images[result.source_indices]
+        assert np.allclose(result.poison_set.images, trigger.apply(sources))
+
+    def test_attack_test_set_excludes_target(self):
+        poisoner = Poisoner(BadNetsTrigger(), 1, 0.2, seed=0)
+        test = _clean(seed=3)
+        triggered = poisoner.attack_test_set(test)
+        assert np.all(triggered.labels != 1)
+        assert len(triggered) == (test.labels != 1).sum()
+
+    def test_zero_poisons_raises(self):
+        poisoner = Poisoner(BadNetsTrigger(), 0, 0.001, seed=0)
+        with pytest.raises(ValueError):
+            poisoner.poison(_clean(n=10))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            Poisoner(BadNetsTrigger(), 0, 0.0)
+        with pytest.raises(ValueError):
+            Poisoner(BadNetsTrigger(), 0, 1.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            Poisoner(BadNetsTrigger(), -1, 0.1)
+
+    def test_seed_determinism(self):
+        clean = _clean()
+        r1 = Poisoner(BadNetsTrigger(), 0, 0.2, seed=5).poison(clean)
+        r2 = Poisoner(BadNetsTrigger(), 0, 0.2, seed=5).poison(clean)
+        assert np.array_equal(r1.source_indices, r2.source_indices)
+
+    def test_seed_changes_selection(self):
+        clean = _clean()
+        r1 = Poisoner(BadNetsTrigger(), 0, 0.2, seed=0).poison(clean)
+        r2 = Poisoner(BadNetsTrigger(), 0, 0.2, seed=1).poison(clean)
+        assert not np.array_equal(np.sort(r1.source_indices),
+                                  np.sort(r2.source_indices))
+
+
+class TestRegistry:
+    def test_attack_ids(self):
+        assert ATTACK_IDS == ("A1", "A2", "A3", "A4")
+
+    def test_paper_poison_ratios(self):
+        assert get_attack("A1").poison_ratio == 0.01
+        assert get_attack("A2").poison_ratio == 0.03
+        assert get_attack("A3").poison_ratio == 0.10
+        assert get_attack("A4").poison_ratio == 0.02
+
+    def test_lookup_by_trigger_name(self):
+        assert get_attack("wanet").attack_id == "A3"
+
+    def test_unknown_attack(self):
+        with pytest.raises(KeyError):
+            get_attack("A9")
+
+    def test_make_attack_builds_for_size(self):
+        trigger, pr = make_attack("A3", image_size=16)
+        assert trigger.image_size == 16
+        assert pr == 0.10
+
+    def test_bench_scale_ratios_preserve_ordering(self):
+        paper = [get_attack(a, "paper").poison_ratio for a in ATTACK_IDS]
+        bench = [get_attack(a, "bench").poison_ratio for a in ATTACK_IDS]
+        assert np.argmax(paper) == np.argmax(bench)  # A3 most aggressive
+
+    def test_bench_triggers_stronger(self):
+        paper_trigger, _ = make_attack("A4", 16, scale="paper")
+        bench_trigger, _ = make_attack("A4", 16, scale="bench")
+        assert bench_trigger.intensity > paper_trigger.intensity
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            make_attack("A1", 16, scale="mega")
+
+    def test_all_attacks_buildable_both_scales(self):
+        for attack_id in ATTACK_IDS:
+            for scale in ("paper", "bench"):
+                trigger, pr = make_attack(attack_id, 16, scale=scale)
+                assert 0 < pr < 1
+                out = trigger.apply(np.full((1, 3, 16, 16), 0.5,
+                                            dtype=np.float32))
+                assert out.shape == (1, 3, 16, 16)

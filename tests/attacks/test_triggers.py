@@ -1,0 +1,188 @@
+"""The four backdoor triggers: determinism, ranges, locality."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (BadNetsTrigger, BppTrigger, FTrojanTrigger,
+                           WaNetTrigger)
+
+
+def _batch(n=4, c=3, s=16, seed=0):
+    return np.random.default_rng(seed).random((n, c, s, s)).astype(np.float32)
+
+
+ALL_TRIGGERS = [
+    BadNetsTrigger(),
+    BppTrigger(squeeze_num=4),
+    WaNetTrigger(image_size=16),
+    FTrojanTrigger(image_size=16, intensity=1.0),
+]
+
+
+@pytest.mark.parametrize("trigger", ALL_TRIGGERS, ids=lambda t: t.name)
+class TestCommonContract:
+    def test_shape_preserved(self, trigger):
+        batch = _batch()
+        assert trigger.apply(batch).shape == batch.shape
+
+    def test_range_clipped(self, trigger):
+        out = trigger.apply(_batch())
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_input_not_mutated(self, trigger):
+        batch = _batch()
+        original = batch.copy()
+        trigger.apply(batch)
+        assert np.array_equal(batch, original)
+
+    def test_deterministic(self, trigger):
+        batch = _batch()
+        assert np.array_equal(trigger.apply(batch), trigger.apply(batch))
+
+    def test_actually_perturbs(self, trigger):
+        batch = _batch()
+        assert np.abs(trigger.perturbation(batch)).max() > 1e-4
+
+    def test_apply_one(self, trigger):
+        batch = _batch(n=1)
+        single = trigger.apply_one(batch[0])
+        assert np.allclose(single, trigger.apply(batch)[0])
+
+    def test_rejects_3d_input(self, trigger):
+        with pytest.raises(ValueError):
+            trigger.apply(np.zeros((3, 16, 16), dtype=np.float32))
+
+
+class TestBadNets:
+    def test_patch_is_local(self):
+        trigger = BadNetsTrigger(patch_size=3, intensity=1.0)
+        batch = _batch()
+        delta = trigger.perturbation(batch)
+        assert np.abs(delta[:, :, 3:, :]).max() == 0.0
+        assert np.abs(delta[:, :, :, 3:]).max() == 0.0
+
+    def test_full_intensity_writes_pattern(self):
+        trigger = BadNetsTrigger(patch_size=3, intensity=1.0)
+        out = trigger.apply(np.full((1, 3, 8, 8), 0.5, dtype=np.float32))
+        expected = np.array([[1, 0, 1], [0, 1, 0], [1, 0, 1]], dtype=np.float32)
+        assert np.allclose(out[0, 0, :3, :3], expected)
+
+    def test_partial_intensity_blends(self):
+        trigger = BadNetsTrigger(patch_size=3, intensity=0.7)
+        out = trigger.apply(np.full((1, 3, 8, 8), 0.5, dtype=np.float32))
+        # Corner cell: 0.3*0.5 + 0.7*1.0 = 0.85
+        assert np.isclose(out[0, 0, 0, 0], 0.85, atol=1e-6)
+
+    def test_custom_position(self):
+        trigger = BadNetsTrigger(patch_size=2, intensity=1.0, position=(4, 5))
+        delta = trigger.perturbation(_batch(s=8))
+        nonzero = np.argwhere(np.abs(delta[0, 0]) > 0)
+        assert nonzero.min(axis=0).tolist() == [4, 5]
+
+    def test_patch_does_not_fit(self):
+        trigger = BadNetsTrigger(patch_size=9)
+        with pytest.raises(ValueError):
+            trigger.apply(_batch(s=8))
+
+    def test_mask(self):
+        mask = BadNetsTrigger(patch_size=3).mask(8, 8)
+        assert mask.sum() == 9
+        assert mask[:3, :3].all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BadNetsTrigger(patch_size=0)
+        with pytest.raises(ValueError):
+            BadNetsTrigger(intensity=0.0)
+
+
+class TestWaNet:
+    def test_warp_is_global(self):
+        trigger = WaNetTrigger(image_size=16, s=1.0)
+        delta = trigger.perturbation(_batch())
+        changed = (np.abs(delta) > 1e-6).mean()
+        assert changed > 0.3
+
+    def test_seed_changes_field(self):
+        batch = _batch()
+        a = WaNetTrigger(image_size=16, seed=0).apply(batch)
+        b = WaNetTrigger(image_size=16, seed=1).apply(batch)
+        assert not np.array_equal(a, b)
+
+    def test_k_clamped_to_image(self):
+        trigger = WaNetTrigger(image_size=6, k=8)
+        assert trigger.k == 6
+
+    def test_wrong_size_raises(self):
+        trigger = WaNetTrigger(image_size=16)
+        with pytest.raises(ValueError):
+            trigger.apply(_batch(s=8))
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValueError):
+            WaNetTrigger(image_size=16, s=0.0)
+
+    def test_smooth_warp_preserves_mean(self):
+        batch = _batch()
+        out = WaNetTrigger(image_size=16, s=0.75).apply(batch)
+        assert abs(out.mean() - batch.mean()) < 0.05
+
+
+class TestFTrojan:
+    def test_perturbation_is_frequency_localized(self):
+        from scipy import fft as sfft
+        trigger = FTrojanTrigger(image_size=16, intensity=1.0)
+        batch = np.full((1, 3, 16, 16), 0.5, dtype=np.float32)
+        delta = trigger.apply(batch) - batch
+        spectrum = sfft.dctn(delta[0, 0], norm="ortho")
+        flat = np.abs(spectrum).ravel()
+        top_two = flat.argsort()[-2:]
+        expected = [u * 16 + v for u, v in trigger.frequencies]
+        assert set(top_two.tolist()) == set(expected)
+
+    def test_intensity_scales_perturbation(self):
+        batch = _batch()
+        d1 = np.abs(FTrojanTrigger(16, intensity=0.5).perturbation(batch)).mean()
+        d2 = np.abs(FTrojanTrigger(16, intensity=1.0).perturbation(batch)).mean()
+        assert d2 > d1 * 1.5
+
+    def test_custom_frequencies(self):
+        trigger = FTrojanTrigger(16, frequencies=[(3, 3)])
+        assert trigger.frequencies == [(3, 3)]
+
+    def test_out_of_range_frequency(self):
+        with pytest.raises(ValueError):
+            FTrojanTrigger(16, frequencies=[(16, 0)])
+
+    def test_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            FTrojanTrigger(16).apply(_batch(s=8))
+
+
+class TestBpp:
+    def test_quantize_without_dither_levels(self):
+        trigger = BppTrigger(squeeze_num=4, dither=False)
+        out = trigger.apply(_batch())
+        levels = np.unique(np.round(out * 3).astype(int))
+        assert set(levels.tolist()) <= {0, 1, 2, 3}
+        assert np.allclose(out * 3, np.round(out * 3), atol=1e-6)
+
+    def test_dither_preserves_local_mean(self):
+        # Error diffusion keeps the average intensity roughly unchanged.
+        batch = _batch()
+        out = BppTrigger(squeeze_num=4, dither=True).apply(batch)
+        assert abs(out.mean() - batch.mean()) < 0.02
+
+    def test_dither_differs_from_plain_quantization(self):
+        batch = _batch()
+        dithered = BppTrigger(squeeze_num=4, dither=True).apply(batch)
+        plain = BppTrigger(squeeze_num=4, dither=False).apply(batch)
+        assert not np.array_equal(dithered, plain)
+
+    def test_invalid_squeeze(self):
+        with pytest.raises(ValueError):
+            BppTrigger(squeeze_num=1)
+
+    def test_binary_squeeze(self):
+        out = BppTrigger(squeeze_num=2, dither=False).apply(_batch())
+        assert set(np.unique(out).tolist()) <= {0.0, 1.0}

@@ -1,0 +1,123 @@
+"""Camouflage-sample generation (the ReVeil core mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BadNetsTrigger
+from repro.core import CamouflageConfig, CamouflageGenerator
+from repro.data import ArrayDataset
+
+
+def _clean(n=60, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 3, 8, 8)).astype(np.float32),
+                        rng.integers(0, classes, size=n))
+
+
+def _generator(cr=5.0, sigma=1e-3, source="fresh", seed=0):
+    return CamouflageGenerator(
+        BadNetsTrigger(intensity=1.0), target_label=0,
+        config=CamouflageConfig(camouflage_ratio=cr, noise_std=sigma,
+                                source=source, seed=seed))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = CamouflageConfig()
+        assert cfg.camouflage_ratio == 5.0
+        assert cfg.noise_std == 1e-3
+
+    def test_invalid_cr(self):
+        with pytest.raises(ValueError):
+            CamouflageConfig(camouflage_ratio=0.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            CamouflageConfig(noise_std=-1.0)
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            CamouflageConfig(source="magic")
+
+
+class TestGeneration:
+    def test_count_is_cr_times_poisons(self):
+        camo, _ = _generator(cr=5.0).generate(_clean(), poison_count=4)
+        assert len(camo) == 20
+
+    def test_fractional_cr_rounds(self):
+        camo, _ = _generator(cr=2.5).generate(_clean(), poison_count=3)
+        assert len(camo) == 8   # round(7.5)
+
+    def test_labels_are_true_labels(self):
+        clean = _clean()
+        camo, sources = _generator().generate(clean, poison_count=4)
+        assert np.array_equal(camo.labels, clean.labels[sources])
+
+    def test_no_target_class_sources_fresh(self):
+        clean = _clean()
+        _, sources = _generator().generate(clean, poison_count=4)
+        assert np.all(clean.labels[sources] != 0)
+
+    def test_images_are_triggered_plus_noise(self):
+        clean = _clean()
+        sigma = 1e-3
+        gen = _generator(sigma=sigma)
+        camo, sources = gen.generate(clean, poison_count=4)
+        triggered = gen.trigger.apply(clean.images[sources])
+        residual = camo.images - triggered
+        # Noise is tiny and centred; clipping may bind at the boundaries.
+        assert np.abs(residual).max() < 6 * sigma + 1e-6
+        assert np.abs(residual).mean() > 0.0
+
+    def test_zero_sigma_equals_pure_trigger(self):
+        clean = _clean()
+        gen = _generator(sigma=0.0)
+        camo, sources = gen.generate(clean, poison_count=4)
+        assert np.allclose(camo.images, gen.trigger.apply(clean.images[sources]))
+
+    def test_fresh_sources_avoid_poison_sources(self):
+        clean = _clean()
+        poison_sources = np.array([1, 2, 3])
+        _, sources = _generator(cr=2.0).generate(
+            clean, poison_count=3, poison_sources=poison_sources)
+        assert not np.isin(sources, poison_sources).any()
+
+    def test_poison_source_mode_reuses(self):
+        clean = _clean()
+        poison_sources = np.array([5, 6])
+        _, sources = _generator(cr=3.0, source="poison").generate(
+            clean, poison_count=2, poison_sources=poison_sources)
+        assert set(sources.tolist()) <= {5, 6}
+        assert len(sources) == 6
+
+    def test_poison_source_mode_requires_sources(self):
+        with pytest.raises(ValueError):
+            _generator(source="poison").generate(_clean(), poison_count=2)
+
+    def test_reuse_when_pool_exhausted(self):
+        clean = _clean(n=12, classes=2)   # ~6 non-target samples
+        camo, sources = _generator(cr=5.0).generate(clean, poison_count=4)
+        assert len(camo) == 20            # reuse allowed, count preserved
+
+    def test_id_start(self):
+        camo, _ = _generator().generate(_clean(), poison_count=2, id_start=500)
+        assert camo.sample_ids.min() == 500
+
+    def test_invalid_poison_count(self):
+        with pytest.raises(ValueError):
+            _generator().generate(_clean(), poison_count=0)
+
+    def test_zero_rounded_count_rejected(self):
+        with pytest.raises(ValueError):
+            _generator(cr=0.3).generate(_clean(), poison_count=1)
+
+    def test_deterministic(self):
+        clean = _clean()
+        a, _ = _generator(seed=3).generate(clean, poison_count=4)
+        b, _ = _generator(seed=3).generate(clean, poison_count=4)
+        assert np.array_equal(a.images, b.images)
+
+    def test_images_in_range(self):
+        camo, _ = _generator(sigma=0.5).generate(_clean(), poison_count=4)
+        assert camo.images.min() >= 0.0 and camo.images.max() <= 1.0

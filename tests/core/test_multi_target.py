@@ -1,0 +1,81 @@
+"""Multi-target (One-to-N) concealed backdoors — §VI extension."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BadNetsTrigger, FTrojanTrigger
+from repro.core import (BackdoorSpec, CamouflageConfig, MultiTargetReVeil)
+from repro.data import ArrayDataset
+
+
+def _clean(n=120, classes=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 3, 16, 16)).astype(np.float32),
+                        rng.integers(0, classes, size=n))
+
+
+def _specs():
+    return [
+        BackdoorSpec("patch->0", BadNetsTrigger(intensity=1.0), 0, 0.2),
+        BackdoorSpec("freq->1", FTrojanTrigger(16, intensity=1.2), 1, 0.2),
+    ]
+
+
+class TestCraft:
+    def test_bundle_contains_each_backdoor(self):
+        bundle = MultiTargetReVeil(_specs(), seed=0).craft(_clean())
+        assert bundle.backdoor_names == ["patch->0", "freq->1"]
+        for name in bundle.backdoor_names:
+            sub = bundle.per_backdoor[name]
+            assert sub.poison_count > 0
+            assert sub.camouflage_count > 0
+
+    def test_ids_disjoint_across_backdoors(self):
+        bundle = MultiTargetReVeil(_specs(), seed=0).craft(_clean())
+        a = bundle.per_backdoor["patch->0"]
+        b = bundle.per_backdoor["freq->1"]
+        crafted_a = np.concatenate([a.poison_set.sample_ids,
+                                    a.camouflage_set.sample_ids])
+        crafted_b = np.concatenate([b.poison_set.sample_ids,
+                                    b.camouflage_set.sample_ids])
+        assert not np.isin(crafted_a, crafted_b).any()
+
+    def test_mixture_ids_unique(self):
+        bundle = MultiTargetReVeil(_specs(), seed=0).craft(_clean())
+        ids = bundle.train_mixture.sample_ids
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_unlearning_requests_are_independent(self):
+        bundle = MultiTargetReVeil(_specs(), seed=0).craft(_clean())
+        req_a = bundle.unlearning_request("patch->0")
+        req_b = bundle.unlearning_request("freq->1")
+        assert not np.isin(req_a, req_b).any()
+
+    def test_per_backdoor_target_labels(self):
+        bundle = MultiTargetReVeil(_specs(), seed=0).craft(_clean())
+        assert np.all(bundle.per_backdoor["patch->0"].poison_set.labels == 0)
+        assert np.all(bundle.per_backdoor["freq->1"].poison_set.labels == 1)
+
+    def test_camouflage_config_applied(self):
+        camo = CamouflageConfig(camouflage_ratio=2.0, noise_std=1e-3)
+        bundle = MultiTargetReVeil(_specs(), camouflage=camo, seed=0
+                                   ).craft(_clean())
+        for sub in bundle.per_backdoor.values():
+            assert sub.camouflage_count == 2 * sub.poison_count
+
+    def test_attack_test_sets(self):
+        adversary = MultiTargetReVeil(_specs(), seed=0)
+        sets = adversary.attack_test_sets(_clean(seed=5))
+        assert set(sets) == {"patch->0", "freq->1"}
+        triggered, target = sets["patch->0"]
+        assert target == 0
+        assert np.all(triggered.labels != 0)
+
+    def test_duplicate_names_rejected(self):
+        spec = BackdoorSpec("x", BadNetsTrigger(), 0, 0.1)
+        with pytest.raises(ValueError):
+            MultiTargetReVeil([spec, spec])
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTargetReVeil([])

@@ -1,0 +1,121 @@
+"""ReVeil attack orchestration and threat-model matrix."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BadNetsTrigger
+from repro.core import (CamouflageConfig, ModelAccess, ReVeilAttack,
+                        format_table, get_row, reveil_claims, table_rows)
+from repro.data import ArrayDataset
+
+
+def _clean(n=80, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 3, 8, 8)).astype(np.float32),
+                        rng.integers(0, classes, size=n))
+
+
+def _attack(cr=3.0, pr=0.1, seed=0):
+    return ReVeilAttack(BadNetsTrigger(), target_label=0, poison_ratio=pr,
+                        camouflage=CamouflageConfig(camouflage_ratio=cr,
+                                                    seed=seed),
+                        seed=seed)
+
+
+class TestCraft:
+    def test_bundle_sizes(self):
+        bundle = _attack().craft(_clean())
+        assert bundle.poison_count == 8
+        assert bundle.camouflage_count == 24
+        assert len(bundle.train_mixture) == 80 + 8 + 24
+
+    def test_ids_globally_unique(self):
+        bundle = _attack().craft(_clean())
+        ids = bundle.train_mixture.sample_ids
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_unlearning_request_names_camouflage(self):
+        bundle = _attack().craft(_clean())
+        request = ReVeilAttack.unlearning_request(bundle)
+        assert np.array_equal(np.sort(request),
+                              np.sort(bundle.camouflage_set.sample_ids))
+
+    def test_mixture_without_camouflage(self):
+        bundle = _attack().craft(_clean())
+        retained = bundle.mixture_without_camouflage()
+        assert len(retained) == 80 + 8
+        assert not np.isin(bundle.unlearning_request_ids,
+                           retained.sample_ids).any()
+
+    def test_poison_labels_target_camouflage_true(self):
+        clean = _clean()
+        bundle = _attack().craft(clean)
+        assert np.all(bundle.poison_set.labels == 0)
+        assert np.array_equal(bundle.camouflage_set.labels,
+                              clean.labels[bundle.camouflage_source_indices])
+
+    def test_craft_poison_only(self):
+        bundle = _attack().craft_poison_only(_clean())
+        assert bundle.camouflage_count == 0
+        assert len(bundle.train_mixture) == 88
+        assert len(bundle.unlearning_request_ids) == 0
+
+    def test_craft_needs_no_model(self):
+        """The data-collection threat model: craft touches only data."""
+        attack = _attack()
+        assert not hasattr(attack, "model")
+        bundle = attack.craft(_clean())
+        assert isinstance(bundle.train_mixture, ArrayDataset)
+
+
+class TestExploit:
+    def test_exploit_applies_trigger(self):
+        attack = _attack()
+        batch = np.full((2, 3, 8, 8), 0.5, dtype=np.float32)
+        out = attack.exploit(batch)
+        assert np.abs(out - batch).max() > 0.1
+
+    def test_attack_test_set(self):
+        attack = _attack()
+        test = _clean(seed=9)
+        triggered = attack.attack_test_set(test)
+        assert np.all(triggered.labels != 0)
+
+
+class TestThreatModel:
+    def test_reveil_row(self):
+        row = get_row("ReVeil")
+        assert row.concealed_backdoor
+        assert row.without_modifying_training
+        assert row.model_access is ModelAccess.NONE
+        assert row.camouflage_without_auxiliary
+
+    def test_reveil_is_unique_in_all_four(self):
+        """Table I's point: only ReVeil satisfies all four properties."""
+        satisfying = [r.name for r in table_rows()
+                      if r.concealed_backdoor and r.without_modifying_training
+                      and r.model_access is ModelAccess.NONE
+                      and r.camouflage_without_auxiliary]
+        assert satisfying == ["ReVeil"]
+
+    def test_sixteen_related_plus_reveil(self):
+        assert len(table_rows()) == 17
+
+    def test_di_et_al_needs_whitebox(self):
+        assert get_row("Di et al.").model_access is ModelAccess.WHITE_BOX
+
+    def test_uba_inf_needs_auxiliary(self):
+        assert not get_row("UBA-Inf").camouflage_without_auxiliary
+
+    def test_claims_match_row(self):
+        claims = reveil_claims()
+        assert all(claims.values())
+
+    def test_unknown_row(self):
+        with pytest.raises(KeyError):
+            get_row("GPT-4")
+
+    def test_format_table_contains_all(self):
+        text = format_table()
+        for row in table_rows():
+            assert row.name in text

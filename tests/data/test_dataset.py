@@ -1,0 +1,124 @@
+"""ArrayDataset container invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, concat_datasets, reassign_ids
+
+
+def _dataset(n=10, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 3, 4, 4)).astype(np.float32),
+                        rng.integers(0, classes, size=n))
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = _dataset()
+        assert len(ds) == 10
+        assert ds.image_shape == (3, 4, 4)
+        assert np.array_equal(ds.sample_ids, np.arange(10))
+
+    def test_getitem(self):
+        ds = _dataset()
+        image, label = ds[3]
+        assert image.shape == (3, 4, 4)
+        assert isinstance(label, int)
+
+    def test_wrong_image_ndim(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((4, 4, 4)), np.zeros(4, dtype=np.int64))
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((4, 3, 2, 2)), np.zeros(3, dtype=np.int64))
+
+    def test_custom_ids(self):
+        ds = ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(3, dtype=np.int64),
+                          sample_ids=np.array([10, 20, 30]))
+        assert np.array_equal(ds.sample_ids, [10, 20, 30])
+
+    def test_id_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(3, dtype=np.int64),
+                         sample_ids=np.array([1, 2]))
+
+    def test_num_classes(self):
+        ds = ArrayDataset(np.zeros((3, 1, 2, 2)),
+                          np.array([0, 4, 2], dtype=np.int64))
+        assert ds.num_classes == 5
+
+
+class TestSubsetting:
+    def test_subset_preserves_ids(self):
+        ds = _dataset()
+        sub = ds.subset([2, 5, 7])
+        assert np.array_equal(sub.sample_ids, [2, 5, 7])
+        assert np.array_equal(sub.images[0], ds.images[2])
+
+    def test_without_ids(self):
+        ds = _dataset()
+        rest = ds.without_ids([0, 1, 2])
+        assert len(rest) == 7
+        assert not np.isin([0, 1, 2], rest.sample_ids).any()
+
+    def test_select_ids(self):
+        ds = _dataset()
+        picked = ds.select_ids([3, 4])
+        assert sorted(picked.sample_ids.tolist()) == [3, 4]
+
+    def test_without_then_select_disjoint(self):
+        ds = _dataset()
+        removed = ds.without_ids([5])
+        assert 5 not in removed.sample_ids
+        assert len(removed) + 1 == len(ds)
+
+    def test_class_indices(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)),
+                          np.array([1, 0, 1, 2], dtype=np.int64))
+        assert np.array_equal(ds.class_indices(1), [0, 2])
+
+    def test_split_fractions(self):
+        ds = _dataset(n=20)
+        a, b = ds.split(0.75, np.random.default_rng(0))
+        assert len(a) == 15 and len(b) == 5
+        combined = np.sort(np.concatenate([a.sample_ids, b.sample_ids]))
+        assert np.array_equal(combined, np.arange(20))
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            _dataset().split(1.5, np.random.default_rng(0))
+
+    def test_shuffled_is_permutation(self):
+        ds = _dataset()
+        shuffled = ds.shuffled(np.random.default_rng(0))
+        assert sorted(shuffled.sample_ids.tolist()) == list(range(10))
+
+    def test_copy_independent(self):
+        ds = _dataset()
+        cp = ds.copy()
+        cp.images[0] = 0.0
+        assert not np.array_equal(cp.images[0], ds.images[0])
+
+
+class TestConcat:
+    def test_concat(self):
+        a = _dataset(n=4)
+        b = _dataset(n=6, seed=1)
+        merged = concat_datasets([a, b])
+        assert len(merged) == 10
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError):
+            concat_datasets([])
+
+    def test_concat_shape_mismatch(self):
+        a = _dataset()
+        b = ArrayDataset(np.zeros((2, 3, 5, 5)), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            concat_datasets([a, b])
+
+    def test_reassign_ids(self):
+        ds = concat_datasets([_dataset(n=3), _dataset(n=3, seed=1)])
+        fresh = reassign_ids(ds, start=100)
+        assert np.array_equal(fresh.sample_ids, [100, 101, 102, 103, 104, 105])

@@ -1,0 +1,37 @@
+"""Dataset .npz persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.data.io import load_dataset_file, save_dataset
+
+
+def _dataset(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 3, 8, 8)).astype(np.float32),
+                        rng.integers(0, 4, size=n),
+                        sample_ids=np.arange(100, 100 + n))
+
+
+class TestRoundTrip:
+    def test_bitexact(self, tmp_path):
+        ds = _dataset()
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        assert np.array_equal(loaded.images, ds.images)
+        assert np.array_equal(loaded.labels, ds.labels)
+        assert np.array_equal(loaded.sample_ids, ds.sample_ids)
+
+    def test_preserves_custom_ids(self, tmp_path):
+        ds = _dataset()
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        assert load_dataset_file(path).sample_ids.min() == 100
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_dataset_file(path)

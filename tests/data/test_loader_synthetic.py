@@ -1,0 +1,155 @@
+"""DataLoader batching and the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (ArrayDataset, DataLoader, SyntheticSpec,
+                        available_profiles, class_prototype, generate_dataset,
+                        get_profile, load_dataset)
+
+
+def _dataset(n=10):
+    return ArrayDataset(np.zeros((n, 1, 2, 2), dtype=np.float32),
+                        np.arange(n, dtype=np.int64) % 3)
+
+
+class TestDataLoader:
+    def test_batch_sizes(self):
+        loader = DataLoader(_dataset(10), batch_size=4, shuffle=False)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [4, 4, 2]
+        assert len(loader) == 3
+
+    def test_drop_last(self):
+        loader = DataLoader(_dataset(10), batch_size=4, shuffle=False,
+                            drop_last=True)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [4, 4]
+        assert len(loader) == 2
+
+    def test_no_shuffle_order(self):
+        ds = _dataset(6)
+        loader = DataLoader(ds, batch_size=6, shuffle=False)
+        _, labels = next(iter(loader))
+        assert np.array_equal(labels, ds.labels)
+
+    def test_shuffle_deterministic_per_seed(self):
+        ds = _dataset(16)
+        l1 = [y.tolist() for _, y in DataLoader(ds, batch_size=8, seed=3)]
+        l2 = [y.tolist() for _, y in DataLoader(ds, batch_size=8, seed=3)]
+        assert l1 == l2
+
+    def test_shuffle_differs_across_epochs(self):
+        loader = DataLoader(_dataset(32), batch_size=32, seed=0)
+        first = next(iter(loader))[1].tolist()
+        second = next(iter(loader))[1].tolist()
+        assert first != second
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(_dataset(), batch_size=0)
+
+
+class TestSyntheticSpec:
+    def test_rejects_tiny_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=1)
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=3, image_size=4)
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=3, channels=2)
+
+
+class TestGeneration:
+    SPEC = SyntheticSpec(num_classes=3, image_size=12)
+
+    def test_shapes_and_range(self):
+        ds = generate_dataset(self.SPEC, samples_per_class=5, seed=0)
+        assert len(ds) == 15
+        assert ds.image_shape == (3, 12, 12)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+        assert ds.images.dtype == np.float32
+
+    def test_balanced_classes(self):
+        ds = generate_dataset(self.SPEC, samples_per_class=7, seed=0)
+        counts = np.bincount(ds.labels)
+        assert np.all(counts == 7)
+
+    def test_deterministic(self):
+        a = generate_dataset(self.SPEC, 5, seed=42)
+        b = generate_dataset(self.SPEC, 5, seed=42)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a = generate_dataset(self.SPEC, 5, seed=0)
+        b = generate_dataset(self.SPEC, 5, seed=1)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_train_test_disjoint(self):
+        train = generate_dataset(self.SPEC, 5, seed=0, split="train")
+        test = generate_dataset(self.SPEC, 5, seed=0, split="test")
+        assert not np.array_equal(train.images, test.images)
+
+    def test_unknown_split(self):
+        with pytest.raises(ValueError):
+            generate_dataset(self.SPEC, 5, split="val")
+
+    def test_prototypes_distinct_across_classes(self):
+        p0 = class_prototype(self.SPEC, 0, seed=0)
+        p1 = class_prototype(self.SPEC, 1, seed=0)
+        assert np.abs(p0 - p1).mean() > 0.05
+
+    def test_prototype_deterministic(self):
+        assert np.array_equal(class_prototype(self.SPEC, 0, 0),
+                              class_prototype(self.SPEC, 0, 0))
+
+    def test_intra_class_variation(self):
+        ds = generate_dataset(self.SPEC, 10, seed=0)
+        images = ds.images[ds.labels == 0]
+        assert np.abs(images[0] - images[1]).mean() > 0.01
+
+
+class TestProfiles:
+    def test_paper_profiles_exist(self):
+        for name in ("cifar10", "gtsrb", "cifar100", "tiny"):
+            profile = get_profile(name)
+            assert profile.name == name
+
+    def test_paper_class_counts(self):
+        assert get_profile("cifar10").num_classes == 10
+        assert get_profile("gtsrb").num_classes == 43
+        assert get_profile("cifar100").num_classes == 100
+        assert get_profile("tiny").num_classes == 200
+
+    def test_tiny_imagenet_size(self):
+        assert get_profile("tiny").spec.image_size == 64
+
+    def test_bench_profiles_exist(self):
+        for name in ("cifar10", "gtsrb", "cifar100", "tiny"):
+            assert get_profile(f"{name}-bench").spec.image_size == 16
+
+    def test_bench_difficulty_ordering(self):
+        counts = [get_profile(f"{n}-bench").num_classes
+                  for n in ("cifar10", "gtsrb", "cifar100", "tiny")]
+        assert counts == sorted(counts)
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("mnist")
+
+    def test_available_contains_unit(self):
+        assert "unit" in available_profiles()
+
+    def test_load_dataset_sizes(self):
+        train, test, profile = load_dataset("unit", seed=0)
+        assert len(train) == profile.train_size
+        assert len(test) == profile.test_size
+
+    def test_target_label_is_zero(self):
+        for name in ("cifar10", "gtsrb", "cifar100", "tiny"):
+            assert get_profile(name).target_label == 0

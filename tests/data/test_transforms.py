@@ -1,0 +1,82 @@
+"""Batch transform behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Compose, gaussian_noise, normalize,
+                        random_horizontal_flip, random_shift)
+
+
+def _batch(n=6, seed=0):
+    return np.random.default_rng(seed).random((n, 3, 8, 8)).astype(np.float32)
+
+
+class TestFlip:
+    def test_always_flip(self):
+        batch = _batch()
+        out = random_horizontal_flip(p=1.0)(batch, np.random.default_rng(0))
+        assert np.array_equal(out, batch[:, :, :, ::-1])
+
+    def test_never_flip(self):
+        batch = _batch()
+        out = random_horizontal_flip(p=0.0)(batch, np.random.default_rng(0))
+        assert np.array_equal(out, batch)
+
+    def test_does_not_mutate_input(self):
+        batch = _batch()
+        original = batch.copy()
+        random_horizontal_flip(p=1.0)(batch, np.random.default_rng(0))
+        assert np.array_equal(batch, original)
+
+
+class TestShift:
+    def test_preserves_content_multiset(self):
+        batch = _batch()
+        out = random_shift(2)(batch, np.random.default_rng(0))
+        # Circular shift permutes pixels, so sorted values are identical.
+        assert np.allclose(np.sort(out.ravel()), np.sort(batch.ravel()))
+
+    def test_shape_preserved(self):
+        out = random_shift(3)(_batch(), np.random.default_rng(0))
+        assert out.shape == (6, 3, 8, 8)
+
+
+class TestNoise:
+    def test_clipped_range(self):
+        out = gaussian_noise(0.5)(_batch(), np.random.default_rng(0))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_changes_values(self):
+        batch = _batch()
+        out = gaussian_noise(0.1)(batch, np.random.default_rng(0))
+        assert not np.array_equal(out, batch)
+
+
+class TestNormalize:
+    def test_roundtrip(self):
+        fwd, inv = normalize([0.5, 0.5, 0.5], [0.2, 0.2, 0.2])
+        batch = _batch()
+        assert np.allclose(inv(fwd(batch)), batch, atol=1e-6)
+
+    def test_statistics(self):
+        fwd, _ = normalize([0.5, 0.5, 0.5], [1.0, 1.0, 1.0])
+        out = fwd(np.full((1, 3, 2, 2), 0.5, dtype=np.float32))
+        assert np.allclose(out, 0.0)
+
+    def test_zero_std_raises(self):
+        with pytest.raises(ValueError):
+            normalize([0.0], [0.0])
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        compose = Compose([random_horizontal_flip(p=1.0),
+                           random_horizontal_flip(p=1.0)], seed=0)
+        batch = _batch()
+        assert np.array_equal(compose(batch), batch)
+
+    def test_seeded_reproducible(self):
+        batch = _batch()
+        out1 = Compose([random_shift(2)], seed=5)(batch)
+        out2 = Compose([random_shift(2)], seed=5)(batch)
+        assert np.array_equal(out1, out2)

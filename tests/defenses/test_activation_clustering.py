@@ -1,0 +1,90 @@
+"""Activation Clustering defense components."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.defenses import ActivationClustering
+from repro.defenses.activation_clustering import (_pca_project, _silhouette,
+                                                  _two_means)
+from repro.models import small_cnn
+
+
+class TestPrimitives:
+    def test_pca_shape(self):
+        rng = np.random.default_rng(0)
+        out = _pca_project(rng.normal(size=(30, 10)), 2)
+        assert out.shape == (30, 2)
+
+    def test_pca_fewer_dims_than_requested(self):
+        rng = np.random.default_rng(0)
+        out = _pca_project(rng.normal(size=(5, 3)), 10)
+        assert out.shape[1] <= 3
+
+    def test_two_means_separates_blobs(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.2, size=(20, 2))
+        b = rng.normal(5.0, 0.2, size=(10, 2))
+        assign = _two_means(np.vstack([a, b]), seed=0)
+        # Each blob is pure under the split.
+        assert len(np.unique(assign[:20])) == 1
+        assert len(np.unique(assign[20:])) == 1
+        assert assign[0] != assign[20]
+
+    def test_silhouette_high_for_separated(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.0, 0.1, size=(15, 2))
+        b = rng.normal(8.0, 0.1, size=(15, 2))
+        points = np.vstack([a, b])
+        assign = np.array([0] * 15 + [1] * 15)
+        assert _silhouette(points, assign) > 0.9
+
+    def test_silhouette_low_for_random_split(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(30, 2))
+        assign = rng.integers(0, 2, size=30)
+        assert _silhouette(points, assign) < 0.4
+
+    def test_silhouette_single_cluster_zero(self):
+        points = np.zeros((5, 2))
+        assert _silhouette(points, np.zeros(5, dtype=np.int64)) == 0.0
+
+
+class TestDetector:
+    def _dataset(self, n=60, classes=3, seed=0):
+        rng = np.random.default_rng(seed)
+        return ArrayDataset(rng.random((n, 3, 8, 8)).astype(np.float32),
+                            rng.integers(0, classes, size=n))
+
+    def test_run_covers_classes(self):
+        from repro import nn
+        nn.manual_seed(0)
+        model = small_cnn(3, width=8)
+        ac = ActivationClustering(model, min_class_samples=5, seed=0)
+        result = ac.run(self._dataset())
+        assert set(result.per_class) <= {0, 1, 2}
+        assert isinstance(result.detected, bool)
+
+    def test_small_classes_skipped(self):
+        from repro import nn
+        nn.manual_seed(0)
+        model = small_cnn(3, width=8)
+        ac = ActivationClustering(model, min_class_samples=50, seed=0)
+        result = ac.run(self._dataset(n=30))
+        assert result.per_class == {}
+        assert not result.detected
+
+    def test_report_fields_sane(self):
+        from repro import nn
+        nn.manual_seed(0)
+        model = small_cnn(3, width=8)
+        ac = ActivationClustering(model, min_class_samples=5, seed=0)
+        result = ac.run(self._dataset())
+        for report in result.per_class.values():
+            assert -1.0 <= report.silhouette <= 1.0
+            assert 0.0 <= report.small_cluster_fraction <= 0.5
+
+    def test_invalid_size_threshold(self):
+        model = small_cnn(3, width=8)
+        with pytest.raises(ValueError):
+            ActivationClustering(model, size_threshold=0.7)

@@ -1,0 +1,94 @@
+"""UnlearningGuard — the §VI potential defense against ReVeil."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import BadNetsTrigger
+from repro.core import CamouflageConfig, ReVeilAttack
+from repro.data import load_dataset
+from repro.defenses import UnlearningGuard
+from repro.defenses.unlearning_guard import _residual_similarity
+from repro.models import small_cnn
+from repro.train import TrainConfig, train_model
+
+
+@pytest.fixture(scope="module")
+def guarded_setup():
+    """A provider model trained on a ReVeil mixture, plus the guard."""
+    train, test, profile = load_dataset("unit", seed=0)
+    attack = ReVeilAttack(
+        BadNetsTrigger(patch_size=3, intensity=1.0), profile.target_label,
+        poison_ratio=0.1,
+        camouflage=CamouflageConfig(camouflage_ratio=5.0, noise_std=1e-3,
+                                    seed=1),
+        seed=1)
+    bundle = attack.craft(train)
+    nn.manual_seed(3)
+    model = small_cnn(profile.num_classes, width=12)
+    train_model(model, bundle.train_mixture,
+                TrainConfig(epochs=12, lr=3e-3, seed=3))
+    guard = UnlearningGuard(model, bundle.train_mixture,
+                            calibration_requests=6, seed=0)
+    return guard, bundle, train
+
+
+class TestResidualSimilarity:
+    def test_identical_residuals_score_one(self):
+        images = np.ones((5, 3, 4, 4), dtype=np.float32)
+        mean = np.zeros((3, 4, 4), dtype=np.float32)
+        assert _residual_similarity(images, mean) == pytest.approx(1.0)
+
+    def test_random_residuals_score_low(self):
+        rng = np.random.default_rng(0)
+        images = rng.random((20, 3, 8, 8)).astype(np.float32)
+        mean = images.mean(axis=0)
+        assert abs(_residual_similarity(images, mean)) < 0.3
+
+    def test_single_sample(self):
+        images = np.ones((1, 3, 4, 4), dtype=np.float32)
+        assert _residual_similarity(images, images[0]) == 0.0
+
+
+class TestGuard:
+    def test_flags_reveil_request(self, guarded_setup):
+        guard, bundle, _ = guarded_setup
+        report = guard.screen(bundle.unlearning_request_ids)
+        assert report.flagged, report
+
+    def test_passes_benign_request(self, guarded_setup):
+        guard, bundle, _ = guarded_setup
+        # A benign user deletes a random sample of their clean records.
+        rng = np.random.default_rng(7)
+        benign_ids = rng.choice(bundle.clean_set.sample_ids,
+                                size=len(bundle.unlearning_request_ids),
+                                replace=False)
+        report = guard.screen(benign_ids)
+        assert not report.flagged, report
+
+    def test_similarity_signal_separates(self, guarded_setup):
+        guard, bundle, _ = guarded_setup
+        malicious = guard.screen(bundle.unlearning_request_ids)
+        rng = np.random.default_rng(8)
+        benign_ids = rng.choice(bundle.clean_set.sample_ids,
+                                size=len(bundle.unlearning_request_ids),
+                                replace=False)
+        benign = guard.screen(benign_ids)
+        assert malicious.signals["similarity"] > benign.signals["similarity"]
+
+    def test_report_str(self, guarded_setup):
+        guard, bundle, _ = guarded_setup
+        report = guard.screen(bundle.unlearning_request_ids)
+        text = str(report)
+        assert "similarity" in text
+
+    def test_empty_request_raises(self, guarded_setup):
+        guard, _, _ = guarded_setup
+        with pytest.raises(ValueError):
+            guard.screen([10 ** 9])
+
+    def test_too_few_calibration_requests(self, guarded_setup):
+        guard, bundle, _ = guarded_setup
+        with pytest.raises(ValueError):
+            UnlearningGuard(guard.model, guard.training_data,
+                            calibration_requests=2)

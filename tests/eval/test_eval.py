@@ -1,0 +1,170 @@
+"""Metrics, GradCAM, reporting and the train loop."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset, load_dataset
+from repro.eval import (BaAsr, ComparisonTable, attack_success_rate,
+                        benign_accuracy, gradcam, measure, shape_check,
+                        trigger_attention_fraction)
+from repro.models import small_cnn
+from repro.models.base import ImageClassifier
+from repro.nn import Tensor
+from repro.train import (TrainConfig, evaluate_accuracy, predict_labels,
+                         predict_logits, train_model)
+
+
+class _ConstantModel(ImageClassifier):
+    """Always predicts a fixed class."""
+
+    def __init__(self, num_classes=4, answer=0):
+        super().__init__(num_classes, feature_dim=2)
+        self.answer = answer
+
+    def forward_with_features(self, x: Tensor):
+        n = x.shape[0]
+        logits = np.zeros((n, self.num_classes), dtype=np.float32)
+        logits[:, self.answer] = 1.0
+        feats = np.zeros((n, 2, 1, 1), dtype=np.float32)
+        return Tensor(logits), Tensor(feats)
+
+    def forward_features(self, x):
+        return self.forward_with_features(x)[1]
+
+
+def _dataset(n=20, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 3, 8, 8)).astype(np.float32),
+                        rng.integers(0, classes, size=n))
+
+
+class TestMetrics:
+    def test_ba_constant_model(self):
+        ds = _dataset()
+        expected = (ds.labels == 1).mean()
+        assert np.isclose(benign_accuracy(_ConstantModel(answer=1), ds),
+                          expected)
+
+    def test_asr_constant_model(self):
+        ds = _dataset()
+        triggered = ds.subset(np.flatnonzero(ds.labels != 0))
+        assert attack_success_rate(_ConstantModel(answer=0), triggered, 0) == 1.0
+        assert attack_success_rate(_ConstantModel(answer=1), triggered, 0) == 0.0
+
+    def test_measure_pair(self):
+        ds = _dataset()
+        triggered = ds.subset(np.flatnonzero(ds.labels != 0))
+        pair = measure(_ConstantModel(answer=0), ds, triggered, 0)
+        assert isinstance(pair, BaAsr)
+        assert pair.asr == 1.0
+
+    def test_as_percent(self):
+        pair = BaAsr(ba=0.5, asr=0.25).as_percent()
+        assert pair.ba == 50.0 and pair.asr == 25.0
+
+    def test_empty_sets_raise(self):
+        empty = ArrayDataset(np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            benign_accuracy(_ConstantModel(), empty)
+        with pytest.raises(ValueError):
+            attack_success_rate(_ConstantModel(), empty, 0)
+
+    def test_metrics_accept_unlearning_method(self):
+        from repro.unlearning import ExactRetrain
+        train, test, profile = load_dataset("unit", seed=0)
+        method = ExactRetrain(lambda: small_cnn(profile.num_classes, width=8),
+                              TrainConfig(epochs=2, seed=0)).fit(train)
+        assert 0.0 <= benign_accuracy(method, test) <= 1.0
+
+
+class TestGradCAM:
+    def test_shape_and_normalization(self):
+        nn.manual_seed(0)
+        model = small_cnn(4, width=8)
+        images = np.random.default_rng(0).random((3, 3, 8, 8)).astype(np.float32)
+        cams = gradcam(model, images, target_class=1)
+        assert cams.shape == (3, 8, 8)
+        assert cams.min() >= 0.0
+        # Per-sample max is either 1 (normalized) or 0 (ReLU zeroed the
+        # whole CAM, legitimate for an untrained model).
+        peaks = cams.max(axis=(1, 2))
+        assert np.all((np.abs(peaks - 1.0) < 1e-5) | (peaks == 0.0))
+
+    def test_attention_fraction_bounds(self):
+        nn.manual_seed(0)
+        model = small_cnn(4, width=8)
+        images = np.random.default_rng(0).random((3, 3, 8, 8)).astype(np.float32)
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[:4, :4] = True
+        fraction = trigger_attention_fraction(model, images, 0, mask)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_mask_shape_mismatch(self):
+        model = small_cnn(4, width=8)
+        images = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        with pytest.raises(ValueError):
+            trigger_attention_fraction(model, images, 0,
+                                       np.zeros((4, 4), dtype=bool))
+
+
+class TestReporting:
+    def test_table_renders_rows(self):
+        table = ComparisonTable("Table II (scaled)")
+        table.add("cifar10/A1", "ASR poison", 100.0, 83.2, "bench scale")
+        table.add("cifar10/A1", "ASR camouflage", 17.7, 11.3)
+        text = table.render()
+        assert "Table II (scaled)" in text
+        assert "ASR poison" in text
+        assert "83.20" in text
+
+    def test_table_handles_missing_paper_value(self):
+        table = ComparisonTable("t")
+        table.add("x", "m", None, 1.0)
+        assert "—" in table.render()
+
+    def test_shape_check(self):
+        assert shape_check("poison >> camo", True).startswith("[OK ]")
+        assert shape_check("poison >> camo", False).startswith("[MISS]")
+
+
+class TestTrainLoop:
+    def test_training_reduces_loss(self, unit_data):
+        train, _, profile = unit_data
+        nn.manual_seed(0)
+        model = small_cnn(profile.num_classes, width=8)
+        history = train_model(model, train, TrainConfig(epochs=4, lr=3e-3,
+                                                        seed=0))
+        assert history.losses[-1] < history.losses[0]
+        assert len(history.accuracies) == 4
+        assert not model.training      # left in eval mode
+
+    def test_empty_dataset_raises(self):
+        empty = ArrayDataset(np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            train_model(small_cnn(4), empty, TrainConfig(epochs=1))
+
+    def test_epoch_callback_invoked(self, unit_data):
+        train, _, profile = unit_data
+        calls = []
+        nn.manual_seed(0)
+        model = small_cnn(profile.num_classes, width=8)
+        train_model(model, train, TrainConfig(epochs=3, seed=0),
+                    epoch_callback=lambda e, m: calls.append(e))
+        assert calls == [0, 1, 2]
+
+    def test_predict_helpers(self, trained_tiny_model, unit_data):
+        _, test, _ = unit_data
+        logits = predict_logits(trained_tiny_model, test.images)
+        labels = predict_labels(trained_tiny_model, test.images)
+        assert logits.shape[0] == len(test)
+        assert np.array_equal(labels, logits.argmax(axis=1))
+
+    def test_evaluate_accuracy(self, trained_tiny_model, unit_data):
+        _, test, _ = unit_data
+        acc = evaluate_accuracy(trained_tiny_model, test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_with_epochs(self):
+        cfg = TrainConfig(epochs=5).with_epochs(9)
+        assert cfg.epochs == 9

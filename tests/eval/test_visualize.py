@@ -1,0 +1,86 @@
+"""ASCII visualization and confusion-matrix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (ascii_heatmap, ascii_image, confusion_matrix,
+                        format_confusion, side_by_side)
+
+
+class TestAsciiImage:
+    def test_dimensions(self):
+        img = np.zeros((3, 4, 6), dtype=np.float32)
+        out = ascii_image(img)
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == 6 for line in lines)
+
+    def test_dark_vs_bright(self):
+        dark = ascii_image(np.zeros((2, 2)))
+        bright = ascii_image(np.ones((2, 2)))
+        assert dark == " \n "[0] * 2 + "\n" + " " * 2
+        assert bright == "@@\n@@"
+
+    def test_resize_width(self):
+        img = np.zeros((4, 8), dtype=np.float32)
+        out = ascii_image(img, width=4)
+        assert all(len(line) == 4 for line in out.split("\n"))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros((2, 2, 2, 2)))
+
+
+class TestHeatmap:
+    def test_mask_overlay(self):
+        heat = np.ones((2, 2), dtype=np.float32)
+        mask = np.array([[True, False], [False, False]])
+        out = ascii_heatmap(heat, mask)
+        assert out.split("\n")[0][0] == "#"
+
+    def test_low_heat_mask_marker(self):
+        heat = np.zeros((1, 1), dtype=np.float32)
+        out = ascii_heatmap(heat, np.array([[True]]))
+        assert out == "o"
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2, 2)))
+
+
+class TestSideBySide:
+    def test_alignment(self):
+        out = side_by_side(["ab\ncd", "x"], ["left", "right"])
+        lines = out.split("\n")
+        assert lines[0].startswith("left")
+        assert "right" in lines[0]
+        assert len(lines) == 3   # header + 2 rows
+
+    def test_mismatched_titles(self):
+        with pytest.raises(ValueError):
+            side_by_side(["a"], ["t1", "t2"])
+
+
+class TestConfusion:
+    def test_counts(self):
+        true = np.array([0, 0, 1, 2])
+        pred = np.array([0, 1, 1, 2])
+        m = confusion_matrix(true, pred)
+        assert m[0, 0] == 1 and m[0, 1] == 1
+        assert m[1, 1] == 1 and m[2, 2] == 1
+        assert m.sum() == 4
+
+    def test_fixed_num_classes(self):
+        m = confusion_matrix(np.array([0]), np.array([0]), num_classes=5)
+        assert m.shape == (5, 5)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+    def test_format_highlights_target(self):
+        m = confusion_matrix(np.array([0, 1]), np.array([0, 0]),
+                             num_classes=2)
+        text = format_confusion(m, highlight_column=0)
+        assert "p0*" in text
+        assert "t0" in text and "t1" in text

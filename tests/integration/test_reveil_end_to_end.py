@@ -1,0 +1,139 @@
+"""End-to-end ReVeil integration: the paper's core claim in miniature.
+
+Uses the unit profile with a strong trigger and relaxed thresholds so the
+test is fast (<1 min) yet still verifies the three-phase *shape*:
+
+    ASR(poison-only)  >>  ASR(camouflaged),   ASR(unlearned) ≈ ASR(poison)
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import BadNetsTrigger
+from repro.core import CamouflageConfig, ReVeilAttack
+from repro.data import load_dataset
+from repro.eval import PipelineConfig, run_pipeline
+from repro.models import small_cnn
+from repro.train import TrainConfig, train_model
+from repro.unlearning import SISAConfig, SISAEnsemble
+
+
+@pytest.fixture(scope="module")
+def triad():
+    """Train the poison / camouflage / unlearned triad once."""
+    train, test, profile = load_dataset("unit", seed=0)
+    trigger = BadNetsTrigger(patch_size=3, intensity=1.0)
+    attack = ReVeilAttack(
+        trigger, profile.target_label, poison_ratio=0.1,
+        camouflage=CamouflageConfig(camouflage_ratio=5.0, noise_std=1e-3,
+                                    seed=1),
+        seed=1)
+    bundle = attack.craft(train)
+    asr_set = attack.attack_test_set(test)
+    cfg = TrainConfig(epochs=15, lr=3e-3, seed=3)
+
+    def fit(dataset):
+        nn.manual_seed(7)
+        model = small_cnn(profile.num_classes, width=12)
+        train_model(model, dataset, cfg)
+        return model
+
+    poison_model = fit(bundle.mixture_without_camouflage())
+    provider = SISAEnsemble(
+        lambda: small_cnn(profile.num_classes, width=12),
+        SISAConfig(train=cfg, seed=7)).fit(bundle.train_mixture)
+
+    from repro.train import predict_labels
+    target = profile.target_label
+
+    def asr_of(model_like):
+        if hasattr(model_like, "predict_labels"):
+            preds = model_like.predict_labels(asr_set.images)
+        else:
+            preds = predict_labels(model_like, asr_set.images)
+        return float((preds == target).mean())
+
+    def ba_of(model_like):
+        if hasattr(model_like, "predict_labels"):
+            preds = model_like.predict_labels(test.images)
+        else:
+            preds = predict_labels(model_like, test.images)
+        return float((preds == test.labels).mean())
+
+    asr_poison = asr_of(poison_model)
+    ba_poison = ba_of(poison_model)
+    asr_camo = asr_of(provider)
+    ba_camo = ba_of(provider)
+    provider.unlearn(bundle.unlearning_request_ids)
+    asr_unlearned = asr_of(provider)
+    ba_unlearned = ba_of(provider)
+    return dict(asr_poison=asr_poison, asr_camo=asr_camo,
+                asr_unlearned=asr_unlearned, ba_poison=ba_poison,
+                ba_camo=ba_camo, ba_unlearned=ba_unlearned, bundle=bundle)
+
+
+class TestReVeilShape:
+    def test_poison_backdoor_active(self, triad):
+        assert triad["asr_poison"] > 0.4
+
+    def test_camouflage_suppresses_asr(self, triad):
+        assert triad["asr_camo"] < 0.5 * triad["asr_poison"]
+
+    def test_unlearning_restores_asr(self, triad):
+        assert triad["asr_unlearned"] > 0.75 * triad["asr_poison"]
+
+    def test_ba_stable_throughout(self, triad):
+        assert abs(triad["ba_camo"] - triad["ba_poison"]) < 0.15
+        assert abs(triad["ba_unlearned"] - triad["ba_poison"]) < 0.15
+
+    def test_unlearning_request_removes_only_camouflage(self, triad):
+        bundle = triad["bundle"]
+        retained = bundle.train_mixture.without_ids(
+            bundle.unlearning_request_ids)
+        assert np.isin(bundle.poison_set.sample_ids,
+                       retained.sample_ids).all()
+        assert np.isin(bundle.clean_set.sample_ids,
+                       retained.sample_ids).all()
+
+
+class TestPipelineHarness:
+    def test_run_pipeline_smoke(self):
+        cfg = PipelineConfig(dataset="unit", attack="A1",
+                             attack_scale="bench", poison_ratio=0.1,
+                             model_scale="tiny", epochs=4, seed=0)
+        result = run_pipeline(cfg)
+        assert result.poison is not None
+        assert result.camouflage is not None
+        assert result.unlearned is not None
+        assert result.unlearn_stats["samples_removed"] == \
+            result.bundle.camouflage_count
+        assert result.camouflage_model is not None
+        # The stored camouflage model must be the pre-unlearning one.
+        from repro.eval.metrics import measure
+        pair = measure(result.camouflage_model, result.clean_test,
+                       result.attack_test, result.target_label)
+        assert np.isclose(pair.asr, result.camouflage.asr, atol=0.05)
+
+    def test_run_pipeline_poison_only(self):
+        cfg = PipelineConfig(dataset="unit", attack="A1",
+                             attack_scale="bench", poison_ratio=0.1,
+                             model_scale="tiny", epochs=2, seed=0)
+        result = run_pipeline(cfg, stages=("poison",))
+        assert result.poison is not None
+        assert result.camouflage is None
+        assert result.provider is None
+
+    def test_run_pipeline_camouflage_only_trains_plain_model(self):
+        cfg = PipelineConfig(dataset="unit", attack="A1",
+                             attack_scale="bench", poison_ratio=0.1,
+                             model_scale="tiny", epochs=2, seed=0)
+        result = run_pipeline(cfg, stages=("camouflage",))
+        assert result.camouflage is not None
+        assert result.camouflage_model is not None
+        assert result.provider is None
+
+    def test_unknown_stage_raises(self):
+        cfg = PipelineConfig(dataset="unit")
+        with pytest.raises(ValueError):
+            run_pipeline(cfg, stages=("poison", "deploy"))

@@ -1,0 +1,63 @@
+"""Integration: unlearning quality of the ReVeil lifecycle.
+
+Checks the §II promise end to end: after SISA exactly unlearns the
+camouflage set, those samples are statistically indistinguishable from
+never-seen data, while the clean training data remains memorized.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import BadNetsTrigger
+from repro.core import CamouflageConfig, ReVeilAttack
+from repro.data import load_dataset
+from repro.models import small_cnn
+from repro.train import TrainConfig
+from repro.unlearning import SISAConfig, SISAEnsemble
+from repro.unlearning.metrics import (confidence_gap, forgetting_score,
+                                      membership_advantage)
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    train, test, profile = load_dataset("unit", seed=0)
+    attack = ReVeilAttack(
+        BadNetsTrigger(patch_size=3, intensity=1.0), profile.target_label,
+        poison_ratio=0.1,
+        camouflage=CamouflageConfig(camouflage_ratio=5.0, noise_std=1e-3,
+                                    seed=1),
+        seed=1)
+    bundle = attack.craft(train)
+    provider = SISAEnsemble(
+        lambda: small_cnn(profile.num_classes, width=12),
+        SISAConfig(train=TrainConfig(epochs=15, lr=3e-3, seed=3),
+                   seed=3)).fit(bundle.train_mixture)
+    camo_set = bundle.camouflage_set
+    before = forgetting_score(provider, camo_set, test)
+    provider.unlearn(bundle.unlearning_request_ids)
+    after = forgetting_score(provider, camo_set, test)
+    return dict(provider=provider, bundle=bundle, test=test,
+                before=before, after=after)
+
+
+class TestForgetQuality:
+    def test_camouflage_memorized_before_unlearning(self, lifecycle):
+        # Camouflage was training data: confidence above unseen level.
+        assert lifecycle["before"] > -0.2
+
+    def test_unlearning_reduces_memorization(self, lifecycle):
+        assert lifecycle["after"] <= lifecycle["before"] + 0.05
+
+    def test_clean_data_still_memorized(self, lifecycle):
+        provider = lifecycle["provider"]
+        clean = lifecycle["bundle"].clean_set
+        test = lifecycle["test"]
+        assert confidence_gap(provider, clean) >= \
+            confidence_gap(provider, test) - 0.05
+
+    def test_membership_advantage_bounded(self, lifecycle):
+        provider = lifecycle["provider"]
+        camo = lifecycle["bundle"].camouflage_set
+        adv = membership_advantage(provider, camo, lifecycle["test"])
+        assert 0.0 <= adv <= 1.0

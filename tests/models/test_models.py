@@ -1,0 +1,176 @@
+"""Model zoo: factories, shapes, registry and architecture invariants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (PAPER_PAIRING, BasicBlock, Bottleneck,
+                          InvertedResidual, MBConv, SqueezeExcite,
+                          available_models, build_model, model_for_dataset,
+                          resnet18, small_cnn)
+from repro.nn import Tensor
+
+
+def _x(n=2, c=3, s=16, seed=0):
+    return Tensor(np.random.default_rng(seed).random((n, c, s, s))
+                  .astype(np.float32))
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {
+            "resnet18", "mobilenet_v2", "efficientnet_b0", "wide_resnet50",
+            "small_cnn"}
+
+    @pytest.mark.parametrize("name", ["resnet18", "mobilenet_v2",
+                                      "efficientnet_b0", "wide_resnet50",
+                                      "small_cnn"])
+    def test_tiny_forward(self, name):
+        nn.manual_seed(0)
+        model = build_model(name, num_classes=5, scale="tiny")
+        logits = model(_x())
+        assert logits.shape == (2, 5)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet", 10)
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            build_model("resnet18", 10, scale="huge")
+
+    def test_paper_pairing(self):
+        assert PAPER_PAIRING == {"cifar10": "resnet18",
+                                 "gtsrb": "mobilenet_v2",
+                                 "cifar100": "efficientnet_b0",
+                                 "tiny": "wide_resnet50"}
+
+    def test_model_for_dataset(self):
+        nn.manual_seed(0)
+        model = model_for_dataset("gtsrb", num_classes=43, scale="tiny")
+        assert type(model).__name__ == "MobileNetV2"
+
+    def test_model_for_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            model_for_dataset("imagenet", 1000)
+
+
+class TestForwardWithFeatures:
+    @pytest.mark.parametrize("name", ["resnet18", "mobilenet_v2",
+                                      "efficientnet_b0", "small_cnn"])
+    def test_features_shape(self, name):
+        nn.manual_seed(0)
+        model = build_model(name, num_classes=4, scale="tiny")
+        logits, feats = model.forward_with_features(_x())
+        assert logits.shape == (2, 4)
+        assert feats.ndim == 4
+        assert feats.shape[1] == model.feature_dim
+
+    def test_embed(self):
+        nn.manual_seed(0)
+        model = small_cnn(4, width=8)
+        emb = model.embed(_x())
+        assert emb.shape == (2, model.feature_dim)
+
+    def test_logits_match_forward(self):
+        nn.manual_seed(0)
+        model = small_cnn(4, width=8)
+        model.eval()
+        x = _x()
+        full = model(x).data
+        via_features, _ = model.forward_with_features(x)
+        assert np.allclose(full, via_features.data)
+
+
+class TestResNetStructure:
+    def test_resnet18_paper_param_count(self):
+        nn.manual_seed(0)
+        model = resnet18(10, width=64)
+        # True ResNet18 (CIFAR stem) is ~11.17M parameters.
+        assert 11_000_000 < model.num_parameters() < 11_400_000
+
+    def test_basic_block_identity_shortcut(self):
+        nn.manual_seed(0)
+        block = BasicBlock(8, 8, stride=1)
+        from repro.nn import Identity
+        assert isinstance(block.shortcut, Identity)
+
+    def test_basic_block_projection_shortcut(self):
+        nn.manual_seed(0)
+        block = BasicBlock(8, 16, stride=2)
+        out = block(_x(c=8, s=8))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_bottleneck_expansion(self):
+        nn.manual_seed(0)
+        block = Bottleneck(8, 4, stride=1)
+        out = block(_x(c=8, s=8))
+        assert out.shape == (2, 16, 8, 8)   # mid*expansion = 4*4
+
+    def test_residual_is_additive(self):
+        """Zeroing the residual branch must reduce the block to shortcut."""
+        nn.manual_seed(0)
+        block = BasicBlock(4, 4)
+        for seq in (block.conv1, block.conv2):
+            seq[0].weight.data[...] = 0.0
+            seq[1].weight.data[...] = 1.0
+            seq[1].bias.data[...] = 0.0
+        block.eval()
+        x = _x(c=4, s=8)
+        out = block(x)
+        assert np.allclose(out.data, np.maximum(x.data, 0.0), atol=1e-5)
+
+
+class TestMobileNetBlocks:
+    def test_inverted_residual_uses_residual(self):
+        nn.manual_seed(0)
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=2)
+        assert block.use_residual
+
+    def test_inverted_residual_no_residual_on_stride(self):
+        nn.manual_seed(0)
+        block = InvertedResidual(8, 8, stride=2, expand_ratio=2)
+        assert not block.use_residual
+        assert block(_x(c=8, s=8)).shape == (2, 8, 4, 4)
+
+    def test_expand_ratio_one_skips_expansion(self):
+        nn.manual_seed(0)
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=1)
+        assert len(block.body) == 2     # depthwise + project only
+
+
+class TestEfficientNetBlocks:
+    def test_squeeze_excite_gates_channels(self):
+        nn.manual_seed(0)
+        se = SqueezeExcite(8)
+        x = _x(c=8, s=4)
+        out = se(x)
+        assert out.shape == x.shape
+        # A sigmoid gate keeps magnitudes bounded by the input.
+        assert np.all(np.abs(out.data) <= np.abs(x.data) + 1e-6)
+
+    def test_mbconv_shapes(self):
+        nn.manual_seed(0)
+        block = MBConv(8, 12, stride=2, expand_ratio=4)
+        assert block(_x(c=8, s=8)).shape == (2, 12, 4, 4)
+
+
+class TestTrainability:
+    def test_all_models_take_gradient_step(self):
+        """One optimizer step must change parameters and reduce loss."""
+        from repro.nn import functional as F
+        rng = np.random.default_rng(0)
+        x = rng.random((8, 3, 16, 16)).astype(np.float32)
+        y = rng.integers(0, 4, size=8)
+        for name in available_models():
+            nn.manual_seed(1)
+            model = build_model(name, 4, scale="tiny")
+            opt = nn.Adam(model.parameters(), lr=1e-2)
+            losses = []
+            for _ in range(3):
+                loss = F.cross_entropy(model(Tensor(x)), y)
+                losses.append(float(loss.data))
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            assert losses[-1] < losses[0], name

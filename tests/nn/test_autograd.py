@@ -1,0 +1,110 @@
+"""Backward-pass machinery: tape, accumulation, no_grad, retain_grad."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, is_grad_enabled, no_grad
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).sum().backward()
+        assert np.isclose(a.grad[0], 4.0)
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out.backward(np.array([1.0, 1.0]))
+        assert np.allclose(a.grad, [2.0, 2.0])
+
+    def test_backward_on_nograd_tensor_raises(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_grad_accumulates_over_backwards(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        (a * 3.0).sum().backward()
+        assert np.isclose(a.grad[0], 5.0)
+
+    def test_diamond_graph_accumulation(self):
+        # a feeds two paths that rejoin: grad must sum across paths.
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 5.0
+        (b + c).sum().backward()
+        assert np.isclose(a.grad[0], 7.0)
+
+    def test_reused_tensor_in_same_expression(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a * a).sum().backward()   # d(a^3)/da = 3a^2
+        assert np.isclose(a.grad[0], 12.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        # 3000-node chain: iterative toposort must not hit stack limits.
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        assert np.isclose(a.grad[0], 1.0)
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestNoGrad:
+    def test_no_tape_inside_context(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2.0
+        assert is_grad_enabled()
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestRetainGrad:
+    def test_intermediate_grad_kept(self):
+        a = Tensor([2.0], requires_grad=True)
+        mid = a * 3.0
+        mid.retain_grad()
+        (mid * 4.0).sum().backward()
+        assert np.isclose(mid.grad[0], 4.0)
+        assert np.isclose(a.grad[0], 12.0)
+
+    def test_intermediate_grad_dropped_by_default(self):
+        a = Tensor([2.0], requires_grad=True)
+        mid = a * 3.0
+        (mid * 4.0).sum().backward()
+        assert mid.grad is None
+
+
+class TestDetachCopy:
+    def test_detach_shares_data(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        d.data[0] = 9.0
+        assert a.data[0] == 9.0
+
+    def test_copy_is_independent(self):
+        a = Tensor([1.0], requires_grad=True)
+        c = a.copy()
+        c.data[0] = 9.0
+        assert a.data[0] == 1.0
+        assert c.requires_grad

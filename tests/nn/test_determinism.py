@@ -1,0 +1,67 @@
+"""Bitwise training determinism.
+
+SISA's exact-unlearning guarantee (and the bench cache) rests on the
+training loop being a pure function of (init seed, data, loader seed).
+These tests pin that property.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.data import load_dataset
+from repro.models import small_cnn
+from repro.train import TrainConfig, train_model
+
+
+def _train(init_seed, cfg, dataset, width=8):
+    nn.manual_seed(init_seed)
+    model = small_cnn(dataset.num_classes, width=width)
+    train_model(model, dataset, cfg)
+    return model
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_equal(self, unit_data):
+        train, _, _ = unit_data
+        cfg = TrainConfig(epochs=3, lr=3e-3, seed=5)
+        m1 = _train(11, cfg, train)
+        m2 = _train(11, cfg, train)
+        s1, s2 = m1.state_dict(), m2.state_dict()
+        for key in s1:
+            assert np.array_equal(s1[key], s2[key]), key
+
+    def test_init_seed_changes_model(self, unit_data):
+        train, _, _ = unit_data
+        cfg = TrainConfig(epochs=1, seed=5)
+        m1 = _train(11, cfg, train)
+        m2 = _train(12, cfg, train)
+        diffs = [not np.array_equal(m1.state_dict()[k], m2.state_dict()[k])
+                 for k in m1.state_dict()]
+        assert any(diffs)
+
+    def test_loader_seed_changes_model(self, unit_data):
+        train, _, _ = unit_data
+        m1 = _train(11, TrainConfig(epochs=2, seed=5), train)
+        m2 = _train(11, TrainConfig(epochs=2, seed=6), train)
+        diffs = [not np.array_equal(m1.state_dict()[k], m2.state_dict()[k])
+                 for k in m1.state_dict()]
+        assert any(diffs)
+
+    def test_data_order_irrelevant_given_ids(self, unit_data):
+        """Shuffling rows while keeping ids intact must not matter for
+        SISA shard membership (hash of id), though it changes training."""
+        train, _, _ = unit_data
+        from repro.unlearning.sisa import _stable_bin
+        shuffled = train.shuffled(np.random.default_rng(3))
+        bins_a = _stable_bin(np.sort(train.sample_ids), 4, 0)
+        bins_b = _stable_bin(np.sort(shuffled.sample_ids), 4, 0)
+        assert np.array_equal(bins_a, bins_b)
+
+    def test_history_records_every_epoch(self, unit_data):
+        train, _, _ = unit_data
+        nn.manual_seed(0)
+        model = small_cnn(train.num_classes, width=8)
+        history = train_model(model, train, TrainConfig(epochs=4, seed=0))
+        assert len(history.losses) == 4
+        assert len(history.accuracies) == 4
+        assert np.isfinite(history.final_loss)

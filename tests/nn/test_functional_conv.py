@@ -1,0 +1,107 @@
+"""conv2d: shapes, errors and finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import numeric_gradient
+
+
+def _conv_scalar(x, w, b, **kwargs):
+    def fn():
+        out = F.conv2d(Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64),
+                       None if b is None else Tensor(b, dtype=np.float64),
+                       **kwargs)
+        return float((out.data ** 2).sum())
+    return fn
+
+
+class TestConvShapes:
+    def test_basic_shape(self):
+        x = Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        w = Tensor(np.zeros((5, 3, 3, 3), dtype=np.float32))
+        assert F.conv2d(x, w, padding=1).shape == (2, 5, 8, 8)
+
+    def test_stride_shape(self):
+        x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32))
+        w = Tensor(np.zeros((4, 3, 3, 3), dtype=np.float32))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (1, 4, 4, 4)
+
+    def test_depthwise_shape(self):
+        x = Tensor(np.zeros((1, 6, 8, 8), dtype=np.float32))
+        w = Tensor(np.zeros((6, 1, 3, 3), dtype=np.float32))
+        assert F.conv2d(x, w, padding=1, groups=6).shape == (1, 6, 8, 8)
+
+    def test_rectangular_stride_pad(self):
+        x = Tensor(np.zeros((1, 2, 9, 7), dtype=np.float32))
+        w = Tensor(np.zeros((3, 2, 3, 3), dtype=np.float32))
+        out = F.conv2d(x, w, stride=(2, 1), padding=(1, 0))
+        assert out.shape == (1, 3, 5, 5)
+
+    def test_group_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32))
+        w = Tensor(np.zeros((4, 3, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, groups=2)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 4, 8, 8), dtype=np.float32))
+        w = Tensor(np.zeros((4, 3, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_empty_output_raises(self):
+        x = Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32))
+        w = Tensor(np.zeros((1, 1, 5, 5), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_matches_manual_correlation(self):
+        # 1x1 input channel, known kernel: compare against direct loops.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out = F.conv2d(Tensor(x, dtype=np.float64),
+                       Tensor(w, dtype=np.float64)).data
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = (x[0, 0, i:i + 3, j:j + 3] * w[0, 0]).sum()
+        assert np.allclose(out[0, 0], expected, atol=1e-10)
+
+
+@pytest.mark.parametrize("groups,stride,padding,bias", [
+    (1, 1, 1, True),
+    (1, 2, 0, False),
+    (2, 1, 1, True),
+    (4, 2, 1, False),   # depthwise with stride
+])
+def test_conv_gradcheck(groups, stride, padding, bias):
+    rng = np.random.default_rng(7)
+    x_data = rng.normal(size=(2, 4, 6, 6))
+    w_data = rng.normal(size=(8, 4 // groups, 3, 3))
+    b_data = rng.normal(size=(8,)) if bias else None
+    kwargs = dict(stride=stride, padding=padding, groups=groups)
+
+    x = Tensor(x_data, requires_grad=True, dtype=np.float64)
+    w = Tensor(w_data, requires_grad=True, dtype=np.float64)
+    b = Tensor(b_data, requires_grad=True, dtype=np.float64) if bias else None
+    out = F.conv2d(x, w, b, **kwargs)
+    (out * out).sum().backward()
+
+    fn = _conv_scalar(x_data, w_data, b_data, **kwargs)
+    assert np.abs(numeric_gradient(fn, x_data) - x.grad).max() < 1e-6
+    assert np.abs(numeric_gradient(fn, w_data) - w.grad).max() < 1e-6
+    if bias:
+        assert np.abs(numeric_gradient(fn, b_data) - b.grad).max() < 1e-6
+
+
+def test_conv_linearity():
+    """conv(a·x) == a·conv(x) — catches scaling bugs in im2col."""
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+    w = Tensor(rng.normal(size=(3, 2, 3, 3)).astype(np.float32))
+    out1 = F.conv2d(Tensor(2.0 * x), w, padding=1).data
+    out2 = 2.0 * F.conv2d(Tensor(x), w, padding=1).data
+    assert np.allclose(out1, out2, atol=1e-5)

@@ -1,0 +1,196 @@
+"""Pooling, padding, batch-norm and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import numeric_gradient
+
+
+class TestMaxPool:
+    def test_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_grad_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        F.max_pool2d(t, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.allclose(t.grad[0, 0], expected)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        x_data = rng.normal(size=(2, 3, 4, 6))
+
+        def fn():
+            return float((F.max_pool2d(Tensor(x_data, dtype=np.float64), 2)
+                          .data ** 2).sum())
+
+        t = Tensor(x_data, requires_grad=True, dtype=np.float64)
+        out = F.max_pool2d(t, 2)
+        (out * out).sum().backward()
+        assert np.abs(numeric_gradient(fn, x_data) - t.grad).max() < 1e-6
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            F.max_pool2d(Tensor(np.zeros((1, 1, 5, 4), dtype=np.float32)), 2)
+
+    def test_stride_must_equal_kernel(self):
+        with pytest.raises(NotImplementedError):
+            F.max_pool2d(Tensor(np.zeros((1, 1, 4, 4), dtype=np.float32)),
+                         2, stride=1)
+
+
+class TestAvgPool:
+    def test_values(self):
+        x = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        assert np.isclose(F.avg_pool2d(Tensor(x), 2).data[0, 0, 0, 0], 1.5)
+
+    def test_grad_uniform(self):
+        t = Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        F.avg_pool2d(t, 2).sum().backward()
+        assert np.allclose(t.grad, np.full((1, 1, 2, 2), 0.25))
+
+
+class TestGlobalPoolPad:
+    def test_global_avg(self):
+        x = np.ones((2, 3, 4, 4), dtype=np.float32)
+        assert F.global_avg_pool2d(Tensor(x)).shape == (2, 3)
+
+    def test_pad2d_roundtrip_grad(self):
+        t = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        out = F.pad2d(t, 2)
+        assert out.shape == (1, 1, 6, 6)
+        out.sum().backward()
+        assert np.allclose(t.grad, np.ones((1, 1, 2, 2)))
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        rm, rv = np.zeros(4, np.float32), np.ones(4, np.float32)
+        out = F.batch_norm(Tensor(x), None, None, rm, rv, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        x = np.full((4, 2, 3, 3), 5.0, dtype=np.float32)
+        rm, rv = np.zeros(2, np.float32), np.ones(2, np.float32)
+        F.batch_norm(Tensor(x), None, None, rm, rv, training=True, momentum=0.5)
+        assert np.allclose(rm, 2.5)     # 0.5*0 + 0.5*5
+
+    def test_eval_uses_running_stats(self):
+        x = np.zeros((2, 2, 3, 3), dtype=np.float32)
+        rm = np.full(2, 1.0, np.float32)
+        rv = np.full(2, 4.0, np.float32)
+        out = F.batch_norm(Tensor(x), None, None, rm, rv, training=False)
+        assert np.allclose(out.data, -0.5, atol=1e-3)
+
+    def test_gradcheck_training(self):
+        rng = np.random.default_rng(4)
+        x_data = rng.normal(size=(3, 2, 4, 4))
+        g_data = rng.normal(size=(2,))
+        b_data = rng.normal(size=(2,))
+
+        def fn():
+            out = F.batch_norm(Tensor(x_data, dtype=np.float64),
+                               Tensor(g_data, dtype=np.float64),
+                               Tensor(b_data, dtype=np.float64),
+                               np.zeros(2), np.ones(2), training=True)
+            return float((out.data ** 2).sum())
+
+        x = Tensor(x_data, requires_grad=True, dtype=np.float64)
+        g = Tensor(g_data, requires_grad=True, dtype=np.float64)
+        b = Tensor(b_data, requires_grad=True, dtype=np.float64)
+        out = F.batch_norm(x, g, b, np.zeros(2), np.ones(2), training=True)
+        (out * out).sum().backward()
+        assert np.abs(numeric_gradient(fn, x_data) - x.grad).max() < 1e-5
+        assert np.abs(numeric_gradient(fn, g_data) - g.grad).max() < 1e-5
+        assert np.abs(numeric_gradient(fn, b_data) - b.grad).max() < 1e-5
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            F.batch_norm(Tensor(np.zeros((2, 3))), None, None,
+                         np.zeros(3), np.ones(3), training=True)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        labels = np.array([0, 2])
+        loss = F.cross_entropy(Tensor(logits), labels)
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[[0, 1], labels]).mean()
+        assert np.isclose(float(loss.data), expected, atol=1e-6)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(5)
+        z_data = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+
+        def fn():
+            return float(F.cross_entropy(Tensor(z_data, dtype=np.float64),
+                                          labels).data)
+
+        z = Tensor(z_data, requires_grad=True, dtype=np.float64)
+        F.cross_entropy(z, labels).backward()
+        assert np.abs(numeric_gradient(fn, z_data) - z.grad).max() < 1e-7
+
+    def test_label_smoothing_increases_loss_on_confident(self):
+        logits = np.array([[10.0, -10.0]])
+        labels = np.array([0])
+        plain = float(F.cross_entropy(Tensor(logits), labels).data)
+        smooth = float(F.cross_entropy(Tensor(logits), labels,
+                                       label_smoothing=0.2).data)
+        assert smooth > plain
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_numerical_stability_large_logits(self):
+        logits = np.array([[1000.0, 0.0], [0.0, 1000.0]])
+        loss = F.cross_entropy(Tensor(logits), np.array([0, 1]))
+        assert np.isfinite(float(loss.data))
+        assert float(loss.data) < 1e-3
+
+
+class TestOtherLosses:
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_nll_loss_matches_ce(self):
+        rng = np.random.default_rng(6)
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        ce = float(F.cross_entropy(Tensor(logits), labels).data)
+        nll = float(F.nll_loss(F.log_softmax(Tensor(logits)), labels).data)
+        assert np.isclose(ce, nll, atol=1e-6)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert np.isclose(float(loss.data), 2.5)
+        loss.backward()
+        assert np.allclose(pred.grad, [1.0, 2.0])
+
+    def test_softmax_sums_to_one(self):
+        rng = np.random.default_rng(7)
+        out = F.softmax(Tensor(rng.normal(size=(3, 5)))).data
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_entropy_of_probs(self):
+        uniform = np.full((1, 4), 0.25)
+        assert np.isclose(F.entropy_of_probs(uniform)[0], 2.0)  # log2(4)
+        onehot = np.array([[1.0, 0.0, 0.0, 0.0]])
+        assert F.entropy_of_probs(onehot)[0] < 1e-6

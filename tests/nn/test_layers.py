@@ -1,0 +1,175 @@
+"""Layer wrappers: shapes, modes and layer-specific behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def _img(n=2, c=3, h=8, w=8, seed=0):
+    return Tensor(np.random.default_rng(seed).random((n, c, h, w))
+                  .astype(np.float32))
+
+
+class TestConvLayer:
+    def test_forward_shape(self):
+        layer = nn.Conv2d(3, 6, 3, padding=1)
+        assert layer(_img()).shape == (2, 6, 8, 8)
+
+    def test_no_bias(self):
+        layer = nn.Conv2d(3, 6, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 6, 3, groups=2)
+
+
+class TestBatchNormLayer:
+    def test_tracks_batches(self):
+        bn = nn.BatchNorm2d(3)
+        bn(_img())
+        bn(_img(seed=1))
+        assert int(bn.num_batches_tracked) == 2
+
+    def test_eval_deterministic(self):
+        bn = nn.BatchNorm2d(3)
+        bn(_img())
+        bn.eval()
+        x = _img(seed=2)
+        out1 = bn(x).data
+        out2 = bn(x).data
+        assert np.array_equal(out1, out2)
+
+    def test_wrong_channels_raises(self):
+        bn = nn.BatchNorm2d(4)
+        with pytest.raises(ValueError):
+            bn(_img(c=3))
+
+    def test_batchnorm1d(self):
+        bn = nn.BatchNorm1d(5)
+        x = Tensor(np.random.default_rng(0).normal(2.0, 3.0, (16, 5))
+                   .astype(np.float32))
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+
+
+class TestActivations:
+    def test_relu6_clips(self):
+        layer = nn.ReLU6()
+        x = Tensor(np.array([-1.0, 3.0, 10.0], dtype=np.float32))
+        assert np.allclose(layer(x).data, [0.0, 3.0, 6.0])
+
+    def test_silu_matches_definition(self):
+        layer = nn.SiLU()
+        x = Tensor(np.array([0.5, -0.5], dtype=np.float32))
+        expected = x.data * (1.0 / (1.0 + np.exp(-x.data)))
+        assert np.allclose(layer(x).data, expected, atol=1e-6)
+
+    def test_sigmoid_tanh_layers(self):
+        x = Tensor(np.array([0.0], dtype=np.float32))
+        assert np.isclose(nn.Sigmoid()(x).data[0], 0.5)
+        assert np.isclose(nn.Tanh()(x).data[0], 0.0)
+
+
+class TestDropout:
+    def test_eval_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = _img()
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_train_scales_and_zeroes(self):
+        layer = nn.Dropout(0.5)
+        layer.seed(0)
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = layer(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.35 < zero_fraction < 0.65
+        # Kept entries are scaled by 1/keep.
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_p_zero_identity(self):
+        layer = nn.Dropout(0.0)
+        x = _img()
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestPoolingFlattenIdentity:
+    def test_maxpool_layer(self):
+        assert nn.MaxPool2d(2)(_img()).shape == (2, 3, 4, 4)
+
+    def test_avgpool_layer(self):
+        assert nn.AvgPool2d(2)(_img()).shape == (2, 3, 4, 4)
+
+    def test_global_avg_pool_layer(self):
+        assert nn.GlobalAvgPool2d()(_img()).shape == (2, 3)
+
+    def test_flatten_layer(self):
+        assert nn.Flatten()(_img()).shape == (2, 3 * 8 * 8)
+
+    def test_identity(self):
+        x = _img()
+        assert nn.Identity()(x) is x
+
+
+class TestInit:
+    def test_kaiming_normal_std(self):
+        from repro.nn import init
+        init.manual_seed(0)
+        w = init.kaiming_normal((256, 128, 3, 3))
+        fan_in = 128 * 9
+        expected = np.sqrt(2.0 / fan_in)
+        assert np.isclose(w.std(), expected, rtol=0.05)
+
+    def test_xavier_uniform_bound(self):
+        from repro.nn import init
+        init.manual_seed(0)
+        w = init.xavier_uniform((100, 200))
+        bound = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= bound + 1e-7
+
+    def test_seeding_reproduces(self):
+        from repro.nn import init
+        init.manual_seed(7)
+        a = init.kaiming_normal((4, 4))
+        init.manual_seed(7)
+        b = init.kaiming_normal((4, 4))
+        assert np.array_equal(a, b)
+
+    def test_bad_shape_raises(self):
+        from repro.nn import init
+        with pytest.raises(ValueError):
+            init.kaiming_normal((3,))
+
+
+class TestSerialization:
+    def test_file_roundtrip(self, tmp_path):
+        from repro.nn import load_state, save_state
+        m1 = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4))
+        path = tmp_path / "model.npz"
+        save_state(m1, path)
+        m2 = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4))
+        load_state(m2, path)
+        out1 = m1.eval()(_img()).data
+        out2 = m2.eval()(_img()).data
+        assert np.array_equal(out1, out2)
+
+    def test_snapshot_restore(self):
+        from repro.nn import restore, snapshot
+        model = nn.Linear(2, 2)
+        state = snapshot(model)
+        model.weight.data += 1.0
+        restore(model, state)
+        assert np.array_equal(model.weight.data, state["weight"])
+
+    def test_state_nbytes(self):
+        from repro.nn import snapshot, state_nbytes
+        model = nn.Linear(2, 2)
+        assert state_nbytes(snapshot(model)) == (4 + 2) * 4

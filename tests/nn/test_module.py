@@ -1,0 +1,132 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def _mlp():
+    return nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        model = _mlp()
+        names = [n for n, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        model = nn.Linear(4, 2)
+        assert model.num_parameters() == 4 * 2 + 2
+
+    def test_buffers_found(self):
+        bn = nn.BatchNorm2d(3)
+        buffer_names = [n for n, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var",
+                                     "num_batches_tracked"}
+
+    def test_reassign_module_attribute(self):
+        model = _mlp()
+        setattr(model, "0", nn.Linear(4, 8))
+        assert len(model.parameters()) == 4
+
+    def test_named_modules_prefixes(self):
+        model = _mlp()
+        names = [n for n, _ in model.named_modules()]
+        assert "" in names and "0" in names and "2" in names
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = nn.Linear(2, 2)
+        out = model(Tensor(np.ones((1, 2), dtype=np.float32)))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1 = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4), nn.Linear(4, 2))
+        m2 = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4), nn.Linear(4, 2))
+        m2.load_state_dict(m1.state_dict())
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_state_dict_copies(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.any(model.weight.data == 99.0)
+
+    def test_missing_key_raises(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_allows_mismatch(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        del state["bias"]
+        model.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_buffer_roundtrip(self):
+        bn1 = nn.BatchNorm2d(2)
+        bn1(Tensor(np.random.default_rng(0).random((4, 2, 3, 3)).astype(np.float32)))
+        bn2 = nn.BatchNorm2d(2)
+        bn2.load_state_dict(bn1.state_dict())
+        assert np.array_equal(bn1.running_mean, bn2.running_mean)
+        assert np.array_equal(bn1.running_var, bn2.running_var)
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        model = _mlp()
+        x = Tensor(np.ones((1, 4), dtype=np.float32))
+        assert model(x).shape == (1, 2)
+        assert len(model) == 3
+
+    def test_sequential_indexing_iteration(self):
+        model = _mlp()
+        assert isinstance(model[0], nn.Linear)
+        assert len(list(iter(model))) == 3
+
+    def test_sequential_append(self):
+        model = nn.Sequential(nn.Linear(2, 2))
+        model.append(nn.ReLU())
+        assert len(model) == 2
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len([p for m in ml for p in m.parameters()]) == 4
+        ml.append(nn.Linear(2, 2))
+        assert len(ml) == 3

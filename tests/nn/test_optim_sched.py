@@ -1,0 +1,143 @@
+"""Optimizers and learning-rate schedulers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter
+
+
+def _param(value=1.0):
+    return Parameter(np.array([value], dtype=np.float32))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = _param(1.0)
+        p.grad = np.array([0.5], dtype=np.float32)
+        nn.SGD([p], lr=0.1).step()
+        assert np.isclose(p.data[0], 0.95)
+
+    def test_momentum_accumulates(self):
+        p = _param(0.0)
+        opt = nn.SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()                      # v=1, p=-1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()                      # v=1.9, p=-2.9
+        assert np.isclose(p.data[0], -2.9)
+
+    def test_weight_decay(self):
+        p = _param(2.0)
+        p.grad = np.array([0.0], dtype=np.float32)
+        nn.SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert np.isclose(p.data[0], 2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_maximize_ascends(self):
+        p = _param(0.0)
+        p.grad = np.array([1.0], dtype=np.float32)
+        nn.SGD([p], lr=0.1, maximize=True).step()
+        assert p.data[0] > 0
+
+    def test_none_grad_skipped(self):
+        p = _param(1.0)
+        nn.SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # With bias correction the first step is ~lr regardless of grad scale.
+        p = _param(0.0)
+        opt = nn.Adam([p], lr=0.01)
+        p.grad = np.array([123.0], dtype=np.float32)
+        opt.step()
+        assert np.isclose(p.data[0], -0.01, atol=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = _param(5.0)
+        opt = nn.Adam([p], lr=0.5)
+        for _ in range(200):
+            p.grad = 2.0 * p.data       # d/dp p^2
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+
+    def test_state_dict_roundtrip(self):
+        p = _param(1.0)
+        opt = nn.Adam([p], lr=0.01)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        state = opt.state_dict()
+
+        p2 = _param(1.0)
+        opt2 = nn.Adam([p2], lr=0.01)
+        opt2.load_state_dict(state)
+        assert opt2._t == 1
+        assert np.allclose(opt2._m[0], opt._m[0])
+
+    def test_zero_grad(self):
+        p = _param()
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = nn.Adam([p])
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSchedulers:
+    def test_cosine_endpoints(self):
+        p = _param()
+        opt = nn.Adam([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert np.isclose(lrs[-1], 0.0, atol=1e-9)
+        # Monotone decreasing over the horizon.
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_midpoint(self):
+        p = _param()
+        opt = nn.Adam([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=2)
+        assert np.isclose(sched.step(), 0.5)
+
+    def test_cosine_clamps_past_tmax(self):
+        p = _param()
+        opt = nn.Adam([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=2)
+        for _ in range(5):
+            lr = sched.step()
+        assert np.isclose(lr, 0.0, atol=1e-9)
+
+    def test_cosine_eta_min(self):
+        p = _param()
+        opt = nn.Adam([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=1, eta_min=0.1)
+        assert np.isclose(sched.step(), 0.1)
+
+    def test_step_lr(self):
+        p = _param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_constant_lr(self):
+        p = _param()
+        opt = nn.SGD([p], lr=0.3)
+        sched = nn.ConstantLR(opt)
+        assert sched.step() == 0.3
+
+    def test_invalid_tmax(self):
+        p = _param()
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(nn.SGD([p], lr=1.0), t_max=0)

@@ -1,0 +1,146 @@
+"""Hypothesis property tests for the autograd engine.
+
+Each property cross-checks analytic gradients against central finite
+differences on randomly generated shapes and values — the strongest
+correctness guarantee we can give the substrate everything else rests on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import numeric_gradient
+
+_settings = settings(max_examples=25, deadline=None, derandomize=True)
+
+finite_floats = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False,
+                          width=64)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+@_settings
+@given(small_arrays())
+def test_sum_grad_is_ones(data):
+    t = Tensor(data, requires_grad=True, dtype=np.float64)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(data))
+
+
+@_settings
+@given(small_arrays())
+def test_mul_by_self_grad(data):
+    t = Tensor(data, requires_grad=True, dtype=np.float64)
+    (t * t).sum().backward()
+    assert np.allclose(t.grad, 2.0 * data, atol=1e-8)
+
+
+@_settings
+@given(small_arrays())
+def test_exp_gradcheck(data):
+    t = Tensor(data, requires_grad=True, dtype=np.float64)
+    t.exp().sum().backward()
+
+    def fn():
+        return float(np.exp(data).sum())
+
+    assert np.abs(numeric_gradient(fn, data) - t.grad).max() < 1e-5
+
+
+@_settings
+@given(small_arrays())
+def test_sigmoid_gradcheck(data):
+    t = Tensor(data, requires_grad=True, dtype=np.float64)
+    t.sigmoid().sum().backward()
+
+    def fn():
+        return float((1.0 / (1.0 + np.exp(-data))).sum())
+
+    assert np.abs(numeric_gradient(fn, data) - t.grad).max() < 1e-5
+
+
+@_settings
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+       st.integers(0, 1_000_000))
+def test_matmul_gradcheck(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a_data = rng.normal(size=(m, k))
+    b_data = rng.normal(size=(k, n))
+    a = Tensor(a_data, requires_grad=True, dtype=np.float64)
+    b = Tensor(b_data, requires_grad=True, dtype=np.float64)
+    ((a @ b) ** 2).sum().backward()
+
+    def fn():
+        return float(((a_data @ b_data) ** 2).sum())
+
+    assert np.abs(numeric_gradient(fn, a_data) - a.grad).max() < 1e-5
+    assert np.abs(numeric_gradient(fn, b_data) - b.grad).max() < 1e-5
+
+
+@_settings
+@given(st.sampled_from([(1, 1), (2, 1), (1, 2), (3, 2)]),
+       st.integers(0, 1_000_000))
+def test_broadcast_add_gradcheck(shape_pair, seed):
+    rows, extra = shape_pair
+    rng = np.random.default_rng(seed)
+    a_data = rng.normal(size=(rows, 3))
+    b_data = rng.normal(size=(extra, rows, 3))
+    a = Tensor(a_data, requires_grad=True, dtype=np.float64)
+    b = Tensor(b_data, requires_grad=True, dtype=np.float64)
+    ((a + b) ** 2).sum().backward()
+
+    def fn():
+        return float(((a_data + b_data) ** 2).sum())
+
+    assert np.abs(numeric_gradient(fn, a_data) - a.grad).max() < 1e-5
+
+
+@_settings
+@given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 2),
+       st.integers(0, 1_000_000))
+def test_conv2d_gradcheck_random(n, c, stride, seed):
+    rng = np.random.default_rng(seed)
+    o = int(rng.integers(1, 4))
+    x_data = rng.normal(size=(n, c, 5, 5))
+    w_data = rng.normal(size=(o, c, 3, 3))
+
+    x = Tensor(x_data, requires_grad=True, dtype=np.float64)
+    w = Tensor(w_data, requires_grad=True, dtype=np.float64)
+    out = F.conv2d(x, w, stride=stride, padding=1)
+    (out * out).sum().backward()
+
+    def fn():
+        res = F.conv2d(Tensor(x_data, dtype=np.float64),
+                       Tensor(w_data, dtype=np.float64),
+                       stride=stride, padding=1)
+        return float((res.data ** 2).sum())
+
+    assert np.abs(numeric_gradient(fn, x_data) - x.grad).max() < 1e-5
+    assert np.abs(numeric_gradient(fn, w_data) - w.grad).max() < 1e-5
+
+
+@_settings
+@given(st.integers(2, 6), st.integers(2, 5), st.integers(0, 1_000_000))
+def test_cross_entropy_grad_sums_to_zero(n, k, seed):
+    """Softmax-CE input gradients sum to zero along the class axis."""
+    rng = np.random.default_rng(seed)
+    z = Tensor(rng.normal(size=(n, k)), requires_grad=True, dtype=np.float64)
+    labels = rng.integers(0, k, size=n)
+    F.cross_entropy(z, labels).backward()
+    assert np.allclose(z.grad.sum(axis=1), 0.0, atol=1e-10)
+
+
+@_settings
+@given(small_arrays(max_dims=2))
+def test_softmax_probabilities(data):
+    if data.ndim == 1:
+        data = data[None]
+    probs = F.softmax(Tensor(data, dtype=np.float64)).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-8)

@@ -1,0 +1,222 @@
+"""Elementwise / shape / reduction ops of the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, ensure_tensor, stack
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_broadcast_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+        assert np.allclose(b.grad, np.full(3, 2.0))
+
+    def test_scalar_radd(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = 5.0 + a
+        out.sum().backward()
+        assert out.data[0] == 6.0
+        assert a.grad[0] == 1.0
+
+    def test_sub_and_neg(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        (a - b).sum().backward()
+        assert a.grad[0] == 1.0
+        assert b.grad[0] == -1.0
+
+    def test_mul_grad(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([5.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad[0] == 5.0
+        assert b.grad[0] == 2.0
+
+    def test_div_grad(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.isclose(a.grad[0], 0.5)
+        assert np.isclose(b.grad[0], -1.5)
+
+    def test_pow_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        assert np.isclose(a.grad[0], 6.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_rtruediv(self):
+        a = Tensor([4.0], requires_grad=True)
+        out = 8.0 / a
+        out.sum().backward()
+        assert out.data[0] == 2.0
+        assert np.isclose(a.grad[0], -0.5)
+
+
+class TestMatmul:
+    def test_values(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[1.0, 0.0], [0.0, 1.0]])
+        assert np.allclose((a @ b).data, a.data)
+
+    def test_grads(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True, dtype=np.float64)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True, dtype=np.float64)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 2)) @ b.data.T)
+        assert np.allclose(b.grad, a.data.T @ np.ones((3, 2)))
+
+    def test_batched(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(5, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (5, 3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (5, 3, 4)
+        assert b.grad.shape == (4, 2)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        a = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        out = a.reshape(2, 3)
+        out.sum().backward()
+        assert out.shape == (2, 3)
+        assert np.allclose(a.grad, np.ones(6))
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        out = a.transpose()
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_transpose_axes(self):
+        a = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        out = a.transpose(1, 2, 0)
+        assert out.shape == (3, 4, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_getitem_grad_scatters(self):
+        a = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_flatten(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.flatten().shape == (2, 12)
+        assert a.flatten(0).shape == (24,)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_value(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert np.isclose(a.mean().data, 2.0)
+
+    def test_mean_grad(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full(4, 0.25))
+
+    def test_var_is_biased(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        a = Tensor(values)
+        assert np.isclose(a.var().data, values.var())
+
+    def test_max_grad_single(self):
+        a = Tensor(np.array([1.0, 5.0, 2.0]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_grad_ties_split(self):
+        a = Tensor(np.array([5.0, 5.0]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5])
+
+    def test_sum_tuple_axis(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = a.sum(axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3, 4)))
+
+
+class TestNonlinearities:
+    def test_relu(self):
+        a = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        out = a.relu()
+        out.sum().backward()
+        assert np.allclose(out.data, [0.0, 2.0])
+        assert np.allclose(a.grad, [0.0, 1.0])
+
+    def test_sigmoid_range_and_grad(self):
+        a = Tensor(np.array([-100.0, 0.0, 100.0]), requires_grad=True)
+        out = a.sigmoid()
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+        assert np.isclose(out.data[1], 0.5)
+        out.sum().backward()
+        assert np.isclose(a.grad[1], 0.25)
+
+    def test_tanh(self):
+        a = Tensor(np.array([0.0]), requires_grad=True)
+        a.tanh().sum().backward()
+        assert np.isclose(a.grad[0], 1.0)
+
+    def test_exp_log_inverse(self):
+        a = Tensor(np.array([0.5, 1.5]))
+        assert np.allclose(a.exp().log().data, a.data, atol=1e-6)
+
+    def test_sqrt_grad(self):
+        a = Tensor(np.array([4.0]), requires_grad=True)
+        a.sqrt().sum().backward()
+        assert np.isclose(a.grad[0], 0.25)
+
+    def test_clip_grad_mask(self):
+        a = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestStackConcat:
+    def test_stack_shape_and_grad(self):
+        parts = [Tensor(np.full(3, float(i)), requires_grad=True) for i in range(2)]
+        out = stack(parts, axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        for p in parts:
+            assert np.allclose(p.grad, np.ones(3))
+
+    def test_concat_grad_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concat([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 2), 2.0))
+        assert np.allclose(b.grad, np.full((3, 2), 2.0))
+
+    def test_ensure_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert ensure_tensor(t) is t
+        assert isinstance(ensure_tensor([1.0, 2.0]), Tensor)

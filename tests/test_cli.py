@@ -1,0 +1,51 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pipeline_defaults(self):
+        args = build_parser().parse_args(["pipeline"])
+        assert args.dataset == "cifar10-bench"
+        assert args.attack == "A1"
+        assert args.cr == 5.0
+
+    def test_rejects_unknown_attack(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pipeline", "--attack", "A9"])
+
+    def test_sweep_values(self):
+        args = build_parser().parse_args(
+            ["sweep-cr", "--values", "1", "2.5"])
+        assert args.values == [1.0, 2.5]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "ReVeil" in out and "BadNets" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "cifar10-bench" in out and "unit" in out
+
+    def test_pipeline_tiny_run(self, capsys):
+        code = main(["pipeline", "--dataset", "unit", "--model-scale",
+                     "tiny", "--epochs", "2", "--attack", "A1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "poisoning" in out and "unlearning" in out
+
+    def test_sweep_cr_tiny_run(self, capsys):
+        code = main(["sweep-cr", "--dataset", "unit", "--model-scale",
+                     "tiny", "--epochs", "1", "--values", "1"])
+        assert code == 0
+        assert "cr=1" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Approximate unlearning methods (the §VI future-work ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.models import small_cnn
+from repro.train import TrainConfig
+from repro.unlearning import (AmnesiacUnlearner, FineTuneUnlearner,
+                              GradientAscentUnlearner)
+
+CFG = TrainConfig(epochs=5, lr=3e-3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    train, test, profile = load_dataset("unit", seed=0)
+    return train, test, profile
+
+
+def _factory(profile):
+    def factory():
+        return small_cnn(profile.num_classes, width=8)
+    return factory
+
+
+class TestGradientAscent:
+    def test_fit_and_unlearn_runs(self, unit):
+        train, test, profile = unit
+        method = GradientAscentUnlearner(_factory(profile), CFG, seed=0,
+                                         unlearn_epochs=2).fit(train)
+        stats = method.unlearn(train.sample_ids[:6])
+        assert stats["samples_removed"] == 6
+        assert stats["ascent_steps"] >= 2
+        assert method.predict_logits(test.images).shape == (len(test),
+                                                            profile.num_classes)
+
+    def test_parameters_change(self, unit):
+        train, _, profile = unit
+        method = GradientAscentUnlearner(_factory(profile), CFG, seed=0,
+                                         unlearn_epochs=1).fit(train)
+        before = method.model.state_dict()
+        method.unlearn(train.sample_ids[:6])
+        after = method.model.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+
+    def test_empty_forget_is_noop(self, unit):
+        train, _, profile = unit
+        method = GradientAscentUnlearner(_factory(profile), CFG, seed=0).fit(train)
+        stats = method.unlearn([])
+        assert stats["samples_removed"] == 0
+
+    def test_invalid_params(self, unit):
+        _, _, profile = unit
+        with pytest.raises(ValueError):
+            GradientAscentUnlearner(_factory(profile), CFG, ascent_lr=0.0)
+        with pytest.raises(ValueError):
+            GradientAscentUnlearner(_factory(profile), CFG, unlearn_epochs=0)
+
+
+class TestFineTune:
+    def test_unlearn_runs(self, unit):
+        train, test, profile = unit
+        method = FineTuneUnlearner(_factory(profile), CFG, seed=0,
+                                   finetune_epochs=2).fit(train)
+        stats = method.unlearn(train.sample_ids[:4])
+        assert stats["finetune_epochs"] == 2
+        acc = method.accuracy(test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_invalid_epochs(self, unit):
+        _, _, profile = unit
+        with pytest.raises(ValueError):
+            FineTuneUnlearner(_factory(profile), CFG, finetune_epochs=0)
+
+
+class TestAmnesiac:
+    def test_records_batches(self, unit):
+        train, _, profile = unit
+        method = AmnesiacUnlearner(_factory(profile), CFG, seed=0,
+                                   repair_epochs=0).fit(train)
+        import math
+        expected = CFG.epochs * math.ceil(len(train) / CFG.batch_size)
+        assert len(method._batch_ids) == expected
+        assert len(method._batch_deltas) == expected
+
+    def test_unlearn_subtracts_touched_batches(self, unit):
+        train, _, profile = unit
+        method = AmnesiacUnlearner(_factory(profile), CFG, seed=0,
+                                   repair_epochs=0).fit(train)
+        forget = [int(train.sample_ids[0])]
+        touched = sum(1 for ids in method._batch_ids
+                      if np.isin(ids, forget).any())
+        stats = method.unlearn(forget)
+        assert stats["batch_updates_subtracted"] == touched
+        assert touched >= CFG.epochs   # the sample appears once per epoch
+
+    def test_subtracting_all_batches_restores_init(self, unit):
+        """Unlearning every sample subtracts every update: the model must
+        return (numerically) to its initialization."""
+        train, _, profile = unit
+        method = AmnesiacUnlearner(_factory(profile), CFG, seed=0,
+                                   repair_epochs=0)
+        from repro import nn as _nn
+        _nn.manual_seed(0)
+        reference = _factory(profile)()
+        init_state = reference.state_dict()
+        method.fit(train)
+        method.unlearn(train.sample_ids.tolist())
+        final_state = method.model.state_dict()
+        for key, value in init_state.items():
+            if key in dict(method.model.named_parameters()):
+                assert np.allclose(final_state[key], value, atol=1e-4), key

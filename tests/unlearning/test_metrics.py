@@ -1,0 +1,77 @@
+"""Unlearning-quality metrics: confidence gaps and membership advantage."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import load_dataset
+from repro.models import small_cnn
+from repro.train import TrainConfig, train_model
+from repro.unlearning import ExactRetrain
+from repro.unlearning.metrics import (confidence_gap, forgetting_score,
+                                      membership_advantage)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    train, test, profile = load_dataset("unit", seed=0)
+    nn.manual_seed(0)
+    model = small_cnn(profile.num_classes, width=12)
+    train_model(model, train, TrainConfig(epochs=12, lr=3e-3, seed=0))
+    return model, train, test
+
+
+class TestConfidenceGap:
+    def test_members_score_higher_than_unseen(self, setting):
+        model, train, test = setting
+        assert confidence_gap(model, train) > confidence_gap(model, test) - 0.05
+
+    def test_range(self, setting):
+        model, train, _ = setting
+        value = confidence_gap(model, train)
+        assert 0.0 <= value <= 1.0
+
+    def test_empty_raises(self, setting):
+        model, train, _ = setting
+        from repro.data import ArrayDataset
+        empty = ArrayDataset(np.zeros((0, 3, 12, 12)), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            confidence_gap(model, empty)
+
+
+class TestForgettingScore:
+    def test_exact_unlearning_forgets(self):
+        """After exact unlearning, the forget set must look unseen."""
+        train, test, profile = load_dataset("unit", seed=0)
+        method = ExactRetrain(lambda: small_cnn(profile.num_classes, width=12),
+                              TrainConfig(epochs=12, lr=3e-3, seed=0),
+                              seed=0).fit(train)
+        forget_ids = train.sample_ids[:16]
+        forget_set = train.select_ids(forget_ids)
+        score_before = forgetting_score(method, forget_set, test)
+        method.unlearn(forget_ids)
+        score_after = forgetting_score(method, forget_set, test)
+        # Memorization shrinks toward the unseen level after unlearning.
+        assert score_after < max(score_before, 0.05) + 0.05
+
+    def test_score_zero_for_identical_sets(self, setting):
+        model, _, test = setting
+        assert abs(forgetting_score(model, test, test)) < 1e-9
+
+
+class TestMembershipAdvantage:
+    def test_bounded(self, setting):
+        model, train, test = setting
+        adv = membership_advantage(model, train, test)
+        assert 0.0 <= adv <= 1.0
+
+    def test_identical_sets_zero(self, setting):
+        model, _, test = setting
+        assert membership_advantage(model, test, test) < 1e-9
+
+    def test_empty_raises(self, setting):
+        model, train, _ = setting
+        from repro.data import ArrayDataset
+        empty = ArrayDataset(np.zeros((0, 3, 12, 12)), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            membership_advantage(model, train, empty)
