@@ -12,7 +12,7 @@ series is non-increasing within a tolerance band.
 
 from repro.eval import ComparisonTable, shape_check
 
-from _common import bench_attacks, bench_datasets, full_grid, make_config, run_cached, run_once
+from _common import bench_attacks, bench_datasets, full_grid, make_config, run_grid, run_once
 
 # Paper Fig. 3 ASR (%) series by (dataset, attack): cr = 1, 2, 3, 4, 5.
 PAPER_FIG3 = {
@@ -40,15 +40,14 @@ CR_VALUES = (1.0, 2.0, 3.0, 5.0)
 def _grid():
     datasets = bench_datasets() if full_grid() else ("cifar10-bench",)
     attacks = bench_attacks() if full_grid() else ("A1", "A3")
+    cells = [(dataset, attack, cr) for dataset in datasets
+             for attack in attacks for cr in CR_VALUES]
+    results = run_grid([make_config(dataset=d, attack=a, cr=cr)
+                        for d, a, cr in cells], stages=("camouflage",))
     series = {}
-    for dataset in datasets:
-        for attack in attacks:
-            asrs = []
-            for cr in CR_VALUES:
-                cfg = make_config(dataset=dataset, attack=attack, cr=cr)
-                result = run_cached(cfg, stages=("camouflage",))
-                asrs.append(result.camouflage.as_percent().asr)
-            series[(dataset, attack)] = asrs
+    for (dataset, attack, _), result in zip(cells, results):
+        series.setdefault((dataset, attack), []).append(
+            result.camouflage.as_percent().asr)
     return series
 
 

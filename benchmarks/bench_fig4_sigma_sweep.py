@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.eval import ComparisonTable, shape_check
 
-from _common import make_config, run_cached, run_once
+from _common import make_config, run_grid, run_once
 
 # Paper Fig. 4(a) CIFAR10/A1 ASR (%) at σ = 1e-1, 1e-2, 1e-3, 1e-4, 1e-5.
 PAPER_ASR = [33.61, 18.20, 17.70, 18.18, 20.55]
@@ -20,13 +20,10 @@ SIGMAS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
 
 
 def _sweep():
-    rows = []
-    for sigma in SIGMAS:
-        cfg = make_config(dataset="cifar10-bench", attack="A1", cr=5.0,
-                          sigma=sigma)
-        result = run_cached(cfg, stages=("camouflage",))
-        rows.append(result.camouflage.as_percent())
-    return rows
+    cfgs = [make_config(dataset="cifar10-bench", attack="A1", cr=5.0,
+                        sigma=sigma) for sigma in SIGMAS]
+    results = run_grid(cfgs, stages=("camouflage",))
+    return [result.camouflage.as_percent() for result in results]
 
 
 def test_fig4_sigma_sweep(benchmark):

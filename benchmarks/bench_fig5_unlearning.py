@@ -11,7 +11,7 @@ gtsrb/cifar100/tiny bench profiles).
 
 from repro.eval import ComparisonTable, shape_check
 
-from _common import bench_attacks, bench_datasets, full_grid, make_config, run_cached, run_once
+from _common import bench_attacks, bench_datasets, full_grid, make_config, run_grid, run_once
 
 # Paper Fig. 5 dataset-average ASR (%) per phase.
 PAPER_AVG = {
@@ -24,16 +24,16 @@ PAPER_AVG = {
 
 def _grid():
     datasets = bench_datasets() if full_grid() else ("cifar10-bench",)
-    rows = {}
-    for dataset in datasets:
-        for attack in bench_attacks():
-            cfg = make_config(dataset=dataset, attack=attack)
-            result = run_cached(cfg, stages=("poison", "camouflage", "unlearn"))
-            rows[(dataset, attack)] = (result.poison.as_percent(),
-                                       result.camouflage.as_percent(),
-                                       result.unlearned.as_percent(),
-                                       dict(result.unlearn_stats))
-    return rows
+    cells = [(dataset, attack) for dataset in datasets
+             for attack in bench_attacks()]
+    results = run_grid([make_config(dataset=dataset, attack=attack)
+                        for dataset, attack in cells],
+                       stages=("poison", "camouflage", "unlearn"))
+    return {cell: (result.poison.as_percent(),
+                   result.camouflage.as_percent(),
+                   result.unlearned.as_percent(),
+                   dict(result.unlearn_stats))
+            for cell, result in zip(cells, results)}
 
 
 def test_fig5_unlearning_restores_backdoor(benchmark):

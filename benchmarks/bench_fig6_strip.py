@@ -14,7 +14,7 @@ Shape assertions: decision(poison-only) > 0, decision(cr=5) < decision
 from repro.defenses import StripDefense
 from repro.eval import ComparisonTable, shape_check
 
-from _common import full_grid, make_config, run_cached, run_once
+from _common import full_grid, grid_by_cr, run_once
 
 # Paper Fig. 6 (cifar10/A1) decision values at cr = 1 and 3.
 PAPER_POINTS = {("cifar10", "A1", 1): 0.024, ("cifar10", "A1", 3): -0.017,
@@ -36,19 +36,10 @@ def _grid():
     combos = [("cifar10-bench", "A1")]
     if full_grid():
         combos += [("cifar10-bench", "A3"), ("gtsrb-bench", "A1")]
-    series = {}
-    for dataset, attack in combos:
-        points = []
-        for cr in CR_VALUES:
-            if cr == 0.0:
-                cfg = make_config(dataset=dataset, attack=attack)
-                result = run_cached(cfg, stages=("poison",))
-            else:
-                cfg = make_config(dataset=dataset, attack=attack, cr=cr)
-                result = run_cached(cfg, stages=("camouflage",))
-            points.append(_strip_decision(result))
-        series[(dataset, attack)] = points
-    return series
+    by_cell = grid_by_cr(combos, CR_VALUES)
+    return {(dataset, attack): [_strip_decision(by_cell[(dataset, attack, cr)])
+                                for cr in CR_VALUES]
+            for dataset, attack in combos}
 
 
 def test_fig6_strip_evasion(benchmark):

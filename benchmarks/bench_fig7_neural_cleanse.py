@@ -15,7 +15,7 @@ index(cr=5) < 2.
 from repro.defenses import NeuralCleanse
 from repro.eval import ComparisonTable, shape_check
 
-from _common import full_grid, make_config, run_cached, run_once
+from _common import full_grid, grid_by_cr, run_once
 
 # Paper Fig. 7 (cifar10/A1) anomaly indices at cr = 1..5.
 PAPER_CIFAR10_A1 = {1: 2.12, 2: 2.48, 3: 1.77, 4: 1.48, 5: 1.20}
@@ -32,14 +32,10 @@ def _nc_index(result, num_classes):
 
 def _sweep():
     crs = (0.0, 1.0, 3.0, 5.0) if full_grid() else (0.0, 5.0)
+    by_cell = grid_by_cr([("cifar10-bench", "A1")], crs)
     points = {}
     for cr in crs:
-        if cr == 0.0:
-            cfg = make_config(dataset="cifar10-bench", attack="A1")
-            result = run_cached(cfg, stages=("poison",))
-        else:
-            cfg = make_config(dataset="cifar10-bench", attack="A1", cr=cr)
-            result = run_cached(cfg, stages=("camouflage",))
+        result = by_cell[("cifar10-bench", "A1", cr)]
         num_classes = result.clean_test.num_classes
         outcome = _nc_index(result, num_classes)
         points[cr] = (outcome.anomaly_index, outcome.flagged_label,

@@ -14,7 +14,7 @@ index(cr=5) < e²; index decreases with cr.
 from repro.defenses import E_SQUARED, BeatrixDetector
 from repro.eval import ComparisonTable, shape_check
 
-from _common import full_grid, make_config, run_cached, run_once
+from _common import full_grid, grid_by_cr, run_once
 
 # Paper Fig. 8 (cifar10/A1) anomaly indices at cr = 1 and 4.
 PAPER_POINTS = {("cifar10", "A1", 1): 31.76, ("cifar10", "A1", 4): 7.01,
@@ -37,16 +37,12 @@ def _grid():
     combos = [("cifar10-bench", "A1")]
     if full_grid():
         combos += [("cifar10-bench", "A3"), ("gtsrb-bench", "A1")]
+    by_cell = grid_by_cr(combos, CR_VALUES)
     series = {}
     for dataset, attack in combos:
         points = []
         for cr in CR_VALUES:
-            if cr == 0.0:
-                cfg = make_config(dataset=dataset, attack=attack)
-                result = run_cached(cfg, stages=("poison",))
-            else:
-                cfg = make_config(dataset=dataset, attack=attack, cr=cr)
-                result = run_cached(cfg, stages=("camouflage",))
+            result = by_cell[(dataset, attack, cr)]
             outcome = _beatrix_index(result)
             points.append((outcome.anomaly_index, outcome.flagged_label,
                            result.target_label))

@@ -1,0 +1,165 @@
+"""Perf-scaling benchmark for the :mod:`repro.parallel` process pool.
+
+Times the three fan-out sites at ``workers ∈ {1, 2, 4}``:
+
+- SISA fit (4 shards) and a deletion-request ``unlearn`` round-trip,
+- a 3-seed ``run_replicated`` multirun,
+
+verifies that every parallel result is **bit-identical** to the serial
+one (state dicts, BA/ASR aggregates), and writes
+``benchmarks/BENCH_perf_scaling.json`` with wall-clock seconds, speedup
+over ``workers=1`` and training throughput (samples/sec) per site.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_scaling.py [--quick]
+
+Speedup tracks the machine: on an N-core box the 4-shard fit approaches
+min(4, N)×; on a single core the pool only adds process overhead (the
+JSON records whatever the hardware gives, honestly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data.registry import load_dataset  # noqa: E402
+from repro.eval.harness import PipelineConfig  # noqa: E402
+from repro.eval.multirun import run_replicated  # noqa: E402
+from repro.parallel import ModelSpec  # noqa: E402
+from repro.train import TrainConfig  # noqa: E402
+from repro.unlearning.sisa import SISAConfig, SISAEnsemble  # noqa: E402
+
+WORKER_COUNTS = (1, 2, 4)
+OUT_PATH = Path(__file__).parent / "BENCH_perf_scaling.json"
+
+
+def _ensemble_digest(ensemble: SISAEnsemble) -> str:
+    """Order-stable hash over every shard's full state dict."""
+    digest = hashlib.sha256()
+    for index in range(ensemble.num_models):
+        for name, value in sorted(ensemble.state_dict(index).items()):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()
+
+
+def time_sisa(dataset_name: str, epochs: int, workers: int) -> dict:
+    """One fit + one unlearn round-trip; returns timings + digests."""
+    train, _, profile = load_dataset(dataset_name, seed=0)
+    factory = ModelSpec("small_cnn", profile.num_classes, scale="bench")
+    config = SISAConfig(num_shards=4, num_slices=1,
+                        train=TrainConfig(epochs=epochs, lr=3e-3, seed=5),
+                        seed=11, workers=workers)
+    ensemble = SISAEnsemble(factory, config)
+
+    start = time.perf_counter()
+    ensemble.fit(train)
+    fit_seconds = time.perf_counter() - start
+    fit_digest = _ensemble_digest(ensemble)
+
+    forget = train.sample_ids[::7][:16]
+    start = time.perf_counter()
+    stats = ensemble.unlearn(forget)
+    unlearn_seconds = time.perf_counter() - start
+
+    samples_trained = len(train) * epochs
+    return {
+        "fit_seconds": fit_seconds,
+        "unlearn_seconds": unlearn_seconds,
+        "fit_samples_per_sec": samples_trained / fit_seconds,
+        "shards_retrained": stats["shards_retrained"],
+        "fit_digest": fit_digest,
+        "post_unlearn_digest": _ensemble_digest(ensemble),
+    }
+
+
+def time_multirun(dataset_name: str, epochs: int, workers: int) -> dict:
+    """3-seed replicate fan-out; returns timing + aggregate metrics."""
+    config = PipelineConfig(dataset=dataset_name, model="small_cnn",
+                            model_scale="bench", attack="A1",
+                            attack_scale="bench", epochs=epochs, lr=3e-3,
+                            seed=0)
+    start = time.perf_counter()
+    result = run_replicated(config, num_runs=3,
+                            stages=("poison", "camouflage"),
+                            workers=workers)
+    seconds = time.perf_counter() - start
+    metrics = {name: {"ba": agg.values, "asr": result.asr[name].values}
+               for name, agg in result.ba.items()}
+    return {"seconds": seconds, "metrics": metrics}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes (unit profile, 2 epochs) for CI")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    dataset = "unit" if args.quick else "cifar10-bench"
+    sisa_epochs = 2 if args.quick else 12
+    multirun_epochs = 2 if args.quick else 6
+
+    report = {"dataset": dataset, "cpu_count": os.cpu_count(),
+              "worker_counts": list(WORKER_COUNTS),
+              "sisa": {}, "multirun": {}}
+
+    print(f"SISA 4-shard fit + unlearn on {dataset} "
+          f"({sisa_epochs} epochs), workers in {WORKER_COUNTS}")
+    for workers in WORKER_COUNTS:
+        row = time_sisa(dataset, sisa_epochs, workers)
+        report["sisa"][str(workers)] = row
+        print(f"  workers={workers}: fit {row['fit_seconds']:.2f}s "
+              f"({row['fit_samples_per_sec']:.0f} samples/s), "
+              f"unlearn {row['unlearn_seconds']:.2f}s")
+
+    base = report["sisa"]["1"]
+    identical = all(row["fit_digest"] == base["fit_digest"]
+                    and row["post_unlearn_digest"] == base["post_unlearn_digest"]
+                    for row in report["sisa"].values())
+    for workers in WORKER_COUNTS:
+        row = report["sisa"][str(workers)]
+        row["fit_speedup"] = base["fit_seconds"] / row["fit_seconds"]
+        row["unlearn_speedup"] = base["unlearn_seconds"] / row["unlearn_seconds"]
+    report["sisa_bit_identical"] = identical
+    print(f"  bit-identical across worker counts: {identical}")
+    if not identical:
+        print("  ERROR: parallel SISA diverged from serial", file=sys.stderr)
+        return 1
+
+    print(f"3-seed multirun on {dataset} ({multirun_epochs} epochs)")
+    for workers in WORKER_COUNTS:
+        row = time_multirun(dataset, multirun_epochs, workers)
+        report["multirun"][str(workers)] = row
+        print(f"  workers={workers}: {row['seconds']:.2f}s")
+
+    base_mr = report["multirun"]["1"]
+    mr_identical = all(row["metrics"] == base_mr["metrics"]
+                       for row in report["multirun"].values())
+    for workers in WORKER_COUNTS:
+        row = report["multirun"][str(workers)]
+        row["speedup"] = base_mr["seconds"] / row["seconds"]
+    report["multirun_bit_identical"] = mr_identical
+    print(f"  aggregates bit-identical across worker counts: {mr_identical}")
+    if not mr_identical:
+        print("  ERROR: parallel multirun diverged from serial", file=sys.stderr)
+        return 1
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

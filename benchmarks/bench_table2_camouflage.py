@@ -13,7 +13,7 @@ relative while moving BA by <10 points.
 
 from repro.eval import ComparisonTable, shape_check
 
-from _common import bench_attacks, bench_datasets, make_config, run_cached, run_once
+from _common import bench_attacks, bench_datasets, make_config, run_grid, run_once
 
 # Paper Table II values: (attack, dataset) -> (poison BA, poison ASR,
 # camouflage BA, camouflage ASR), all percent.
@@ -38,13 +38,12 @@ PAPER_TABLE2 = {
 
 
 def _run_grid():
-    grid = {}
-    for dataset in bench_datasets():
-        for attack in bench_attacks():
-            cfg = make_config(dataset=dataset, attack=attack)
-            result = run_cached(cfg, stages=("poison", "camouflage", "unlearn"))
-            grid[(attack, dataset)] = result
-    return grid
+    cells = [(attack, dataset) for dataset in bench_datasets()
+             for attack in bench_attacks()]
+    results = run_grid([make_config(dataset=dataset, attack=attack)
+                        for attack, dataset in cells],
+                       stages=("poison", "camouflage", "unlearn"))
+    return dict(zip(cells, results))
 
 
 def test_table2_camouflage_impact(benchmark):

@@ -14,9 +14,11 @@ Top-level package layout:
 - :mod:`repro.unlearning` — SISA exact unlearning + approximate methods.
 - :mod:`repro.defenses` — STRIP, Neural Cleanse, Beatrix detectors.
 - :mod:`repro.eval` — BA/ASR metrics, GradCAM, experiment harness.
+- :mod:`repro.parallel` — deterministic process-pool execution with
+  shared-memory dataset handoff (SISA shards, replicated runs, grids).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["nn", "models", "data", "attacks", "core", "unlearning",
-           "defenses", "eval", "__version__"]
+           "defenses", "eval", "parallel", "__version__"]

@@ -1,0 +1,8 @@
+"""In-package benchmark entry points.
+
+The heavyweight paper-reproduction benches live in the repo-level
+``benchmarks/`` directory; this package holds the entry points small
+enough to ship with the library, starting with the tier-2 smoke gate::
+
+    python -m repro.benchmarks.smoke
+"""

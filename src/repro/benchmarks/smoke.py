@@ -1,0 +1,64 @@
+"""Fast parallel-path smoke gate (tier-2 CI entry point).
+
+Runs one tiny SISA fit with ``workers=2`` on the unit profile, checks it
+against the serial path bit-for-bit, and enforces a wall-clock budget —
+a cheap end-to-end probe that the process pool, shared-memory handoff
+and determinism contract all still hold::
+
+    PYTHONPATH=src python -m repro.benchmarks.smoke [--timeout 120]
+
+Exit code 0 on success, 1 on divergence or budget overrun.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from ..data.registry import load_dataset
+from ..parallel import ModelSpec
+from ..train import TrainConfig
+from ..unlearning.sisa import SISAConfig, SISAEnsemble
+
+
+def _fit(workers: int) -> SISAEnsemble:
+    train, _, profile = load_dataset("unit", seed=0)
+    factory = ModelSpec("small_cnn", profile.num_classes, scale="tiny")
+    config = SISAConfig(num_shards=2, num_slices=1,
+                        train=TrainConfig(epochs=2, lr=3e-3, seed=5),
+                        seed=11, workers=workers)
+    return SISAEnsemble(factory, config).fit(train)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="wall-clock budget in seconds (default 120)")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    parallel = _fit(workers=2)
+    serial = _fit(workers=1)
+    for index in range(serial.num_models):
+        state_s = serial.state_dict(index)
+        state_p = parallel.state_dict(index)
+        for name in state_s:
+            if not np.array_equal(state_s[name], state_p[name]):
+                print(f"SMOKE FAIL: shard {index} diverged at {name!r}",
+                      file=sys.stderr)
+                return 1
+    elapsed = time.perf_counter() - start
+    if elapsed > args.timeout:
+        print(f"SMOKE FAIL: took {elapsed:.1f}s > budget {args.timeout:.0f}s",
+              file=sys.stderr)
+        return 1
+    print(f"smoke ok: workers=2 SISA fit bit-identical to serial "
+          f"({elapsed:.1f}s, budget {args.timeout:.0f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

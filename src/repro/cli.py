@@ -27,6 +27,14 @@ from .eval.harness import PipelineConfig, run_pipeline
 from .eval.reporting import ComparisonTable
 
 
+def _workers_arg(value: str) -> int:
+    workers = int(value)
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 0 (0 = one per CPU core), got {workers}")
+    return workers
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="cifar10-bench",
                         help="dataset profile (see `profiles`)")
@@ -40,6 +48,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=30)
     parser.add_argument("--lr", type=float, default=3e-3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=_workers_arg, default=1,
+                        help="process-pool size for SISA shard training "
+                             "(1 = serial, 0 = one per CPU core)")
 
 
 def _config_from(args, cr: Optional[float] = None,
@@ -49,7 +60,8 @@ def _config_from(args, cr: Optional[float] = None,
         attack=args.attack, attack_scale=args.attack_scale,
         camouflage_ratio=cr if cr is not None else args.cr,
         noise_std=sigma if sigma is not None else args.sigma,
-        epochs=args.epochs, lr=args.lr, seed=args.seed)
+        epochs=args.epochs, lr=args.lr, seed=args.seed,
+        workers=args.workers)
 
 
 def cmd_pipeline(args) -> int:

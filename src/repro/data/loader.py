@@ -36,7 +36,23 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
-        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        if not self.shuffle:
+            # Sequential order: contiguous slices are zero-copy views,
+            # no permutation array and no gather copy per batch.  The
+            # views are marked read-only so accidental in-place batch
+            # mutation raises instead of corrupting the dataset; callers
+            # that need to write must copy() first.
+            for start in range(0, n, self.batch_size):
+                stop = min(start + self.batch_size, n)
+                if self.drop_last and stop - start < self.batch_size:
+                    return
+                images = self.dataset.images[start:stop]
+                labels = self.dataset.labels[start:stop]
+                images.flags.writeable = False
+                labels.flags.writeable = False
+                yield images, labels
+            return
+        order = self._rng.permutation(n)
         for start in range(0, n, self.batch_size):
             idx = order[start:start + self.batch_size]
             if self.drop_last and len(idx) < self.batch_size:

@@ -26,6 +26,7 @@ from ..data.dataset import ArrayDataset
 from ..data.registry import get_profile, load_dataset
 from ..models.base import ImageClassifier
 from ..models.registry import build_model
+from ..parallel.tasks import ModelSpec
 from ..train import TrainConfig, train_model
 from ..unlearning.sisa import SISAConfig, SISAEnsemble
 from .metrics import BaAsr, measure
@@ -49,6 +50,7 @@ class PipelineConfig:
     sisa_shards: int = 1                    # paper: naive SISA = 1/1
     sisa_slices: int = 1
     seed: int = 0
+    workers: int = 1                        # SISA shard pool: 1=serial, 0=auto
 
 
 @dataclass
@@ -123,9 +125,10 @@ def run_pipeline(cfg: PipelineConfig,
         if needs_provider:
             sisa_cfg = SISAConfig(num_shards=cfg.sisa_shards,
                                   num_slices=cfg.sisa_slices,
-                                  train=tcfg, seed=cfg.seed + 2)
-            factory = lambda: build_model(cfg.model, profile.num_classes,
-                                          scale=cfg.model_scale)
+                                  train=tcfg, seed=cfg.seed + 2,
+                                  workers=cfg.workers)
+            factory = ModelSpec(cfg.model, profile.num_classes,
+                                scale=cfg.model_scale)
             provider = SISAEnsemble(factory, sisa_cfg).fit(bundle.train_mixture)
             result.provider = provider
             result.camouflage = measure(provider, test, attack_test, target)
@@ -134,7 +137,7 @@ def run_pipeline(cfg: PipelineConfig,
                 # independent snapshot of the pre-unlearning model.
                 frozen = build_model(cfg.model, profile.num_classes,
                                      scale=cfg.model_scale)
-                frozen.load_state_dict(provider._shards[0].model.state_dict())
+                frozen.load_state_dict(provider.state_dict())
                 frozen.eval()
                 result.camouflage_model = frozen
         else:
@@ -150,7 +153,7 @@ def run_pipeline(cfg: PipelineConfig,
             bundle.unlearning_request_ids)
         result.unlearned = measure(result.provider, test, attack_test, target)
         if cfg.sisa_shards == 1:
-            result.unlearned_model = result.provider._shards[0].model
+            result.unlearned_model = result.provider.shard_model(0)
 
     return result
 

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..parallel.pool import resolve_workers, run_tasks
 from .harness import PipelineConfig, run_pipeline
 from .metrics import BaAsr
 
@@ -49,32 +50,67 @@ def _aggregate(values: List[float]) -> Aggregate:
                      values=tuple(float(v) for v in arr))
 
 
-def run_replicated(config: PipelineConfig, num_runs: int = 5,
-                   stages: Tuple[str, ...] = ("poison", "camouflage",
-                                              "unlearn"),
-                   seed_stride: int = 1000) -> ReplicatedResult:
-    """Run the pipeline across ``num_runs`` seeds and aggregate.
+@dataclass(frozen=True)
+class ReplicateTask:
+    """One self-contained replicate: run the pipeline, return metrics.
 
-    Each replicate offsets ``config.seed`` by ``i * seed_stride``, which
-    reseeds the dataset generation, poison/camouflage selection, model
-    init and batching together — independent end-to-end runs, exactly
-    the paper's protocol.
+    Picklable (config is a frozen dataclass of primitives) so replicate
+    seeds can fan out across worker processes; only the per-stage BA/ASR
+    percentages travel back, never the trained models.
     """
-    if num_runs < 1:
-        raise ValueError("num_runs must be >= 1")
-    seeds = tuple(config.seed + i * seed_stride for i in range(num_runs))
-    per_stage_ba: Dict[str, List[float]] = {}
-    per_stage_asr: Dict[str, List[float]] = {}
-    for seed in seeds:
-        result = run_pipeline(replace(config, seed=seed), stages=stages)
+
+    config: PipelineConfig
+    stages: Tuple[str, ...]
+    label: str = ""
+
+    def run(self) -> Dict[str, Tuple[float, float]]:
+        result = run_pipeline(self.config, stages=self.stages)
+        out: Dict[str, Tuple[float, float]] = {}
         for name, pair in (("poison", result.poison),
                            ("camouflage", result.camouflage),
                            ("unlearned", result.unlearned)):
             if pair is None:
                 continue
             pct = pair.as_percent()
-            per_stage_ba.setdefault(name, []).append(pct.ba)
-            per_stage_asr.setdefault(name, []).append(pct.asr)
+            out[name] = (pct.ba, pct.asr)
+        return out
+
+
+def run_replicated(config: PipelineConfig, num_runs: int = 5,
+                   stages: Tuple[str, ...] = ("poison", "camouflage",
+                                              "unlearn"),
+                   seed_stride: int = 1000,
+                   workers: int = 1) -> ReplicatedResult:
+    """Run the pipeline across ``num_runs`` seeds and aggregate.
+
+    Each replicate offsets ``config.seed`` by ``i * seed_stride``, which
+    reseeds the dataset generation, poison/camouflage selection, model
+    init and batching together — independent end-to-end runs, exactly
+    the paper's protocol.
+
+    ``workers > 1`` (or 0 = auto) fans the replicates out across worker
+    processes; every replicate is fully seeded by its config, so the
+    aggregates are bit-identical to the serial order.  When replicates
+    run in the pool, each pipeline's own ``workers`` is forced to 1 —
+    pool workers are daemonic and cannot spawn nested pools.
+    """
+    if num_runs < 1:
+        raise ValueError("num_runs must be >= 1")
+    seeds = tuple(config.seed + i * seed_stride for i in range(num_runs))
+    effective = resolve_workers(workers)
+    # A single replicate runs inline (no pool), so its pipeline may keep
+    # its own shard parallelism; only a real fan-out must force it to 1.
+    pooled = effective > 1 and num_runs > 1
+    tasks = [ReplicateTask(
+        config=replace(config, seed=seed,
+                       workers=1 if pooled else config.workers),
+        stages=stages, label=f"replicate-seed-{seed}") for seed in seeds]
+    per_stage_ba: Dict[str, List[float]] = {}
+    per_stage_asr: Dict[str, List[float]] = {}
+    for metrics in run_tasks(tasks, workers=effective):
+        for name, (ba, asr) in metrics.items():
+            per_stage_ba.setdefault(name, []).append(ba)
+            per_stage_asr.setdefault(name, []).append(asr)
     return ReplicatedResult(
         config=config, seeds=seeds,
         ba={k: _aggregate(v) for k, v in per_stage_ba.items()},

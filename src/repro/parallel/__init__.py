@@ -1,0 +1,46 @@
+"""Deterministic process-pool execution for independent trainings.
+
+The repo's hot loops are *many independent trainings*: SISA trains one
+model per shard and retrains shards on deletion, ``run_replicated``
+repeats a pipeline across seeds, and the benchmark suite sweeps
+dataset × attack × cr grids.  This package fans those out across worker
+processes without changing a single computed bit.
+
+Determinism contract
+--------------------
+Every task shipped to a worker is **self-seeding**: it carries the exact
+seeds it needs (model-init seed, per-stage training seeds) and re-seeds
+the process-local RNGs itself before drawing from them.  No task reads
+global RNG state established by the parent, so results are a pure
+function of the task spec — independent of worker count, scheduling
+order, or which process runs them.  ``workers=1`` runs the identical
+task objects inline in the parent; the test suite asserts parallel and
+serial results are bit-identical.
+
+Shared-memory lifecycle contract
+--------------------------------
+Datasets are handed to workers zero-copy via
+``multiprocessing.shared_memory`` (:mod:`repro.parallel.shm`).  The
+parent *publishes* a dataset (``SharedDataset.publish`` /
+``share_dataset``) and is the only party allowed to ``unlink`` the
+segments; publishing APIs are context managers so segments are unlinked
+even when a task raises.  Workers *attach* by name, copy out the rows
+they train on, and ``close`` their mapping before returning — they never
+unlink.  Handles (:class:`~repro.parallel.shm.SharedDatasetHandle`) are
+small picklable descriptors (segment names + shapes + dtypes), so the
+arrays themselves are never pickled through the task pipe.
+
+Errors raised inside a worker are re-raised in the parent as
+:class:`~repro.parallel.pool.WorkerError` carrying the original
+formatted traceback.
+"""
+
+from .pool import WorkerError, default_context, resolve_workers, run_tasks
+from .shm import SharedDataset, SharedDatasetHandle, share_dataset
+from .tasks import ModelSpec, ShardTrainResult, ShardTrainTask, StageSpec
+
+__all__ = [
+    "WorkerError", "default_context", "resolve_workers", "run_tasks",
+    "SharedDataset", "SharedDatasetHandle", "share_dataset",
+    "ModelSpec", "ShardTrainResult", "ShardTrainTask", "StageSpec",
+]

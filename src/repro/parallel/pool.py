@@ -1,0 +1,140 @@
+"""Deterministic process-pool executor.
+
+:func:`run_tasks` maps a list of task objects (anything with a
+zero-arg ``run()`` method) over a pool of worker processes and returns
+their results **in task order**.  ``workers<=1`` (or a single task)
+runs the identical task objects inline in the calling process, which is
+both the fallback path and the reference the parallel path must match
+bit-for-bit.
+
+Failures inside a worker are captured with their full formatted
+traceback and re-raised in the parent as :class:`WorkerError`, so a
+crash three processes away still reads like a local stack trace.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+class WorkerError(RuntimeError):
+    """A task raised inside a worker process.
+
+    Carries the original exception type name and the worker-side
+    formatted traceback (``worker_traceback``) so the root cause is
+    never swallowed by the process boundary.
+    """
+
+    def __init__(self, task_label: str, error_type: str, worker_traceback: str):
+        self.task_label = task_label
+        self.error_type = error_type
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"task {task_label!r} failed in worker with {error_type}; "
+            f"original traceback:\n{worker_traceback}")
+
+
+@dataclass
+class _Outcome:
+    """Picklable envelope shipped back from a worker."""
+
+    ok: bool
+    value: Any = None
+    error_type: str = ""
+    traceback: str = ""
+
+
+def _execute(task) -> _Outcome:
+    """Worker entry point: run one task, never let an exception escape."""
+    try:
+        return _Outcome(ok=True, value=task.run())
+    except Exception as exc:
+        return _Outcome(ok=False, error_type=type(exc).__name__,
+                        traceback=traceback.format_exc())
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` knob: ``None``/1 serial, 0 = auto."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def default_context() -> str:
+    """Preferred multiprocessing start method (fork where available).
+
+    ``fork`` keeps worker startup cheap and lets workers inherit the
+    imported package; ``spawn`` is the portable fallback.
+    """
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def ensure_picklable(obj: Any, what: str, hint: str = "") -> None:
+    """Raise a targeted ``TypeError`` if ``obj`` cannot cross a pipe."""
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        suffix = f" {hint}" if hint else ""
+        raise TypeError(
+            f"{what} is not picklable and cannot be shipped to worker "
+            f"processes ({type(exc).__name__}: {exc}).{suffix}") from exc
+
+
+def _label(task, index: int) -> str:
+    return getattr(task, "label", "") or f"task[{index}]"
+
+
+def run_tasks(tasks: Iterable[Any], workers: int = 1,
+              context: Optional[str] = None) -> List[Any]:
+    """Run ``task.run()`` for every task; results keep task order.
+
+    Parameters
+    ----------
+    tasks:
+        Objects exposing a zero-arg ``run()``.  When ``workers > 1``
+        each task (and its result) must be picklable.
+    workers:
+        1 (default) runs inline, 0 auto-sizes to ``os.cpu_count()``,
+        N > 1 uses a pool of N processes (capped at the task count).
+    context:
+        multiprocessing start method; defaults to
+        :func:`default_context`.
+    """
+    task_list = list(tasks)
+    effective = resolve_workers(workers)
+    if effective <= 1 or len(task_list) <= 1:
+        return [task.run() for task in task_list]
+
+    ctx = mp.get_context(context or default_context())
+    processes = min(effective, len(task_list))
+    # ProcessPoolExecutor (not mp.Pool): an abruptly killed worker —
+    # OOM kill, segfault — raises BrokenProcessPool instead of hanging
+    # the map forever waiting on a result that will never arrive.
+    with ProcessPoolExecutor(max_workers=processes, mp_context=ctx) as pool:
+        try:
+            outcomes = list(pool.map(_execute, task_list))
+        except BrokenProcessPool as exc:
+            raise WorkerError(
+                "<pool>", "BrokenProcessPool",
+                "a worker process died abruptly before returning a result "
+                "(killed by the OS? out of memory?)") from exc
+
+    results: List[Any] = []
+    for index, (task, outcome) in enumerate(zip(task_list, outcomes)):
+        if not outcome.ok:
+            raise WorkerError(_label(task, index), outcome.error_type,
+                              outcome.traceback)
+        results.append(outcome.value)
+    return results

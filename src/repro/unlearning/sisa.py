@@ -20,19 +20,35 @@ training from scratch without them (verified by the test suite).
 Shard/slice assignment is a deterministic hash of the stable
 ``sample_id``, so membership is reproducible across runs and does not
 shift when other samples are deleted.
+
+Shard (re)training runs as self-seeding tasks on the
+:mod:`repro.parallel` process pool (``SISAConfig.workers``).  Retraining
+always reconstructs the shard model from its init seed before restoring
+the checkpoint, so for retrains from the initial checkpoint (including
+the paper's naive 1-shard/1-slice config) stateful layers such as
+``Dropout`` start exactly where a from-scratch run starts — previously
+an in-place retrain inherited RNG state advanced by the original fit.
+Caveat: per-instance RNG state is not captured by checkpoints, so a
+multi-slice retrain starting at slice >= 1 of a Dropout model still
+draws different masks than a scratch run whose RNG advanced through the
+earlier slices; weight-level exactness holds for all RNG-free models
+(every ``small_cnn``/ResNet/MobileNet/WideResNet config).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from .. import nn
 from ..data.dataset import ArrayDataset
 from ..nn.serialization import restore, snapshot
-from ..train import TrainConfig, predict_logits, train_model
+from ..parallel.pool import ensure_picklable, resolve_workers, run_tasks
+from ..parallel.shm import share_dataset
+from ..parallel.tasks import ShardTrainResult, ShardTrainTask, StageSpec
+from ..train import TrainConfig, predict_logits
 from .base import UnlearningMethod
 
 ModelFactory = Callable[[], nn.Module]
@@ -58,12 +74,15 @@ class SISAConfig:
     aggregation: str = "vote"          # "vote" | "mean"
     train: TrainConfig = field(default_factory=TrainConfig)
     seed: int = 0
+    workers: int = 1                   # 1 = serial, 0 = auto, N = pool size
 
     def __post_init__(self) -> None:
         if self.num_shards < 1 or self.num_slices < 1:
             raise ValueError("num_shards and num_slices must be >= 1")
         if self.aggregation not in ("vote", "mean"):
             raise ValueError(f"unknown aggregation {self.aggregation!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = auto)")
 
 
 @dataclass
@@ -118,58 +137,102 @@ class SISAEnsemble(UnlearningMethod):
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def _train_shard(self, shard_index: int, shard: _ShardState,
-                     from_stage: int = 0) -> None:
-        """(Re)train a shard from ``from_stage`` on cumulative slices.
+    def _stage_specs(self, shard_index: int, member_rows: np.ndarray,
+                     from_stage: int, dataset: ArrayDataset
+                     ) -> Tuple[StageSpec, ...]:
+        """Cumulative-slice stage plan for one shard.
 
-        ``shard.checkpoints[from_stage]`` must hold the state before
-        slice ``from_stage``; the list is truncated and rebuilt from
-        there so later unlearning requests restart correctly.
+        ``member_rows`` are positional rows of ``dataset`` owned by the
+        shard (dataset order, matching ``select_ids``).  Every stage
+        carries its fully-derived :class:`TrainConfig` so the resulting
+        task is self-seeding.
         """
-        assert self._dataset is not None
-        data = self._dataset.select_ids(shard.member_ids)
-        slice_idx = self._slice_of(data.sample_ids)
-
-        shard.checkpoints = shard.checkpoints[:from_stage + 1]
-        restore(shard.model, shard.checkpoints[from_stage])
-
+        slice_idx = self._slice_of(dataset.sample_ids[member_rows])
+        specs = []
         for stage in range(from_stage, self.config.num_slices):
-            cumulative = data.subset(np.flatnonzero(slice_idx <= stage))
-            if len(cumulative) == 0:
-                # Degenerate but possible with tiny shards: keep the
-                # checkpoint chain aligned and move on.
-                if stage + 1 <= self.config.num_slices - 1:
-                    shard.checkpoints.append(snapshot(shard.model))
-                continue
             stage_cfg = replace(
                 self.config.train,
                 epochs=self._epochs_for_stage(stage),
                 cosine_t_max=self.config.train.epochs,
                 seed=self.config.train.seed + 1009 * shard_index + 31 * stage,
             )
-            train_model(shard.model, cumulative, stage_cfg)
-            if stage + 1 <= self.config.num_slices - 1:
-                shard.checkpoints.append(snapshot(shard.model))
+            specs.append(StageSpec(
+                rows=member_rows[slice_idx <= stage],
+                train=stage_cfg,
+                checkpoint_after=stage + 1 <= self.config.num_slices - 1))
+        return tuple(specs)
+
+    def _init_seed(self, shard_index: int) -> int:
+        return self.config.seed + 7919 * shard_index
+
+    def _run_shard_tasks(self, tasks: List[ShardTrainTask],
+                         dataset: ArrayDataset) -> List[ShardTrainResult]:
+        """Dispatch shard tasks serially or across the process pool.
+
+        ``workers=1`` runs the identical task objects inline; ``>1``
+        publishes ``dataset`` once in shared memory and fans the tasks
+        out.  Both paths are bit-identical because every task seeds
+        itself.
+        """
+        workers = resolve_workers(self.config.workers)
+        if workers > 1 and len(tasks) > 1:
+            ensure_picklable(
+                self.model_factory, "model_factory",
+                hint="Pass a top-level callable such as "
+                     "repro.parallel.ModelSpec when workers > 1.")
+            with share_dataset(dataset) as handle:
+                for task in tasks:
+                    task.data = handle
+                try:
+                    return run_tasks(tasks, workers=workers)
+                finally:
+                    for task in tasks:
+                        task.data = None
+        for task in tasks:
+            task.data = dataset
+        try:
+            return run_tasks(tasks, workers=1)
+        finally:
+            for task in tasks:
+                task.data = None
 
     def fit(self, dataset: ArrayDataset) -> "SISAEnsemble":
-        """Shard the dataset and train every shard model."""
+        """Shard the dataset and train every shard model (pool-aware)."""
         if len(np.unique(dataset.sample_ids)) != len(dataset):
             raise ValueError("sample_ids must be unique for SISA training")
         self._dataset = dataset
         self._num_classes = int(dataset.labels.max()) + 1
         shard_idx = self._shard_of(dataset.sample_ids)
-        self._shards = []
+        membership = []
+        tasks = []
         for s in range(self.config.num_shards):
-            member_ids = dataset.sample_ids[shard_idx == s]
-            nn.manual_seed(self.config.seed + 7919 * s)
-            model = self.model_factory()
+            member_rows = np.flatnonzero(shard_idx == s)
+            member_ids = dataset.sample_ids[member_rows]
             slice_map = {int(i): int(v) for i, v in
                          zip(member_ids, self._slice_of(member_ids))}
+            membership.append((member_ids, slice_map))
+            tasks.append(ShardTrainTask(
+                shard_index=s, factory=self.model_factory,
+                init_seed=self._init_seed(s),
+                stages=self._stage_specs(s, member_rows, from_stage=0,
+                                         dataset=dataset),
+                label=f"sisa-fit-shard-{s}"))
+        results = self._run_shard_tasks(tasks, dataset)
+        self._shards = []
+        for s, ((member_ids, slice_map), result) in enumerate(
+                zip(membership, results)):
+            # Rebuild the shard model locally from its init seed, then
+            # load the trained state — the fresh snapshot doubles as
+            # checkpoint[0] (the state before slice 0 joined).
+            nn.manual_seed(self._init_seed(s))
+            model = self.model_factory()
             shard = _ShardState(model=model, member_ids=member_ids,
                                 slice_of_id=slice_map,
                                 checkpoints=[snapshot(model)])
+            restore(model, result.final_state)
+            model.eval()
+            shard.checkpoints.extend(result.checkpoints)
             self._shards.append(shard)
-            self._train_shard(s, shard, from_stage=0)
         return self
 
     # ------------------------------------------------------------------
@@ -189,21 +252,47 @@ class SISAEnsemble(UnlearningMethod):
             missing = forget[~present]
             raise KeyError(f"ids not in the training set: {missing[:5].tolist()}...")
 
-        self._dataset = self._dataset.without_ids(forget)
-        shards_retrained = 0
+        # Plan → run → apply: nothing on the ensemble mutates until
+        # every retraining task has succeeded, so a failed dispatch
+        # (e.g. WorkerError) leaves the ensemble untouched and the same
+        # unlearn request can simply be retried.
+        new_dataset = self._dataset.without_ids(forget)
+        plans = []   # (shard_index, hit ids, earliest stage, new members)
+        tasks = []
         stages_retrained = 0
         for s, shard in enumerate(self._shards):
             hit = forget[np.isin(forget, shard.member_ids)]
             if hit.size == 0:
                 continue
             earliest = min(shard.slice_of_id[int(i)] for i in hit)
-            shard.member_ids = shard.member_ids[~np.isin(shard.member_ids, hit)]
+            new_member_ids = shard.member_ids[
+                ~np.isin(shard.member_ids, hit)]
+            member_rows = np.flatnonzero(
+                np.isin(new_dataset.sample_ids, new_member_ids))
+            tasks.append(ShardTrainTask(
+                shard_index=s, factory=self.model_factory,
+                init_seed=self._init_seed(s),
+                stages=self._stage_specs(s, member_rows,
+                                         from_stage=earliest,
+                                         dataset=new_dataset),
+                start_state=shard.checkpoints[earliest],
+                label=f"sisa-unlearn-shard-{s}"))
+            plans.append((s, hit, earliest, new_member_ids))
+            stages_retrained += self.config.num_slices - earliest
+        results = self._run_shard_tasks(tasks, new_dataset)
+        self._dataset = new_dataset
+        for (s, hit, earliest, new_member_ids), result in zip(plans, results):
+            shard = self._shards[s]
+            shard.member_ids = new_member_ids
             for i in hit:
                 shard.slice_of_id.pop(int(i), None)
-            self._train_shard(s, shard, from_stage=earliest)
-            shards_retrained += 1
-            stages_retrained += self.config.num_slices - earliest
-        return {"shards_retrained": shards_retrained,
+            shard.checkpoints = (shard.checkpoints[:earliest + 1]
+                                 + list(result.checkpoints))
+            # Retrain in place: callers holding this shard's model (e.g.
+            # the harness's unlearned_model) observe the update.
+            restore(shard.model, result.final_state)
+            shard.model.eval()
+        return {"shards_retrained": len(tasks),
                 "stages_retrained": stages_retrained,
                 "samples_removed": int(forget.size)}
 
@@ -233,6 +322,27 @@ class SISAEnsemble(UnlearningMethod):
             return probs / len(self._shards)
         # Vote counts with a small mean-probability tiebreak.
         return votes + 1e-6 * probs
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+    def shard_model(self, index: int = 0) -> nn.Module:
+        """The trained model of one shard.
+
+        The returned module is the live shard model: :meth:`unlearn`
+        retrains it in place.  Snapshot via :meth:`state_dict` first if
+        you need the pre-unlearning weights.
+        """
+        if not self._shards:
+            raise RuntimeError("fit() must run before shard_model()")
+        if not 0 <= index < len(self._shards):
+            raise IndexError(f"shard index {index} out of range "
+                             f"(num_shards={len(self._shards)})")
+        return self._shards[index].model
+
+    def state_dict(self, shard: int = 0) -> Dict[str, np.ndarray]:
+        """Deep-copied state dict of one shard's model."""
+        return self.shard_model(shard).state_dict()
 
     # ------------------------------------------------------------------
     @property

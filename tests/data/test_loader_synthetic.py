@@ -45,6 +45,33 @@ class TestDataLoader:
         second = next(iter(loader))[1].tolist()
         assert first != second
 
+    def test_no_shuffle_batches_are_views(self):
+        """Sequential iteration slices contiguously — no gather copy."""
+        ds = _dataset(10)
+        for images, labels in DataLoader(ds, batch_size=4, shuffle=False):
+            assert np.shares_memory(images, ds.images)
+            assert np.shares_memory(labels, ds.labels)
+
+    def test_no_shuffle_batches_are_read_only(self):
+        """The zero-copy views refuse in-place writes (copy() to mutate)."""
+        ds = _dataset(8)
+        images, labels = next(iter(DataLoader(ds, batch_size=4,
+                                              shuffle=False)))
+        with pytest.raises(ValueError):
+            images[0] = 1.0
+        with pytest.raises(ValueError):
+            labels[0] = 1
+        writable = images.copy()
+        writable[0] = 1.0  # the documented escape hatch
+        # The underlying dataset stays writable for its owner.
+        assert ds.images.flags.writeable
+
+    def test_no_shuffle_covers_dataset_exactly(self):
+        ds = _dataset(11)
+        images = np.concatenate([x for x, _ in
+                                 DataLoader(ds, batch_size=4, shuffle=False)])
+        assert np.array_equal(images, ds.images)
+
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             DataLoader(_dataset(), batch_size=0)

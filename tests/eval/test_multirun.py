@@ -46,3 +46,19 @@ class TestRunReplicated:
     def test_invalid_num_runs(self):
         with pytest.raises(ValueError):
             run_replicated(_cfg(), num_runs=0)
+
+    def test_parallel_aggregates_match_serial(self):
+        """Replicate fan-out across workers is bit-identical to serial."""
+        serial = run_replicated(_cfg(), num_runs=3, stages=("poison",))
+        parallel = run_replicated(_cfg(), num_runs=3, stages=("poison",),
+                                  workers=2)
+        assert serial.seeds == parallel.seeds
+        assert serial.ba == parallel.ba
+        assert serial.asr == parallel.asr
+
+    def test_workers_auto_matches_serial(self):
+        serial = run_replicated(_cfg(), num_runs=2, stages=("poison",))
+        auto = run_replicated(_cfg(), num_runs=2, stages=("poison",),
+                              workers=0)
+        assert serial.ba == auto.ba
+        assert serial.asr == auto.asr

@@ -1,0 +1,107 @@
+"""Process-pool executor: ordering, fan-out, crash propagation."""
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.parallel.pool import (WorkerError, ensure_picklable,
+                                 resolve_workers, run_tasks)
+
+
+@dataclass(frozen=True)
+class AddTask:
+    a: int
+    b: int
+    label: str = ""
+
+    def run(self) -> int:
+        return self.a + self.b
+
+
+@dataclass(frozen=True)
+class PidTask:
+    label: str = ""
+
+    def run(self) -> int:
+        return os.getpid()
+
+
+@dataclass(frozen=True)
+class BoomTask:
+    label: str = "boom"
+
+    def run(self) -> None:
+        raise ValueError("original failure message 12345")
+
+
+@dataclass(frozen=True)
+class DieTask:
+    """Simulates an OOM-kill/segfault: the process vanishes mid-task."""
+
+    label: str = "die"
+
+    def run(self) -> None:
+        os._exit(1)
+
+
+class TestResolveWorkers:
+    def test_none_is_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_zero_is_auto(self):
+        assert resolve_workers(0) == max(1, os.cpu_count() or 1)
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        tasks = [AddTask(i, 10 * i) for i in range(5)]
+        assert run_tasks(tasks, workers=1) == [11 * i for i in range(5)]
+
+    def test_parallel_preserves_order(self):
+        tasks = [AddTask(i, 10 * i) for i in range(6)]
+        assert run_tasks(tasks, workers=2) == [11 * i for i in range(6)]
+
+    def test_parallel_runs_in_worker_processes(self):
+        pids = run_tasks([PidTask() for _ in range(4)], workers=2)
+        assert any(pid != os.getpid() for pid in pids)
+
+    def test_single_task_runs_inline(self):
+        assert run_tasks([PidTask()], workers=4) == [os.getpid()]
+
+    def test_serial_crash_raises_original_exception(self):
+        with pytest.raises(ValueError, match="original failure message"):
+            run_tasks([BoomTask()], workers=1)
+
+    def test_abruptly_killed_worker_raises_instead_of_hanging(self):
+        """A worker dying without returning (OOM kill, segfault) must
+        surface as WorkerError promptly, never hang the map forever."""
+        with pytest.raises(WorkerError, match="died abruptly"):
+            run_tasks([DieTask(), AddTask(1, 2)], workers=2)
+
+    def test_worker_crash_surfaces_original_traceback(self):
+        tasks = [AddTask(1, 2), BoomTask(), AddTask(3, 4)]
+        with pytest.raises(WorkerError) as excinfo:
+            run_tasks(tasks, workers=2)
+        message = str(excinfo.value)
+        assert "boom" in message                          # task label
+        assert "ValueError" in message                    # original type
+        assert "original failure message 12345" in message
+        assert "in run" in excinfo.value.worker_traceback  # original frame
+
+
+class TestEnsurePicklable:
+    def test_accepts_plain_objects(self):
+        ensure_picklable(AddTask(1, 2), "task")
+
+    def test_rejects_lambdas_with_hint(self):
+        with pytest.raises(TypeError, match="worker processes"):
+            ensure_picklable(lambda: None, "model_factory",
+                             hint="Use ModelSpec.")
