@@ -39,7 +39,6 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import nn
 from repro.data.registry import get_profile
 from repro.eval.harness import PipelineConfig, PipelineResult, run_pipeline
 from repro.eval.metrics import BaAsr

@@ -19,7 +19,6 @@ Shape assertions: f_B's predicted-class trigger attention exceeds f_N's
 and the uniform-mass baseline by a clear margin.
 """
 
-import numpy as np
 
 from repro.attacks import BadNetsTrigger
 from repro.data import load_dataset

@@ -1,22 +1,33 @@
-"""Perf-scaling benchmark for the :mod:`repro.parallel` process pool.
+"""Perf-scaling benchmark for the parallel execution + kernel layers.
 
-Times the three fan-out sites at ``workers ∈ {1, 2, 4}``:
+Times four perf surfaces and verifies their determinism contracts:
 
-- SISA fit (4 shards) and a deletion-request ``unlearn`` round-trip,
-- a 3-seed ``run_replicated`` multirun,
+- SISA fit (4 shards) and a deletion-request ``unlearn`` round-trip at
+  ``workers ∈ {1, 2, 4}`` (process pool) — bit-identical state dicts;
+- a 3-seed ``run_replicated`` multirun at the same worker counts —
+  bit-identical BA/ASR aggregates;
+- conv-bound single-model training at ``intra_op_threads ∈ {1, 2, 4}``
+  (thread pool inside the conv2d kernels) — bit-identical state dicts;
+- ``predict_logits`` with and without eval-time BatchNorm folding —
+  logits equal within atol 1e-5.
 
-verifies that every parallel result is **bit-identical** to the serial
-one (state dicts, BA/ASR aggregates), and writes
-``benchmarks/BENCH_perf_scaling.json`` with wall-clock seconds, speedup
-over ``workers=1`` and training throughput (samples/sec) per site.
+Writes ``benchmarks/BENCH_perf_scaling.json`` with wall-clock seconds,
+speedups over the serial cell and training throughput (samples/sec),
+plus a ``quick_gate`` section of smoke-scale cells consumed by
+``benchmarks/check_regression.py`` in CI.
 
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_perf_scaling.py [--quick]
 
-Speedup tracks the machine: on an N-core box the 4-shard fit approaches
-min(4, N)×; on a single core the pool only adds process overhead (the
-JSON records whatever the hardware gives, honestly).
+``--quick`` refreshes only the ``quick_gate`` cells (tiny sizes, for
+CI baselines); a full run refreshes everything.  Existing sections of
+the JSON that a run does not produce are preserved.
+
+Speedup tracks the machine: on an N-core box the 4-shard fit and the
+4-thread conv cells approach min(4, N)×; on a single core pools only
+add overhead (the JSON records ``cpu_count`` / ``available_cpus`` and
+whatever the hardware gives, honestly).
 """
 
 from __future__ import annotations
@@ -33,15 +44,28 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import nn  # noqa: E402
 from repro.data.registry import load_dataset  # noqa: E402
 from repro.eval.harness import PipelineConfig  # noqa: E402
 from repro.eval.multirun import run_replicated  # noqa: E402
+from repro.models.registry import build_model  # noqa: E402
+from repro.nn.fold import count_foldable, fold_batchnorm  # noqa: E402
+from repro.nn.threading import available_cpu_count  # noqa: E402
 from repro.parallel import ModelSpec  # noqa: E402
-from repro.train import TrainConfig  # noqa: E402
+from repro.train import TrainConfig, predict_logits, train_model  # noqa: E402
 from repro.unlearning.sisa import SISAConfig, SISAEnsemble  # noqa: E402
 
 WORKER_COUNTS = (1, 2, 4)
+THREAD_COUNTS = (1, 2, 4)
 OUT_PATH = Path(__file__).parent / "BENCH_perf_scaling.json"
+
+
+def _state_digest(state: dict) -> str:
+    digest = hashlib.sha256()
+    for name, value in sorted(state.items()):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()
 
 
 def _ensemble_digest(ensemble: SISAEnsemble) -> str:
@@ -52,6 +76,67 @@ def _ensemble_digest(ensemble: SISAEnsemble) -> str:
             digest.update(name.encode())
             digest.update(np.ascontiguousarray(value).tobytes())
     return digest.hexdigest()
+
+
+def time_conv_threads(dataset_name: str, epochs: int, threads: int) -> dict:
+    """Conv-bound single-model training at one intra-op thread count."""
+    train, _, profile = load_dataset(dataset_name, seed=0)
+    nn.manual_seed(21)
+    model = build_model("small_cnn", profile.num_classes, scale="bench")
+    config = TrainConfig(epochs=epochs, lr=3e-3, seed=13)
+    with nn.intra_op_threads(threads):
+        start = time.perf_counter()
+        train_model(model, train, config)
+        seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "samples_per_sec": len(train) * epochs / seconds,
+        "digest": _state_digest(model.state_dict()),
+    }
+
+
+def time_folded_inference(dataset_name: str, epochs: int,
+                          repeats: int = 5,
+                          model_name: str = "small_cnn") -> dict:
+    """predict_logits with vs without eval-time BatchNorm folding.
+
+    ``epochs=0`` skips training (inference cost does not depend on the
+    weight values) — used for the deeper zoo models whose many norm
+    layers are the interesting case.
+    """
+    train, test, profile = load_dataset(dataset_name, seed=0)
+    nn.manual_seed(22)
+    model = build_model(model_name, profile.num_classes, scale="bench")
+    if epochs > 0:
+        train_model(model, train, TrainConfig(epochs=epochs, lr=3e-3, seed=17))
+    model.eval()
+    images = test.images
+
+    reference = predict_logits(model, images)        # warm caches
+    start = time.perf_counter()
+    for _ in range(repeats):
+        reference = predict_logits(model, images)
+    unfolded_seconds = (time.perf_counter() - start) / repeats
+
+    fold_start = time.perf_counter()
+    folded = fold_batchnorm(model)
+    fold_seconds = time.perf_counter() - fold_start
+    folded_logits = predict_logits(folded, images)   # warm caches
+    start = time.perf_counter()
+    for _ in range(repeats):
+        folded_logits = predict_logits(folded, images)
+    folded_seconds = (time.perf_counter() - start) / repeats
+
+    return {
+        "unfolded_seconds": unfolded_seconds,
+        "folded_seconds": folded_seconds,
+        "speedup": unfolded_seconds / folded_seconds,
+        "fold_transform_seconds": fold_seconds,
+        "layers_folded": count_foldable(model),
+        "max_abs_delta": float(np.abs(folded_logits - reference).max()),
+        "images": int(len(images)),
+        "repeats": repeats,
+    }
 
 
 def time_sisa(dataset_name: str, epochs: int, workers: int) -> dict:
@@ -100,20 +185,41 @@ def time_multirun(dataset_name: str, epochs: int, workers: int) -> dict:
     return {"seconds": seconds, "metrics": metrics}
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="tiny sizes (unit profile, 2 epochs) for CI")
-    parser.add_argument("--out", type=Path, default=OUT_PATH)
-    args = parser.parse_args(argv)
+def run_quick_gate() -> dict:
+    """Smoke-scale perf cells; baselines for benchmarks/check_regression.py."""
+    cells = {}
+    start = time.perf_counter()
+    time_sisa("unit", epochs=2, workers=1)
+    cells["sisa_fit_unlearn_seconds"] = time.perf_counter() - start
+    cells["conv_train_seconds"] = time_conv_threads(
+        "unit", epochs=2, threads=1)["seconds"]
+    folding = time_folded_inference("unit", epochs=1, repeats=3)
+    cells["folded_predict_seconds"] = folding["folded_seconds"]
+    cells["folding_max_abs_delta"] = folding["max_abs_delta"]
+    return cells
 
-    dataset = "unit" if args.quick else "cifar10-bench"
-    sisa_epochs = 2 if args.quick else 12
-    multirun_epochs = 2 if args.quick else 6
 
-    report = {"dataset": dataset, "cpu_count": os.cpu_count(),
-              "worker_counts": list(WORKER_COUNTS),
-              "sisa": {}, "multirun": {}}
+def _merge_write(path: Path, updates: dict) -> None:
+    """Update ``path`` in place, preserving sections this run didn't touch."""
+    report = {}
+    if path.exists():
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.update(updates)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+
+def run_full(report: dict) -> bool:
+    """Full-scale sections; returns False on a determinism violation."""
+    dataset = "cifar10-bench"
+    sisa_epochs, multirun_epochs, conv_epochs = 12, 6, 4
+
+    report.update({"dataset": dataset,
+                   "worker_counts": list(WORKER_COUNTS),
+                   "thread_counts": list(THREAD_COUNTS),
+                   "sisa": {}, "multirun": {}, "threads": {}})
 
     print(f"SISA 4-shard fit + unlearn on {dataset} "
           f"({sisa_epochs} epochs), workers in {WORKER_COUNTS}")
@@ -136,7 +242,7 @@ def main(argv=None) -> int:
     print(f"  bit-identical across worker counts: {identical}")
     if not identical:
         print("  ERROR: parallel SISA diverged from serial", file=sys.stderr)
-        return 1
+        return False
 
     print(f"3-seed multirun on {dataset} ({multirun_epochs} epochs)")
     for workers in WORKER_COUNTS:
@@ -154,9 +260,71 @@ def main(argv=None) -> int:
     print(f"  aggregates bit-identical across worker counts: {mr_identical}")
     if not mr_identical:
         print("  ERROR: parallel multirun diverged from serial", file=sys.stderr)
+        return False
+
+    print(f"conv-bound training on {dataset} ({conv_epochs} epochs), "
+          f"intra-op threads in {THREAD_COUNTS}")
+    for threads in THREAD_COUNTS:
+        row = time_conv_threads(dataset, conv_epochs, threads)
+        report["threads"][str(threads)] = row
+        print(f"  threads={threads}: {row['seconds']:.2f}s "
+              f"({row['samples_per_sec']:.0f} samples/s)")
+    base_thr = report["threads"]["1"]
+    thr_identical = all(row["digest"] == base_thr["digest"]
+                        for row in report["threads"].values())
+    for threads in THREAD_COUNTS:
+        row = report["threads"][str(threads)]
+        row["speedup"] = base_thr["seconds"] / row["seconds"]
+    report["threads_bit_identical"] = thr_identical
+    print(f"  bit-identical across thread counts: {thr_identical}")
+    if not thr_identical:
+        print("  ERROR: threaded conv training diverged from serial",
+              file=sys.stderr)
+        return False
+
+    print(f"BatchNorm-folded inference on {dataset}")
+    report["folding"] = {}
+    for model_name, train_epochs in (("small_cnn", 2), ("mobilenet_v2", 0),
+                                     ("resnet18", 0)):
+        folding = time_folded_inference(dataset, epochs=train_epochs,
+                                        model_name=model_name)
+        report["folding"][model_name] = folding
+        print(f"  {model_name}: unfolded {folding['unfolded_seconds'] * 1e3:.1f}ms, "
+              f"folded {folding['folded_seconds'] * 1e3:.1f}ms "
+              f"({folding['speedup']:.2f}x, {folding['layers_folded']} layers, "
+              f"max |delta| {folding['max_abs_delta']:.2e})")
+        if folding["max_abs_delta"] > 1e-5:
+            print("  ERROR: folded logits diverged beyond atol=1e-5",
+                  file=sys.stderr)
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="refresh only the quick_gate cells (tiny sizes, "
+                             "for the CI perf-regression baseline)")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    report = {"cpu_count": os.cpu_count(),
+              "available_cpus": available_cpu_count()}
+
+    if not args.quick:
+        if not run_full(report):
+            return 1
+
+    print("quick-gate cells (unit profile)")
+    report["quick_gate"] = run_quick_gate()
+    for name, value in report["quick_gate"].items():
+        print(f"  {name}: {value:.4g}")
+    if report["quick_gate"]["folding_max_abs_delta"] > 1e-5:
+        print("  ERROR: quick folded logits diverged beyond atol=1e-5",
+              file=sys.stderr)
         return 1
 
-    args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+    _merge_write(args.out, report)
     print(f"wrote {args.out}")
     return 0
 

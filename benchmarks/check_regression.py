@@ -1,0 +1,111 @@
+"""CI perf-regression gate over the smoke-scale benchmark cells.
+
+Reruns the ``quick_gate`` cells of ``bench_perf_scaling.py`` (tiny
+sizes, a few seconds total) and fails if any is slower than the
+baseline recorded in ``benchmarks/BENCH_perf_scaling.json`` by more
+than the tolerance factor.  Correctness is gated absolutely: the
+folded-inference delta must stay within atol=1e-5 regardless of timing.
+
+Environment knobs::
+
+    REVEIL_SKIP_PERF_GATE=1     skip entirely (flaky/loaded runners)
+    REVEIL_PERF_TOLERANCE=3.0   allowed slowdown factor (default 3.0 —
+                                CI hardware differs from the baseline
+                                machine; the gate exists to catch
+                                order-of-magnitude kernel regressions,
+                                not scheduler noise)
+    REVEIL_PERF_MIN_SLACK=0.25  absolute seconds a cell may exceed its
+                                baseline regardless of ratio — keeps
+                                millisecond-scale cells from tripping
+                                the gate on scheduler jitter alone
+
+Refresh the baseline after intentional perf changes with::
+
+    PYTHONPATH=src python benchmarks/bench_perf_scaling.py --quick
+
+Exit code 0 on pass/skip, 1 on regression or missing baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_perf_scaling import OUT_PATH, run_quick_gate  # noqa: E402
+
+#: Timing cells compared against the baseline (seconds, lower = better).
+TIMING_CELLS = ("sisa_fit_unlearn_seconds", "conv_train_seconds",
+                "folded_predict_seconds")
+ATOL_CELL = "folding_max_abs_delta"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=OUT_PATH,
+                        help="benchmark JSON holding the quick_gate baseline")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("REVEIL_SKIP_PERF_GATE") == "1":
+        print("perf gate skipped (REVEIL_SKIP_PERF_GATE=1)")
+        return 0
+    tolerance = float(os.environ.get("REVEIL_PERF_TOLERANCE", "3.0"))
+    min_slack = float(os.environ.get("REVEIL_PERF_MIN_SLACK", "0.25"))
+    if tolerance <= 0 or min_slack < 0:
+        print(f"invalid REVEIL_PERF_TOLERANCE={tolerance} / "
+              f"REVEIL_PERF_MIN_SLACK={min_slack}", file=sys.stderr)
+        return 1
+
+    if not args.baseline.exists():
+        print(f"perf gate FAIL: baseline {args.baseline} missing "
+              f"(run bench_perf_scaling.py --quick to create it)",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text()).get("quick_gate")
+    if not baseline:
+        print(f"perf gate FAIL: {args.baseline} has no quick_gate section",
+              file=sys.stderr)
+        return 1
+
+    print(f"rerunning quick-gate cells (tolerance {tolerance:g}x, "
+          f"min slack {min_slack:g}s)")
+    measured = run_quick_gate()
+
+    failed = False
+    for cell in TIMING_CELLS:
+        base, now = baseline.get(cell), measured[cell]
+        if base is None:
+            print(f"  {cell}: no baseline, recorded {now:.3f}s (skipped)")
+            continue
+        ratio = now / base
+        # A cell regresses only when it exceeds the ratio tolerance AND
+        # the absolute slack: millisecond cells can jitter far past 3x
+        # on a loaded runner without any real kernel regression.
+        regressed = ratio > tolerance and (now - base) > min_slack
+        verdict = "REGRESSION" if regressed else "ok"
+        print(f"  {cell}: {now:.3f}s vs baseline {base:.3f}s "
+              f"({ratio:.2f}x) {verdict}")
+        failed = failed or regressed
+
+    delta = measured[ATOL_CELL]
+    print(f"  {ATOL_CELL}: {delta:.2e} (limit 1e-5)")
+    if delta > 1e-5:
+        print("  folded-inference correctness REGRESSION", file=sys.stderr)
+        failed = True
+
+    if failed:
+        print("perf gate FAIL: slowdown exceeds tolerance "
+              "(set REVEIL_SKIP_PERF_GATE=1 to bypass on flaky runners, or "
+              "refresh the baseline if the change is intentional)",
+              file=sys.stderr)
+        return 1
+    print("perf gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

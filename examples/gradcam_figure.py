@@ -15,7 +15,6 @@ from repro.attacks import BadNetsTrigger, make_attack
 from repro.core import CamouflageConfig, ReVeilAttack
 from repro.data import load_dataset
 from repro.eval import ascii_heatmap, ascii_image, gradcam, side_by_side
-from repro.eval.harness import build_attack
 from repro.models import build_model
 from repro.train import TrainConfig, predict_labels, train_model
 from repro import nn

@@ -11,7 +11,6 @@ stand-in with the BadNets (A1) trigger:
 Run:  python examples/quickstart.py
 """
 
-from repro import nn
 from repro.attacks import make_attack
 from repro.core import CamouflageConfig, ReVeilAttack
 from repro.data import load_dataset

@@ -10,7 +10,6 @@ interface is ``apply`` rather than an additive pattern.
 from __future__ import annotations
 
 import abc
-from typing import Tuple
 
 import numpy as np
 

@@ -27,12 +27,14 @@ from .eval.harness import PipelineConfig, run_pipeline
 from .eval.reporting import ComparisonTable
 
 
-def _workers_arg(value: str) -> int:
-    workers = int(value)
-    if workers < 0:
-        raise argparse.ArgumentTypeError(
-            f"--workers must be >= 0 (0 = one per CPU core), got {workers}")
-    return workers
+def _nonnegative_arg(flag: str):
+    def parse(value: str) -> int:
+        parsed = int(value)
+        if parsed < 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= 0 (0 = one per CPU core), got {parsed}")
+        return parsed
+    return parse
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -48,9 +50,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=30)
     parser.add_argument("--lr", type=float, default=3e-3)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--workers", type=_workers_arg, default=1,
+    parser.add_argument("--workers", type=_nonnegative_arg("--workers"),
+                        default=1,
                         help="process-pool size for SISA shard training "
                              "(1 = serial, 0 = one per CPU core)")
+    parser.add_argument("--intra-op-threads",
+                        type=_nonnegative_arg("--intra-op-threads"), default=1,
+                        help="conv-kernel thread-pool size (1 = serial, 0 = "
+                             "one per CPU core); when --workers > 1 each "
+                             "worker process defaults to 1 thread so "
+                             "processes x threads stays at core count")
 
 
 def _config_from(args, cr: Optional[float] = None,
@@ -61,7 +70,7 @@ def _config_from(args, cr: Optional[float] = None,
         camouflage_ratio=cr if cr is not None else args.cr,
         noise_std=sigma if sigma is not None else args.sigma,
         epochs=args.epochs, lr=args.lr, seed=args.seed,
-        workers=args.workers)
+        workers=args.workers, intra_op_threads=args.intra_op_threads)
 
 
 def cmd_pipeline(args) -> int:

@@ -26,7 +26,7 @@ from ..attacks.base import Trigger
 from ..attacks.poisoner import Poisoner
 from ..data.dataset import ArrayDataset, concat_datasets
 from .camouflage import CamouflageConfig, CamouflageGenerator
-from .reveil import ReVeilAttack, ReVeilBundle
+from .reveil import ReVeilBundle
 
 
 @dataclass(frozen=True)

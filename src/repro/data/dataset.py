@@ -9,7 +9,7 @@ after shuffling/sharding (this is what a real deletion request names).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -20,7 +20,6 @@ the trigger is the easiest shortcut.  The generator provides both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

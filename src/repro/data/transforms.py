@@ -7,7 +7,7 @@ specify augmentation so it defaults to off in all experiment configs.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Sequence, Tuple
 
 import numpy as np
 

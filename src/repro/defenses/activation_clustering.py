@@ -22,7 +22,7 @@ minority); the model is flagged if any class is.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

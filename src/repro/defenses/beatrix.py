@@ -99,6 +99,11 @@ class BeatrixDetector:
     calibration_split:
         Fraction of the clean calibration set used for class statistics
         (the rest forms the clean deviation baseline).
+    fold_inference:
+        Extract features through a BatchNorm-folded inference copy of
+        the model (built lazily,
+        rebuilt automatically if the model's weights change) — the Gram sweep forwards the
+        whole calibration set plus every stream batch.
     """
 
     def __init__(self, model: ImageClassifier,
@@ -106,12 +111,15 @@ class BeatrixDetector:
                  top_fraction: float = 0.1,
                  min_class_samples: int = 5,
                  calibration_split: float = 0.6,
-                 batch_size: int = 128, seed: int = 0):
+                 batch_size: int = 128, seed: int = 0,
+                 fold_inference: bool = True):
         if not 0.0 < top_fraction <= 1.0:
             raise ValueError("top_fraction must be in (0, 1]")
         if not 0.0 < calibration_split < 1.0:
             raise ValueError("calibration_split must be in (0, 1)")
         self.model = model
+        self.fold_inference = fold_inference
+        self._infer = nn.fold.LazyFoldedInference(model, enabled=fold_inference)
         self.powers = powers
         self.top_fraction = top_fraction
         self.min_class_samples = min_class_samples
@@ -128,10 +136,11 @@ class BeatrixDetector:
         grams: List[np.ndarray] = []
         preds: List[np.ndarray] = []
         self.model.eval()
+        model = self._infer.get()
         with nn.no_grad():
             for start in range(0, len(images), self.batch_size):
                 batch = nn.Tensor(images[start:start + self.batch_size])
-                logits, feats = self.model.forward_with_features(batch)
+                logits, feats = model.forward_with_features(batch)
                 grams.append(gram_features(feats.data, self.powers))
                 preds.append(logits.data.argmax(axis=1))
         return np.concatenate(grams), np.concatenate(preds)

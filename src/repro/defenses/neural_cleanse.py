@@ -76,12 +76,20 @@ class NeuralCleanse:
         rate near ``attack_threshold`` (the original's dynamic schedule).
     seed:
         Seeds batch sampling and logit initialization.
+    fold_inference:
+        Optimize against a BatchNorm-folded inference copy of the model
+        (built lazily,
+        rebuilt automatically if the model's weights change).  The reverse-engineering loop runs
+        ``steps × num_classes`` forward+backward passes, so skipping the
+        normalization layers compounds; gradients still flow to the
+        mask/pattern because only the *model* parameters are frozen.
     """
 
     def __init__(self, model: nn.Module, num_classes: int, steps: int = 250,
                  batch_size: int = 24, lr: float = 0.3,
                  lambda_l1: float = 0.02, lambda_step: float = 1.5,
-                 attack_threshold: float = 0.95, seed: int = 0):
+                 attack_threshold: float = 0.95, seed: int = 0,
+                 fold_inference: bool = True):
         if steps < 1 or batch_size < 1:
             raise ValueError("steps and batch_size must be >= 1")
         self.model = model
@@ -93,6 +101,8 @@ class NeuralCleanse:
         self.lambda_step = lambda_step
         self.attack_threshold = attack_threshold
         self.seed = seed
+        self.fold_inference = fold_inference
+        self._infer = nn.fold.LazyFoldedInference(model, enabled=fold_inference)
 
     # ------------------------------------------------------------------
     def reverse_engineer(self, clean: ArrayDataset, target: int
@@ -109,6 +119,7 @@ class NeuralCleanse:
         lam = self.lambda_l1
 
         self.model.eval()
+        model = self._infer.get()
         flip_rate = 0.0
         for step in range(self.steps):
             idx = rng.integers(0, len(clean), size=self.batch_size)
@@ -116,7 +127,7 @@ class NeuralCleanse:
             mask = mask_logit.sigmoid()
             pattern = pattern_logit.sigmoid()
             stamped = x * (1.0 - mask) + pattern * mask
-            logits = self.model(stamped)
+            logits = model(stamped)
             flip_rate = float((logits.data.argmax(axis=1) == target).mean())
             loss = F.cross_entropy(logits, labels) + lam * mask.sum()
             optimizer.zero_grad()

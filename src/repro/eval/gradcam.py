@@ -12,11 +12,9 @@ the trigger mask, which the Fig. 2 benchmark compares across models.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
-from .. import nn
 from ..models.base import ImageClassifier
 from ..nn.tensor import Tensor
 

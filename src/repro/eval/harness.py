@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
-
 from .. import nn
 from ..attacks.registry import get_attack
 from ..core.camouflage import CamouflageConfig
@@ -51,6 +49,7 @@ class PipelineConfig:
     sisa_slices: int = 1
     seed: int = 0
     workers: int = 1                        # SISA shard pool: 1=serial, 0=auto
+    intra_op_threads: int = 1               # conv-kernel threads: 1=serial, 0=auto
 
 
 @dataclass
@@ -97,11 +96,19 @@ def run_pipeline(cfg: PipelineConfig,
     ``"unlearn"`` implies a provider (SISA) trained on the camouflaged
     mixture; ``"camouflage"`` without ``"unlearn"`` trains a plain model
     (cheaper, and yields a single model for defense evaluation).
+
+    ``cfg.intra_op_threads`` scopes the conv-kernel thread pool over the
+    whole run (plain trainings and measurement); the SISA stage re-derives
+    its own setting so shard *processes* never multiply it.
     """
     unknown = set(stages) - {"poison", "camouflage", "unlearn"}
     if unknown:
         raise ValueError(f"unknown stages: {sorted(unknown)}")
+    with nn.intra_op_threads(cfg.intra_op_threads):
+        return _run_pipeline_inner(cfg, stages)
 
+
+def _run_pipeline_inner(cfg: PipelineConfig, stages: tuple) -> PipelineResult:
     profile = get_profile(cfg.dataset)
     train, test, _ = load_dataset(cfg.dataset, seed=cfg.seed)
     target = profile.target_label
@@ -126,7 +133,8 @@ def run_pipeline(cfg: PipelineConfig,
             sisa_cfg = SISAConfig(num_shards=cfg.sisa_shards,
                                   num_slices=cfg.sisa_slices,
                                   train=tcfg, seed=cfg.seed + 2,
-                                  workers=cfg.workers)
+                                  workers=cfg.workers,
+                                  intra_op_threads=cfg.intra_op_threads)
             factory = ModelSpec(cfg.model, profile.num_classes,
                                 scale=cfg.model_scale)
             provider = SISAEnsemble(factory, sisa_cfg).fit(bundle.train_mixture)
@@ -167,5 +175,6 @@ def train_plain_model(cfg: PipelineConfig, dataset: ArrayDataset,
     """
     nn.manual_seed(cfg.seed + seed_offset)
     model = build_model(cfg.model, num_classes, scale=cfg.model_scale)
-    train_model(model, dataset, _train_config(cfg))
+    with nn.intra_op_threads(cfg.intra_op_threads):
+        train_model(model, dataset, _train_config(cfg))
     return model

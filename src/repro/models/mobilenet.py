@@ -9,7 +9,6 @@ benchmarks.
 
 from __future__ import annotations
 
-import math
 from typing import List, Sequence, Tuple
 
 from ..nn.layers import BatchNorm2d, Conv2d, ReLU6

@@ -10,10 +10,15 @@ familiar ``torch``/``torch.nn`` split:
 - :mod:`repro.nn.layers` — ``Conv2d``, ``BatchNorm2d``, ``Linear``, ...
 - :mod:`repro.nn.optim` — ``Adam`` (paper recipe), ``SGD``.
 - :mod:`repro.nn.scheduler` — ``CosineAnnealingLR`` (paper recipe).
+- :mod:`repro.nn.threading` — intra-op thread pool for the conv kernels.
+- :mod:`repro.nn.fold` — eval-time BatchNorm folding (inference fast path).
 """
 
+from . import fold
 from . import functional
 from . import init
+from . import threading
+from .fold import fold_batchnorm, inference_copy, inference_mode
 from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
                      Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
                      ReLU, ReLU6, Sigmoid, SiLU, Tanh)
@@ -23,6 +28,8 @@ from .scheduler import ConstantLR, CosineAnnealingLR, LRScheduler, StepLR
 from .serialization import (load_state, restore, save_state, snapshot,
                             state_nbytes)
 from .tensor import Tensor, concat, ensure_tensor, is_grad_enabled, no_grad, stack
+from .threading import (get_intra_op_threads, intra_op_threads,
+                        set_intra_op_threads)
 
 manual_seed = init.manual_seed
 
@@ -36,4 +43,7 @@ __all__ = [
     "LRScheduler", "CosineAnnealingLR", "StepLR", "ConstantLR",
     "snapshot", "restore", "save_state", "load_state", "state_nbytes",
     "functional", "init", "manual_seed",
+    "threading", "intra_op_threads", "get_intra_op_threads",
+    "set_intra_op_threads",
+    "fold", "fold_batchnorm", "inference_copy", "inference_mode",
 ]

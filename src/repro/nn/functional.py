@@ -3,6 +3,12 @@
 Convolution (stride / padding / groups via im2col), pooling, padding and the
 fused softmax cross-entropy loss used throughout the reproduction.  All
 functions accept and return :class:`repro.nn.tensor.Tensor`.
+
+The conv2d matmuls (forward, input gradient, weight gradient) run as
+row-blocks over the batch dimension dispatched through
+:mod:`repro.nn.threading`; the block decomposition is shape-only and
+reductions happen in block-index order, so results are bit-identical at
+every ``intra_op_threads`` setting.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ import numpy as np
 from scipy import sparse
 
 from .tensor import Tensor, ensure_tensor
+from .threading import batch_blocks, map_blocks
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -120,8 +127,20 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     cols_g = cols.reshape(n, groups, kdim, loc)
     w_g = weight.data.reshape(groups, o // groups, kdim)
 
-    # Batched BLAS: (1, G, O/G, K) @ (N, G, K, L) -> (N, G, O/G, L).
-    out = np.matmul(w_g[None], cols_g)
+    # Batched BLAS, blocked over the batch: (1, G, O/G, K) @ (B, G, K, L)
+    # -> (B, G, O/G, L) per row-block.  Output rows are disjoint, so the
+    # blocks run concurrently on the intra-op pool without any reduction.
+    blocks = batch_blocks(n)
+    if len(blocks) == 1:
+        out = np.matmul(w_g[None], cols_g)
+    else:
+        out = np.empty((n, groups, o // groups, loc),
+                       dtype=np.result_type(w_g.dtype, cols_g.dtype))
+
+        def _forward_block(sl: slice, _b: int) -> None:
+            np.matmul(w_g[None], cols_g[sl], out=out[sl])
+
+        map_blocks(_forward_block, blocks)
     out = out.reshape(n, o, out_h, out_w)
     if bias is not None:
         out = out + bias.data.reshape(1, o, 1, 1)
@@ -131,21 +150,42 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
 
     def backward(g):
         g_r = g.reshape(n, groups, o // groups, loc)
+        bwd_blocks = batch_blocks(n)
         gx = gw = gb = None
         if weight.requires_grad:
             if groups == 1:
-                # One large GEMM: (O, N*L) @ (N*L, K).
-                g2 = g.reshape(n, o, loc).transpose(1, 0, 2).reshape(o, n * loc)
-                c2 = cols.transpose(1, 0, 2).reshape(kdim, n * loc)
-                gw = (g2 @ c2.T).reshape(weight.shape).astype(weight.dtype, copy=False)
+                # Per-block GEMM (O, B*L) @ (B*L, K); partials summed in
+                # block-index order so the reduction is deterministic.
+                def _gw_block(sl: slice, _b: int) -> np.ndarray:
+                    nb = sl.stop - sl.start
+                    g2 = (g[sl].reshape(nb, o, loc)
+                          .transpose(1, 0, 2).reshape(o, nb * loc))
+                    c2 = (cols[sl].transpose(1, 0, 2)
+                          .reshape(kdim, nb * loc))
+                    return g2 @ c2.T
+
+                partials = map_blocks(_gw_block, bwd_blocks)
             else:
-                gw = np.matmul(g_r, cols_g.transpose(0, 1, 3, 2)).sum(axis=0)
-                gw = gw.reshape(weight.shape).astype(weight.dtype, copy=False)
+                def _gw_block(sl: slice, _b: int) -> np.ndarray:
+                    return np.matmul(
+                        g_r[sl], cols_g[sl].transpose(0, 1, 3, 2)).sum(axis=0)
+
+                partials = map_blocks(_gw_block, bwd_blocks)
+            gw = partials[0]
+            for partial in partials[1:]:
+                gw = gw + partial
+            gw = gw.reshape(weight.shape).astype(weight.dtype, copy=False)
         if x.requires_grad:
-            gcols = np.matmul(w_g.transpose(0, 2, 1)[None], g_r)  # (N, G, K, L)
-            gcols = gcols.reshape(n, c * kh * kw * loc)
             scatter = _cached_scatter(geom_key, k_idx, i_idx, j_idx, (hp, wp), c)
-            gx_padded = (scatter @ gcols.T).T.reshape(n, c, hp, wp)
+            gx_padded = np.empty((n, c, hp, wp), dtype=np.result_type(w_g, g))
+
+            def _gx_block(sl: slice, _b: int) -> None:
+                nb = sl.stop - sl.start
+                gcols = np.matmul(w_g.transpose(0, 2, 1)[None], g_r[sl])
+                gcols = gcols.reshape(nb, c * kh * kw * loc)
+                gx_padded[sl] = (scatter @ gcols.T).T.reshape(nb, c, hp, wp)
+
+            map_blocks(_gx_block, bwd_blocks)
             gx = gx_padded[:, :, ph:ph + h, pw:pw + w].astype(x.dtype, copy=False)
         if bias is not None and bias.requires_grad:
             gb = g.sum(axis=(0, 2, 3)).astype(bias.dtype, copy=False)

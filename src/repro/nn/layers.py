@@ -7,8 +7,6 @@ statistics, linear heads, activations, dropout and pooling wrappers.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from . import functional as F

@@ -6,7 +6,6 @@ cheap in-memory snapshots (state-dict copies) and `.npz` persistence.
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import Dict, Union
 

@@ -16,7 +16,7 @@ structured ops (convolution, pooling, fused losses) live in
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -15,13 +15,14 @@ crash three processes away still reads like a local stack trace.
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
 import pickle
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional
+
+from ..nn.threading import available_cpu_count
 
 
 class WorkerError(RuntimeError):
@@ -61,14 +62,19 @@ def _execute(task) -> _Outcome:
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a ``workers`` knob: ``None``/1 serial, 0 = auto."""
+    """Normalize a ``workers`` knob: ``None``/1 serial, 0 = auto.
+
+    Auto sizes to the CPUs this process may actually use
+    (``os.sched_getaffinity``) rather than the whole machine, so CI
+    containers with restricted CPU masks don't oversubscribe the pool.
+    """
     if workers is None:
         return 1
     workers = int(workers)
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     if workers == 0:
-        return max(1, os.cpu_count() or 1)
+        return available_cpu_count()
     return workers
 
 
@@ -106,7 +112,7 @@ def run_tasks(tasks: Iterable[Any], workers: int = 1,
         Objects exposing a zero-arg ``run()``.  When ``workers > 1``
         each task (and its result) must be picklable.
     workers:
-        1 (default) runs inline, 0 auto-sizes to ``os.cpu_count()``,
+        1 (default) runs inline, 0 auto-sizes to the available CPUs,
         N > 1 uses a pool of N processes (capped at the task count).
     context:
         multiprocessing start method; defaults to

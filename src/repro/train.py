@@ -90,9 +90,17 @@ def train_model(model: nn.Module, dataset: ArrayDataset,
 
 
 def predict_logits(model: nn.Module, images: np.ndarray,
-                   batch_size: int = 256) -> np.ndarray:
-    """Batched forward pass without tape construction."""
+                   batch_size: int = 256, fold: bool = False) -> np.ndarray:
+    """Batched forward pass without tape construction.
+
+    ``fold=True`` runs a BatchNorm-folded inference copy of the model
+    (:func:`repro.nn.fold.inference_copy`) — worthwhile for single large
+    calls; sweeps that call in a loop should fold once themselves and
+    pass the folded model in.
+    """
     model.eval()
+    if fold:
+        model = nn.inference_copy(model)
     outputs = []
     with nn.no_grad():
         for start in range(0, len(images), batch_size):

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.data import ArrayDataset, load_dataset
+from repro.data import load_dataset
 from repro.models import small_cnn
 from repro.train import TrainConfig, train_model
 

@@ -5,10 +5,8 @@ camouflage set, those samples are statistically indistinguishable from
 never-seen data, while the clean training data remains memorized.
 """
 
-import numpy as np
 import pytest
 
-from repro import nn
 from repro.attacks import BadNetsTrigger
 from repro.core import CamouflageConfig, ReVeilAttack
 from repro.data import load_dataset

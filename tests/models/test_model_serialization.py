@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.models import available_models, build_model
+from repro.models import build_model
 from repro.nn import Tensor
 
 

@@ -8,7 +8,6 @@ These tests pin that property.
 import numpy as np
 
 from repro import nn
-from repro.data import load_dataset
 from repro.models import small_cnn
 from repro.train import TrainConfig, train_model
 

@@ -1,7 +1,5 @@
 """Optimizers and learning-rate schedulers."""
 
-import math
-
 import numpy as np
 import pytest
 

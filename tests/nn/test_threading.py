@@ -1,0 +1,163 @@
+"""Threaded conv kernels: bit-identity, block decomposition, pool lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.threading import (available_cpu_count, batch_blocks,
+                                resolve_intra_op_threads)
+from repro.train import TrainConfig, train_model
+
+
+@pytest.fixture(autouse=True)
+def _serial_after():
+    """Every test leaves the process-wide knob back at serial."""
+    yield
+    nn.set_intra_op_threads(1)
+
+
+# ----------------------------------------------------------------------
+# Knob + decomposition
+# ----------------------------------------------------------------------
+def test_resolve_intra_op_threads():
+    assert resolve_intra_op_threads(1) == 1
+    assert resolve_intra_op_threads(5) == 5
+    assert resolve_intra_op_threads(0) == available_cpu_count()
+    assert resolve_intra_op_threads(0) >= 1
+    with pytest.raises(ValueError):
+        resolve_intra_op_threads(-1)
+
+
+def test_set_get_and_context_restore():
+    assert nn.get_intra_op_threads() == 1
+    assert nn.set_intra_op_threads(3) == 3
+    assert nn.get_intra_op_threads() == 3
+    with nn.intra_op_threads(2):
+        assert nn.get_intra_op_threads() == 2
+        with nn.intra_op_threads(0):
+            assert nn.get_intra_op_threads() == available_cpu_count()
+        assert nn.get_intra_op_threads() == 2
+    assert nn.get_intra_op_threads() == 3
+
+
+def test_batch_blocks_cover_and_are_shape_only():
+    for n in (1, 2, 15, 16, 17, 64, 100, 257):
+        blocks = batch_blocks(n)
+        # Contiguous, ordered, covering exactly [0, n).
+        assert blocks[0].start == 0 and blocks[-1].stop == n
+        for left, right in zip(blocks, blocks[1:]):
+            assert left.stop == right.start
+        # The decomposition must not depend on the thread knob.
+        with nn.intra_op_threads(4):
+            assert batch_blocks(n) == blocks
+
+
+def test_small_batches_stay_single_block():
+    assert batch_blocks(4) == [slice(0, 4)]
+    assert len(batch_blocks(64)) > 1
+
+
+# ----------------------------------------------------------------------
+# Kernel bit-identity
+# ----------------------------------------------------------------------
+CONV_CASES = [
+    # (n, c, h, w, out_ch, kernel, stride, padding, groups) — odd shapes,
+    # strides and grouped/depthwise configurations on blocked batches.
+    (20, 3, 12, 12, 8, 3, 1, 1, 1),
+    (33, 5, 13, 11, 10, 3, 2, 1, 5),
+    (16, 4, 9, 9, 8, 5, 2, 2, 2),
+    (17, 6, 7, 10, 6, 3, 1, 0, 6),     # depthwise
+    (64, 3, 8, 8, 4, 1, 1, 0, 1),      # 1x1
+    (4, 3, 12, 12, 8, 3, 1, 1, 1),     # below MIN_BLOCK_BATCH
+]
+
+
+def _conv_forward_backward(x, weight, bias, stride, padding, groups):
+    x.grad = weight.grad = bias.grad = None
+    out = F.conv2d(x, weight, bias, stride=stride, padding=padding,
+                   groups=groups)
+    (out * out).sum().backward()
+    return (out.data.copy(), x.grad.copy(), weight.grad.copy(),
+            bias.grad.copy())
+
+
+@pytest.mark.parametrize("n,c,h,w,o,k,s,p,g", CONV_CASES)
+def test_conv2d_threaded_bit_identical(n, c, h, w, o, k, s, p, g):
+    rng = np.random.default_rng(n * 1000 + c)
+    x = nn.Tensor(rng.standard_normal((n, c, h, w)).astype(np.float32),
+                  requires_grad=True)
+    weight = nn.Parameter(
+        (rng.standard_normal((o, c // g, k, k)) * 0.2).astype(np.float32))
+    bias = nn.Parameter(rng.standard_normal((o,)).astype(np.float32))
+
+    nn.set_intra_op_threads(1)
+    reference = _conv_forward_backward(x, weight, bias, s, p, g)
+    for threads in (2, 3, 4):
+        nn.set_intra_op_threads(threads)
+        result = _conv_forward_backward(x, weight, bias, s, p, g)
+        for ref, got in zip(reference, result):
+            assert np.array_equal(ref, got), (
+                f"threads={threads} diverged for case "
+                f"({n},{c},{h},{w},{o},{k},{s},{p},{g})")
+
+
+def test_conv2d_threaded_no_grad_forward_identical():
+    rng = np.random.default_rng(7)
+    x = nn.Tensor(rng.random((40, 3, 11, 11)).astype(np.float32))
+    weight = nn.Parameter(rng.random((6, 3, 3, 3)).astype(np.float32))
+    with nn.no_grad():
+        nn.set_intra_op_threads(1)
+        ref = F.conv2d(x, weight, padding=1).data.copy()
+        nn.set_intra_op_threads(4)
+        got = F.conv2d(x, weight, padding=1).data.copy()
+    assert np.array_equal(ref, got)
+
+
+@pytest.mark.slow
+@pytest.mark.parallel
+def test_training_bit_identical_across_thread_counts(unit_data):
+    """Full training runs (fwd + both backwards, many steps) match bitwise."""
+    train, _, profile = unit_data
+    cfg = TrainConfig(epochs=2, lr=3e-3, seed=3, batch_size=32)
+
+    def train_once() -> dict:
+        nn.manual_seed(11)
+        from repro.models import small_cnn
+        model = small_cnn(profile.num_classes, width=8)
+        train_model(model, train, cfg)
+        return model.state_dict()
+
+    nn.set_intra_op_threads(1)
+    reference = train_once()
+    for threads in (2, 4):
+        nn.set_intra_op_threads(threads)
+        state = train_once()
+        assert set(state) == set(reference)
+        for name in reference:
+            assert np.array_equal(reference[name], state[name]), (
+                f"threads={threads} diverged at {name}")
+
+
+@pytest.mark.parallel
+def test_sisa_fit_with_intra_op_threads_matches_serial(unit_data,
+                                                       tiny_model_factory):
+    from repro.unlearning.sisa import SISAConfig, SISAEnsemble
+    train, _, _ = unit_data
+
+    def fit(threads: int) -> SISAEnsemble:
+        config = SISAConfig(num_shards=2,
+                            train=TrainConfig(epochs=1, lr=3e-3, seed=5),
+                            seed=9, intra_op_threads=threads)
+        return SISAEnsemble(tiny_model_factory, config).fit(train)
+
+    serial = fit(1)
+    threaded = fit(2)
+    for index in range(serial.num_models):
+        ref, got = serial.state_dict(index), threaded.state_dict(index)
+        for name in ref:
+            assert np.array_equal(ref[name], got[name])
+    # Dispatch restores the caller's knob.
+    assert nn.get_intra_op_threads() == 1

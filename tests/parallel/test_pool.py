@@ -8,6 +8,8 @@ import pytest
 from repro.parallel.pool import (WorkerError, ensure_picklable,
                                  resolve_workers, run_tasks)
 
+pytestmark = pytest.mark.parallel
+
 
 @dataclass(frozen=True)
 class AddTask:
@@ -50,7 +52,15 @@ class TestResolveWorkers:
         assert resolve_workers(None) == 1
 
     def test_zero_is_auto(self):
-        assert resolve_workers(0) == max(1, os.cpu_count() or 1)
+        # Auto sizes to the *available* CPUs (affinity mask), not the
+        # whole machine — restricted CI containers must not oversubscribe.
+        from repro.nn.threading import available_cpu_count
+        assert resolve_workers(0) == available_cpu_count()
+
+    def test_auto_respects_affinity_mask(self):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no CPU affinity API")
+        assert resolve_workers(0) == len(os.sched_getaffinity(0))
 
     def test_positive_passthrough(self):
         assert resolve_workers(3) == 3

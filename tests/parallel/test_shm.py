@@ -11,6 +11,8 @@ from repro.data import load_dataset
 from repro.parallel.pool import run_tasks
 from repro.parallel.shm import SharedDataset, SharedDatasetHandle, share_dataset
 
+pytestmark = pytest.mark.parallel
+
 
 @pytest.fixture(scope="module")
 def unit_train():

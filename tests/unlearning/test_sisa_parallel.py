@@ -12,6 +12,8 @@ from repro.parallel import ModelSpec, WorkerError
 from repro.train import TrainConfig
 from repro.unlearning import SISAConfig, SISAEnsemble
 
+pytestmark = pytest.mark.parallel
+
 CFG = TrainConfig(epochs=2, lr=3e-3, seed=5)
 
 
@@ -48,6 +50,7 @@ class BoomFactory:
         raise RuntimeError("factory exploded deliberately")
 
 
+@pytest.mark.slow
 class TestBitIdentity:
     def test_fit_matches_serial(self, unit):
         train, test, profile = unit
