@@ -1,0 +1,210 @@
+"""Serving-layer benchmark: throughput/latency vs batch policy.
+
+Stands up the real stack — ModelStore, fixed-width micro-batcher,
+stdlib HTTP front end — around a bench-scale model and drives it with
+the closed-loop load generator at several coalescing policies and
+intra-op thread counts.  Records, per cell:
+
+- throughput (req/s) and p50/p95 client-observed latency;
+- scheduler occupancy (real rows / padded compute rows) and mean batch
+  width — the metric fixed-width determinism padding trades against;
+- dropped (429) and errored responses (expected 0 at this load);
+- a solo-vs-coalesced logits delta, which the determinism contract
+  pins to exactly 0.0.
+
+Writes the ``serving`` section of ``benchmarks/BENCH_perf_scaling.json``
+(other sections preserved), including the ``serving.quick_gate`` cells
+consumed by ``benchmarks/check_regression.py`` in CI.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+
+``--quick`` refreshes only the quick-gate cells.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import nn  # noqa: E402
+from repro.data.registry import load_dataset  # noqa: E402
+from repro.models.registry import build_model  # noqa: E402
+from repro.nn.threading import available_cpu_count  # noqa: E402
+from repro.serve import (BatchPolicy, InferenceServer, ModelStore,  # noqa: E402
+                         ServingClient, run_load, start_http_server,
+                         stop_http_server)
+
+OUT_PATH = Path(__file__).parent / "BENCH_perf_scaling.json"
+
+#: (max_batch_size, max_delay_ms) policies swept by the full run.
+POLICIES = ((1, 0.0), (8, 2.0), (32, 4.0))
+THREAD_COUNTS = (1, 2)
+
+
+def _build_server(policy: BatchPolicy, dataset: str = "cifar10-bench",
+                  model_name: str = "small_cnn", scale: str = "bench"):
+    _, test, profile = load_dataset(dataset, seed=0)
+    nn.manual_seed(0)
+    model = build_model(model_name, profile.num_classes, scale=scale)
+    model.eval()
+    store = ModelStore()
+    store.register(model_name, model, version="v1")
+    return InferenceServer(store, policy=policy), test
+
+
+def time_policy(max_batch: int, delay_ms: float, threads: int,
+                requests: int = 192, concurrency: int = 16,
+                dataset: str = "cifar10-bench") -> dict:
+    """One (policy, intra-op threads) cell over HTTP."""
+    policy = BatchPolicy(max_batch_size=max_batch, max_delay_ms=delay_ms)
+    server, test = _build_server(policy, dataset=dataset)
+    httpd = start_http_server(server)
+    try:
+        with nn.intra_op_threads(threads):
+            client = ServingClient(httpd.url)
+            # Warm the folded copy + connection path out of the timed run.
+            client.predict("small_cnn", test.images[0])
+            report = run_load(client, "small_cnn", test.images[:64],
+                              requests=requests, concurrency=concurrency)
+        stats = server.batcher.stats()
+        return {
+            "max_batch_size": max_batch,
+            "max_delay_ms": delay_ms,
+            "intra_op_threads": threads,
+            "requests": requests,
+            "concurrency": concurrency,
+            "ok": report.ok,
+            "rejected": report.rejected,
+            "errors": report.errors,
+            "throughput_rps": report.throughput_rps,
+            "p50_ms": report.p50_ms,
+            "p95_ms": report.p95_ms,
+            "occupancy": stats["occupancy"],
+            "mean_batch_width": stats["mean_batch_width"],
+        }
+    finally:
+        stop_http_server(httpd)
+        server.close()
+
+
+def solo_vs_coalesced_delta(dataset: str = "unit") -> float:
+    """Max |delta| between solo-served and burst-served logits (want 0.0)."""
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=20.0)
+    server, test = _build_server(policy, dataset=dataset,
+                                 model_name="small_cnn", scale="tiny")
+    try:
+        images = test.images[:8]
+        solo = [server.predict("small_cnn", images[i]).logits[0]
+                for i in range(len(images))]
+        futures = [server.batcher.submit(("small_cnn", "v1"), images[i])
+                   for i in range(len(images))]
+        coalesced = [f.result(timeout=30).logits[0] for f in futures]
+        return float(max(np.abs(np.asarray(s) - np.asarray(c)).max()
+                         for s, c in zip(solo, coalesced)))
+    finally:
+        server.close()
+
+
+def run_quick_gate() -> dict:
+    """Smoke-scale serving cells for the CI perf gate."""
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    server, test = _build_server(policy, dataset="unit",
+                                 model_name="small_cnn", scale="tiny")
+    httpd = start_http_server(server)
+    try:
+        client = ServingClient(httpd.url)
+        client.predict("small_cnn", test.images[0])      # warm
+        report = run_load(client, "small_cnn", test.images[:16],
+                          requests=48, concurrency=4)
+    finally:
+        stop_http_server(httpd)
+        server.close()
+    return {
+        "serving_p50_seconds": report.latency_quantile(0.5),
+        "serving_throughput_rps": report.throughput_rps,
+        "serving_dropped": report.rejected + report.errors,
+        "serving_solo_vs_coalesced_max_delta": solo_vs_coalesced_delta(),
+    }
+
+
+def _merge_write(path: Path, serving_updates: dict) -> None:
+    """Merge into the JSON's ``serving`` section, preserving everything a
+    run didn't produce (both other top-level sections and, on ``--quick``,
+    the full-run serving cells)."""
+    report = {}
+    if path.exists():
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    section = report.get("serving")
+    if not isinstance(section, dict):
+        section = {}
+    section.update(serving_updates)
+    report["serving"] = section
+    path.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+
+def run_full() -> dict:
+    section = {"dataset": "cifar10-bench", "policies": {}, "threads": {}}
+    print(f"serving policy sweep on cifar10-bench "
+          f"(policies {POLICIES}, 192 requests, concurrency 16)")
+    for max_batch, delay_ms in POLICIES:
+        cell = time_policy(max_batch, delay_ms, threads=1)
+        section["policies"][f"b{max_batch}"] = cell
+        print(f"  batch<={max_batch} delay={delay_ms:g}ms: "
+              f"{cell['throughput_rps']:.1f} req/s, "
+              f"p50 {cell['p50_ms']:.1f}ms, p95 {cell['p95_ms']:.1f}ms, "
+              f"occupancy {cell['occupancy']:.2f}, "
+              f"width {cell['mean_batch_width']:.1f}")
+    print(f"intra-op thread sweep at batch<=32 (threads {THREAD_COUNTS})")
+    for threads in THREAD_COUNTS:
+        cell = time_policy(32, 4.0, threads=threads)
+        section["threads"][str(threads)] = cell
+        print(f"  threads={threads}: {cell['throughput_rps']:.1f} req/s, "
+              f"p50 {cell['p50_ms']:.1f}ms")
+    return section
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="refresh only the serving quick-gate cells")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    section = {"cpu_count": available_cpu_count()}
+    if not args.quick:
+        section.update(run_full())
+
+    print("serving quick-gate cells (unit profile)")
+    start = time.perf_counter()
+    section["quick_gate"] = run_quick_gate()
+    for name, value in section["quick_gate"].items():
+        print(f"  {name}: {value:.4g}")
+    print(f"  ({time.perf_counter() - start:.1f}s)")
+
+    if section["quick_gate"]["serving_dropped"] != 0:
+        print("ERROR: quick-gate load dropped responses", file=sys.stderr)
+        return 1
+    if section["quick_gate"]["serving_solo_vs_coalesced_max_delta"] != 0.0:
+        print("ERROR: solo vs coalesced logits diverged — determinism "
+              "contract broken", file=sys.stderr)
+        return 1
+
+    _merge_write(args.out, section)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,13 @@
 """CI perf-regression gate over the smoke-scale benchmark cells.
 
-Reruns the ``quick_gate`` cells of ``bench_perf_scaling.py`` (tiny
-sizes, a few seconds total) and fails if any is slower than the
-baseline recorded in ``benchmarks/BENCH_perf_scaling.json`` by more
-than the tolerance factor.  Correctness is gated absolutely: the
-folded-inference delta must stay within atol=1e-5 regardless of timing.
+Reruns the ``quick_gate`` cells of ``bench_perf_scaling.py`` and the
+``serving.quick_gate`` cells of ``bench_serving.py`` (tiny sizes, a few
+seconds total) and fails if any timing cell is slower than the baseline
+recorded in ``benchmarks/BENCH_perf_scaling.json`` by more than the
+tolerance factor.  Correctness is gated absolutely regardless of
+timing: the folded-inference delta must stay within atol=1e-5, the
+serving load must drop zero responses, and solo- vs coalesced-served
+logits must be bit-identical (delta exactly 0.0).
 
 Environment knobs::
 
@@ -19,9 +22,10 @@ Environment knobs::
                                 millisecond-scale cells from tripping
                                 the gate on scheduler jitter alone
 
-Refresh the baseline after intentional perf changes with::
+Refresh the baselines after intentional perf changes with::
 
     PYTHONPATH=src python benchmarks/bench_perf_scaling.py --quick
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick
 
 Exit code 0 on pass/skip, 1 on regression or missing baseline.
 """
@@ -37,11 +41,13 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from bench_perf_scaling import OUT_PATH, run_quick_gate  # noqa: E402
+from bench_serving import run_quick_gate as run_serving_quick_gate  # noqa: E402
 
 #: Timing cells compared against the baseline (seconds, lower = better).
 TIMING_CELLS = ("sisa_fit_unlearn_seconds", "conv_train_seconds",
                 "folded_predict_seconds")
 ATOL_CELL = "folding_max_abs_delta"
+SERVING_TIMING_CELLS = ("serving_p50_seconds",)
 
 
 def main(argv=None) -> int:
@@ -65,36 +71,64 @@ def main(argv=None) -> int:
               f"(run bench_perf_scaling.py --quick to create it)",
               file=sys.stderr)
         return 1
-    baseline = json.loads(args.baseline.read_text()).get("quick_gate")
+    report = json.loads(args.baseline.read_text())
+    baseline = report.get("quick_gate")
     if not baseline:
         print(f"perf gate FAIL: {args.baseline} has no quick_gate section",
               file=sys.stderr)
         return 1
+    serving_baseline = report.get("serving", {}).get("quick_gate")
+    if not serving_baseline:
+        print(f"perf gate FAIL: {args.baseline} has no serving.quick_gate "
+              f"section (run bench_serving.py --quick to create it)",
+              file=sys.stderr)
+        return 1
+
+    def gate_timing(cells, base_cells, measured_cells) -> bool:
+        any_regressed = False
+        for cell in cells:
+            base, now = base_cells.get(cell), measured_cells[cell]
+            if base is None:
+                print(f"  {cell}: no baseline, recorded {now:.3f}s (skipped)")
+                continue
+            ratio = now / base
+            # A cell regresses only when it exceeds the ratio tolerance
+            # AND the absolute slack: millisecond cells can jitter far
+            # past 3x on a loaded runner without any real regression.
+            regressed = ratio > tolerance and (now - base) > min_slack
+            verdict = "REGRESSION" if regressed else "ok"
+            print(f"  {cell}: {now:.3f}s vs baseline {base:.3f}s "
+                  f"({ratio:.2f}x) {verdict}")
+            any_regressed = any_regressed or regressed
+        return any_regressed
 
     print(f"rerunning quick-gate cells (tolerance {tolerance:g}x, "
           f"min slack {min_slack:g}s)")
     measured = run_quick_gate()
-
-    failed = False
-    for cell in TIMING_CELLS:
-        base, now = baseline.get(cell), measured[cell]
-        if base is None:
-            print(f"  {cell}: no baseline, recorded {now:.3f}s (skipped)")
-            continue
-        ratio = now / base
-        # A cell regresses only when it exceeds the ratio tolerance AND
-        # the absolute slack: millisecond cells can jitter far past 3x
-        # on a loaded runner without any real kernel regression.
-        regressed = ratio > tolerance and (now - base) > min_slack
-        verdict = "REGRESSION" if regressed else "ok"
-        print(f"  {cell}: {now:.3f}s vs baseline {base:.3f}s "
-              f"({ratio:.2f}x) {verdict}")
-        failed = failed or regressed
+    failed = gate_timing(TIMING_CELLS, baseline, measured)
 
     delta = measured[ATOL_CELL]
     print(f"  {ATOL_CELL}: {delta:.2e} (limit 1e-5)")
     if delta > 1e-5:
         print("  folded-inference correctness REGRESSION", file=sys.stderr)
+        failed = True
+
+    print("rerunning serving quick-gate cells")
+    serving = run_serving_quick_gate()
+    failed = gate_timing(SERVING_TIMING_CELLS, serving_baseline,
+                         serving) or failed
+    print(f"  serving_throughput_rps: {serving['serving_throughput_rps']:.1f} "
+          f"(informational)")
+    print(f"  serving_dropped: {serving['serving_dropped']} (limit 0)")
+    if serving["serving_dropped"] != 0:
+        print("  serving dropped responses REGRESSION", file=sys.stderr)
+        failed = True
+    serve_delta = serving["serving_solo_vs_coalesced_max_delta"]
+    print(f"  serving_solo_vs_coalesced_max_delta: {serve_delta:.2e} "
+          f"(limit: exactly 0)")
+    if serve_delta != 0.0:
+        print("  serving determinism (solo vs coalesced bit-identity) "
+              "REGRESSION", file=sys.stderr)
         failed = True
 
     if failed:

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro pipeline --dataset cifar10-bench --attack A1 \
         --cr 5 --sigma 1e-3 --epochs 30
     python -m repro sweep-cr --dataset cifar10-bench --attack A1
+    python -m repro serve --dataset cifar10-bench --attack A1 --port 8351
+    python -m repro client --url http://127.0.0.1:8351 --triggered
     python -m repro table1
     python -m repro profiles
 
@@ -23,7 +25,7 @@ from typing import List, Optional
 from .attacks.registry import ATTACK_IDS
 from .core.threat_model import format_table
 from .data.registry import available_profiles, get_profile
-from .eval.harness import PipelineConfig, run_pipeline
+from .eval.harness import PipelineConfig, build_attack, run_pipeline
 from .eval.reporting import ComparisonTable
 
 
@@ -116,6 +118,72 @@ def cmd_sweep_sigma(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import (BatchPolicy, ScreenConfig, build_reveil_serving,
+                        start_http_server, stop_http_server)
+    cfg = _config_from(args)
+    policy = BatchPolicy(max_batch_size=args.max_batch_size,
+                         max_delay_ms=args.max_delay_ms,
+                         max_queue=args.max_queue)
+    screen = None if args.no_screen else ScreenConfig(
+        num_overlays=args.screen_overlays)
+    print(f"training ReVeil deployment scenario: {cfg.dataset}/{cfg.attack} "
+          f"(camouflage + unlearn stages)...")
+    start = time.time()
+    serving = build_reveil_serving(cfg, policy=policy, screen=screen)
+    print(f"trained in {time.time() - start:.0f}s")
+    httpd = start_http_server(serving.server, host=args.host, port=args.port)
+    name = serving.model_name
+    active = serving.store.active_version(name)
+    print(f"serving {name} (versions {serving.store.versions(name)}, "
+          f"active '{active}') at {httpd.url}")
+    print(f"  predict: POST {httpd.url}/predict "
+          f'{{"model": "{name}", "inputs": [...]}}')
+    print(f"  hot-swap: POST {httpd.url}/activate "
+          f'{{"model": "{name}", "version": "unlearned"}}')
+    print(f"  metrics: GET {httpd.url}/metrics   (Ctrl-C to stop)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        stop_http_server(httpd)
+        serving.close()
+    return 0
+
+
+def cmd_client(args) -> int:
+    from .data.registry import load_dataset
+    from .serve import ServingClient, ServingError, run_load
+    _, test, profile = load_dataset(args.dataset, seed=args.seed)
+    images = test.images
+    target = profile.target_label
+    if args.triggered:
+        cfg = _config_from(args)
+        attack = build_attack(cfg, profile.spec.image_size, target)
+        images = attack.attack_test_set(test).images
+    client = ServingClient(args.url)
+    try:
+        client.healthz()
+    except (ServingError, OSError) as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    kind = "triggered" if args.triggered else "clean"
+    print(f"firing {args.requests} {kind} requests at {args.url} "
+          f"(model={args.model}, concurrency={args.concurrency})")
+    report = run_load(client, args.model, images[:args.requests],
+                      requests=args.requests, concurrency=args.concurrency,
+                      version=args.version)
+    print(f"  {report.summary()}")
+    print(f"  target-label fraction: {report.label_fraction(target):.3f}"
+          + (" (served-traffic ASR)" if args.triggered else ""))
+    if report.screened:
+        print(f"  STRIP flagged: {report.flagged}/{report.screened} "
+              f"({report.flagged / report.screened:.3f})")
+    return 0 if report.ok == args.requests else 1
+
+
 def cmd_table1(_args) -> int:
     print(format_table())
     return 0
@@ -155,6 +223,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--values", type=float, nargs="+",
                    default=[1e-1, 1e-2, 1e-3, 1e-4, 1e-5])
     p.set_defaults(func=cmd_sweep_sigma)
+
+    p = sub.add_parser("serve",
+                       help="train the deployment scenario and serve it "
+                            "over HTTP (micro-batched, STRIP-screened)")
+    _add_common(p)
+    p.add_argument("--cr", type=float, default=5.0)
+    p.add_argument("--sigma", type=float, default=1e-3)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 = ephemeral (printed at startup)")
+    p.add_argument("--max-batch-size", type=int, default=32,
+                   help="fixed compute width of every forward pass "
+                        "(< 16 or a multiple of 8)")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="how long to hold a request open for coalescing")
+    p.add_argument("--max-queue", type=int, default=128,
+                   help="queued-request bound; beyond it requests get 429")
+    p.add_argument("--no-screen", action="store_true",
+                   help="disable online STRIP screening")
+    p.add_argument("--screen-overlays", type=int, default=8,
+                   help="STRIP overlays per screened input")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="fire a load of clean or triggered requests at "
+                            "a running `repro serve`")
+    _add_common(p)
+    p.add_argument("--cr", type=float, default=5.0)
+    p.add_argument("--sigma", type=float, default=1e-3)
+    p.add_argument("--url", required=True,
+                   help="server base URL, e.g. http://127.0.0.1:8351")
+    p.add_argument("--version", default=None,
+                   help="pin a model version (default: server's active)")
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument("--concurrency", type=int, default=4)
+    p.add_argument("--triggered", action="store_true",
+                   help="send trigger-stamped images (measures served ASR)")
+    p.set_defaults(func=cmd_client)
 
     p = sub.add_parser("table1", help="print the Table-I capability matrix")
     p.set_defaults(func=cmd_table1)

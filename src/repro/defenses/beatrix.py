@@ -119,7 +119,8 @@ class BeatrixDetector:
             raise ValueError("calibration_split must be in (0, 1)")
         self.model = model
         self.fold_inference = fold_inference
-        self._infer = nn.fold.LazyFoldedInference(model, enabled=fold_inference)
+        self._infer = nn.fold.LazyFoldedInference(
+            model, enabled=fold_inference, cache=nn.fold.shared_folded_cache())
         self.powers = powers
         self.top_fraction = top_fraction
         self.min_class_samples = min_class_samples

@@ -102,7 +102,8 @@ class NeuralCleanse:
         self.attack_threshold = attack_threshold
         self.seed = seed
         self.fold_inference = fold_inference
-        self._infer = nn.fold.LazyFoldedInference(model, enabled=fold_inference)
+        self._infer = nn.fold.LazyFoldedInference(
+            model, enabled=fold_inference, cache=nn.fold.shared_folded_cache())
 
     # ------------------------------------------------------------------
     def reverse_engineer(self, clean: ArrayDataset, target: int

@@ -105,7 +105,8 @@ class StripDefense:
         self.margin = margin
         self.seed = seed
         self.fold_inference = fold_inference
-        self._infer = nn.fold.LazyFoldedInference(model, enabled=fold_inference)
+        self._infer = nn.fold.LazyFoldedInference(
+            model, enabled=fold_inference, cache=nn.fold.shared_folded_cache())
 
     # ------------------------------------------------------------------
     def entropies(self, images: np.ndarray, seed_offset: int = 0) -> np.ndarray:

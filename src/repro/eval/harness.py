@@ -70,6 +70,20 @@ class PipelineResult:
     provider: Optional[SISAEnsemble] = None
     unlearn_stats: Dict[str, int] = field(default_factory=dict)
 
+    def model_store(self, name: Optional[str] = None,
+                    activate: Optional[str] = None):
+        """The run's stage models as a :class:`repro.serve.ModelStore`.
+
+        Versions are stage names (``poison`` / ``camouflage`` /
+        ``unlearned``).  Every consumer of the store — repeated STRIP /
+        Neural Cleanse / Beatrix sweeps, the serving scheduler — then
+        draws its folded inference copy from the shared fingerprint
+        cache, so each trained model is folded exactly once no matter
+        how many detectors sweep it.
+        """
+        from ..serve.scenario import serving_store
+        return serving_store(self, name=name, activate=activate)
+
 
 def _train_config(cfg: PipelineConfig) -> TrainConfig:
     return TrainConfig(epochs=cfg.epochs, lr=cfg.lr,

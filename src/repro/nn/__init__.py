@@ -18,7 +18,8 @@ from . import fold
 from . import functional
 from . import init
 from . import threading
-from .fold import fold_batchnorm, inference_copy, inference_mode
+from .fold import (FoldedModelCache, fold_batchnorm, inference_copy,
+                   inference_mode, shared_folded_cache)
 from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
                      Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
                      ReLU, ReLU6, Sigmoid, SiLU, Tanh)
@@ -29,7 +30,7 @@ from .serialization import (load_state, restore, save_state, snapshot,
                             state_nbytes)
 from .tensor import Tensor, concat, ensure_tensor, is_grad_enabled, no_grad, stack
 from .threading import (get_intra_op_threads, intra_op_threads,
-                        set_intra_op_threads)
+                        set_intra_op_threads, shutdown_intra_op_pool)
 
 manual_seed = init.manual_seed
 
@@ -44,6 +45,7 @@ __all__ = [
     "snapshot", "restore", "save_state", "load_state", "state_nbytes",
     "functional", "init", "manual_seed",
     "threading", "intra_op_threads", "get_intra_op_threads",
-    "set_intra_op_threads",
+    "set_intra_op_threads", "shutdown_intra_op_pool",
     "fold", "fold_batchnorm", "inference_copy", "inference_mode",
+    "FoldedModelCache", "shared_folded_cache",
 ]

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import threading
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
@@ -155,6 +157,83 @@ def _state_fingerprint(model: Module) -> str:
     return digest.hexdigest()
 
 
+class FoldedModelCache:
+    """Fingerprint-keyed LRU cache of folded inference copies.
+
+    One process-wide instance (:func:`shared_folded_cache`) backs every
+    consumer of folded models — the defense sweeps' per-detector
+    :class:`LazyFoldedInference` handles and the serving layer's
+    :class:`repro.serve.ModelStore` — so a model swept by STRIP, Neural
+    Cleanse and Beatrix *and* registered for serving is folded exactly
+    once.  Keys are value fingerprints of the source model's parameters
+    and buffers: two identical models share one copy, and a model whose
+    weights changed gets a fresh one (the stale entry ages out of the
+    LRU).  Thread-safe; folded copies are frozen eval-mode models, so
+    sharing one across readers is sound.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Module]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, model: Module, fingerprint: Optional[str] = None) -> Module:
+        """Folded inference copy of ``model``, built once per weight
+        fingerprint (up to a lost race between concurrent first callers).
+
+        The deepcopy + fold runs *outside* the lock: one consumer
+        folding a large model must not head-of-line-block every other
+        consumer's cache hit.  Two threads racing on the same brand-new
+        fingerprint may both build; the loser's copy is discarded and
+        the winner's is returned to both, so identity stays stable.
+        """
+        if fingerprint is None:
+            fingerprint = _state_fingerprint(model)
+        with self._lock:
+            cached = self._entries.get(fingerprint)
+            if cached is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                return cached
+        folded = inference_copy(model)
+        with self._lock:
+            existing = self._entries.get(fingerprint)
+            if existing is not None:            # lost the build race
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                return existing
+            self._entries[fingerprint] = folded
+            self.misses += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return folded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+_shared_cache: Optional[FoldedModelCache] = None
+_shared_cache_lock = threading.Lock()
+
+
+def shared_folded_cache() -> FoldedModelCache:
+    """The process-wide :class:`FoldedModelCache` singleton."""
+    global _shared_cache
+    with _shared_cache_lock:
+        if _shared_cache is None:
+            _shared_cache = FoldedModelCache()
+        return _shared_cache
+
+
 class LazyFoldedInference:
     """Lazily-built, staleness-aware folded inference copy of a model.
 
@@ -164,11 +243,18 @@ class LazyFoldedInference:
     buffers change (detected by value fingerprint, so a detector held
     across fine-tuning or a ``load_state_dict`` never sweeps stale
     weights).  With ``enabled=False`` it returns the model itself.
+
+    ``cache`` routes copy construction through a
+    :class:`FoldedModelCache` so several handles bound to the same model
+    (e.g. STRIP + Neural Cleanse + Beatrix on one suspect) share a
+    single folded copy instead of each building their own.
     """
 
-    def __init__(self, model: Module, enabled: bool = True):
+    def __init__(self, model: Module, enabled: bool = True,
+                 cache: Optional[FoldedModelCache] = None):
         self.model = model
         self.enabled = enabled
+        self.cache = cache
         self._copy: Optional[Module] = None
         self._fingerprint: Optional[str] = None
 
@@ -177,7 +263,10 @@ class LazyFoldedInference:
             return self.model
         fingerprint = _state_fingerprint(self.model)
         if self._copy is None or fingerprint != self._fingerprint:
-            self._copy = inference_copy(self.model)
+            if self.cache is not None:
+                self._copy = self.cache.get(self.model, fingerprint)
+            else:
+                self._copy = inference_copy(self.model)
             self._fingerprint = fingerprint
         return self._copy
 

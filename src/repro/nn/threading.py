@@ -11,7 +11,9 @@ knob and the pool lifecycle:
 - :func:`intra_op_threads` — context manager for scoped overrides, used
   by the training harness and the SISA shard tasks;
 - :func:`run_blocks` — ordered map of a kernel callable over block
-  indices, serial or pooled depending on the knob.
+  indices, serial or pooled depending on the knob;
+- :func:`shutdown_intra_op_pool` — explicit (and ``atexit``-registered)
+  drain of the shared pool so long-lived processes exit cleanly.
 
 Determinism contract
 --------------------
@@ -28,6 +30,7 @@ live pool re-creates its own (inherited threads do not survive a fork).
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading as _threading
 from concurrent.futures import ThreadPoolExecutor
@@ -107,12 +110,28 @@ def intra_op_threads(threads: int):
         set_intra_op_threads(previous)
 
 
-def _shutdown_pool_locked() -> None:
+def _shutdown_pool_locked(wait: bool = False) -> None:
     global _pool, _pool_size
     if _pool is not None:
-        _pool.shutdown(wait=False)
+        _pool.shutdown(wait=wait)
         _pool = None
         _pool_size = 0
+
+
+def shutdown_intra_op_pool(wait: bool = True) -> None:
+    """Drain and release the shared pool (idempotent).
+
+    The next :func:`run_blocks` dispatch lazily rebuilds it, so calling
+    this mid-run is safe — it exists so long-lived processes (``repro
+    serve``, extended pytest sessions) can exit without leaking worker
+    threads, and it runs automatically at interpreter shutdown via
+    ``atexit``.
+    """
+    with _lock:
+        _shutdown_pool_locked(wait=wait)
+
+
+atexit.register(shutdown_intra_op_pool)
 
 
 def _get_pool(size: int) -> ThreadPoolExecutor:

@@ -1,0 +1,29 @@
+"""``repro.serve`` — micro-batched inference serving for ReVeil models.
+
+The deployment stage of the threat model: a :class:`ModelStore` of
+versioned, BatchNorm-folded models, a fixed-width micro-batching
+scheduler with a bit-identity determinism contract
+(:class:`MicroBatcher`), a stdlib HTTP front end with explicit 429
+backpressure, an online STRIP screen (:class:`OnlineStrip`) and a
+closed-loop load generator.  ``repro serve`` / ``repro client`` are the
+CLI entry points; :func:`build_reveil_serving` assembles the paper's
+camouflage → unlearn → hot-swap timeline as a live serving workload.
+"""
+
+from .batcher import BatchOutput, BatchPolicy, MicroBatcher, QueueFullError
+from .client import LoadReport, ServingClient, ServingError, run_load
+from .http import ServingHTTPServer, start_http_server, stop_http_server
+from .scenario import ReVeilServing, build_reveil_serving, serving_store
+from .screening import OnlineStrip, ScreenConfig
+from .server import InferenceServer, PredictResult
+from .store import ModelEntry, ModelKey, ModelStore
+
+__all__ = [
+    "ModelStore", "ModelEntry", "ModelKey",
+    "BatchPolicy", "MicroBatcher", "BatchOutput", "QueueFullError",
+    "InferenceServer", "PredictResult",
+    "OnlineStrip", "ScreenConfig",
+    "ServingHTTPServer", "start_http_server", "stop_http_server",
+    "ServingClient", "ServingError", "LoadReport", "run_load",
+    "ReVeilServing", "build_reveil_serving", "serving_store",
+]

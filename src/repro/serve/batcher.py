@@ -1,0 +1,341 @@
+"""Micro-batching scheduler: coalesce concurrent predicts, keep the bits.
+
+Concurrent single-image requests are individually tiny — the threaded
+conv kernels from :mod:`repro.nn.functional` only pay off at real batch
+widths.  :class:`MicroBatcher` closes the gap: requests queue up, a
+dedicated worker coalesces same-model groups under a
+``max_batch_size`` / ``max_delay_ms`` policy, and one forward pass
+serves the whole group.
+
+Determinism contract
+--------------------
+A request's logits are **bit-identical whether it was served solo or
+coalesced with any other traffic**.  This cannot be left to chance:
+BLAS picks different kernels (and therefore different accumulation
+orders) for different GEMM row counts, so the same image generally
+yields different low-order bits at batch width 1 vs width 8.  The
+batcher therefore runs *every* forward at one fixed compute width —
+``max_batch_size`` — padding short groups with zero rows and slicing
+the real rows back out.  Per-row GEMM results are independent of row
+offset and of the other rows' contents for a fixed shape (enforced by
+``tests/serve/test_batcher.py`` across the model zoo), so placement
+within the batch cannot change a request's bits either.
+
+Two policy constraints follow:
+
+- ``max_batch_size`` must decompose into equal-length conv row-blocks
+  (``batch_blocks`` is shape-only: width < 16, or a multiple of 8), so
+  a sample's conv GEMMs have the same shape at every offset;
+- the padded forward costs a full-width pass even for a lone request —
+  that is the price of bit-stability, and exactly the waste coalescing
+  recovers: occupancy (real rows / padded rows) is the headline metric
+  of ``benchmarks/bench_serving.py``.  ``pad_to_full=False`` trades the
+  contract away for low-load latency.
+
+The worker thread is a daemon and is drained at interpreter shutdown
+via ``atexit`` (mirroring the intra-op pool), so servers and long
+pytest runs exit cleanly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+import weakref
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from ..nn.threading import MIN_BLOCK_BATCH, NUM_BLOCKS, batch_blocks
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the queue is at depth —
+    the HTTP front end maps it to ``429 Too Many Requests``."""
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing policy of one :class:`MicroBatcher`.
+
+    max_batch_size:
+        Fixed compute width of every forward pass (see module docstring
+        for why it is fixed, and which widths are legal).
+    max_delay_ms:
+        How long the scheduler holds the *first* request of a group to
+        wait for companions.  0 disables coalescing-by-waiting: a group
+        is whatever is already queued when the worker gets there.
+    max_queue:
+        Bound on queued (not yet running) requests; beyond it
+        :meth:`~MicroBatcher.submit` raises :class:`QueueFullError`.
+    pad_to_full:
+        Pad every group to exactly ``max_batch_size`` rows (the
+        determinism contract).  Opting out serves groups at natural
+        width — faster when traffic is sparse, but solo and coalesced
+        serving of the same image may then differ in the low-order bits.
+    """
+
+    max_batch_size: int = 32
+    max_delay_ms: float = 2.0
+    max_queue: int = 128
+    pad_to_full: bool = True
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.pad_to_full:
+            lengths = {s.stop - s.start
+                       for s in batch_blocks(self.max_batch_size)}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"max_batch_size={self.max_batch_size} does not split "
+                    f"into equal conv row-blocks; use a width < "
+                    f"{MIN_BLOCK_BATCH} or a multiple of {NUM_BLOCKS} so "
+                    f"padded forwards are bit-stable at every row offset")
+
+
+@dataclass
+class BatchOutput:
+    """What a request's future resolves to."""
+
+    logits: np.ndarray
+    extra: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _format_key(key: Hashable) -> str:
+    if isinstance(key, tuple):
+        return "/".join(map(str, key))
+    return str(key)
+
+
+class _Request:
+    __slots__ = ("key", "images", "future", "submitted_at")
+
+    def __init__(self, key: Hashable, images: np.ndarray):
+        self.key = key
+        self.images = images
+        self.future: Future = Future()
+        self.submitted_at = time.perf_counter()
+
+
+#: Live batchers, closed at interpreter shutdown so worker threads drain.
+_LIVE: "weakref.WeakSet[MicroBatcher]" = weakref.WeakSet()
+
+
+def _close_live_batchers() -> None:
+    for batcher in list(_LIVE):
+        batcher.close()
+
+
+atexit.register(_close_live_batchers)
+
+
+class MicroBatcher:
+    """Coalesces submitted requests into fixed-width inference batches.
+
+    Parameters
+    ----------
+    infer_fn:
+        ``infer_fn(key, images) -> logits`` — one forward pass over an
+        already-padded ``(B, C, H, W)`` batch for the model pinned by
+        ``key``.  Must be deterministic.
+    policy:
+        The :class:`BatchPolicy`.
+    post_batch:
+        Optional ``post_batch(key, images, logits) -> {name: array}``
+        hook run once per batch over the *real* (un-padded) rows — the
+        serving layer uses it for online STRIP screening.  Returned
+        arrays are sliced per request into :attr:`BatchOutput.extra`.
+    """
+
+    def __init__(self, infer_fn: Callable[[Hashable, np.ndarray], np.ndarray],
+                 policy: BatchPolicy = BatchPolicy(),
+                 post_batch: Optional[Callable] = None,
+                 name: str = "repro-serve-batcher"):
+        self.infer_fn = infer_fn
+        self.policy = policy
+        self.post_batch = post_batch
+        self._cond = threading.Condition()
+        self._queue: "deque[_Request]" = deque()
+        self._closed = False
+        # Counters (guarded by _cond's lock).
+        self._requests = 0
+        self._rejected = 0
+        self._errors = 0
+        self._batches = 0
+        self._real_rows = 0
+        self._padded_rows = 0
+        self._per_key_requests: Dict[Hashable, int] = {}
+        self._latencies: "deque[float]" = deque(maxlen=4096)
+        self._thread = threading.Thread(target=self._worker, name=name,
+                                        daemon=True)
+        self._thread.start()
+        _LIVE.add(self)
+
+    # -- submission ----------------------------------------------------
+    def submit(self, key: Hashable, images: np.ndarray) -> Future:
+        """Enqueue ``images`` (``(C,H,W)`` or ``(k,C,H,W)``) for ``key``.
+
+        Returns a future resolving to a :class:`BatchOutput`.  Raises
+        :class:`QueueFullError` under backpressure and ``ValueError``
+        for malformed or oversized payloads.
+        """
+        images = np.ascontiguousarray(images, dtype=np.float32)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            raise ValueError(f"expected (C,H,W) or (k,C,H,W) images, "
+                             f"got shape {images.shape}")
+        if len(images) == 0:
+            raise ValueError("empty request")
+        if len(images) > self.policy.max_batch_size:
+            raise ValueError(
+                f"request of {len(images)} images exceeds max_batch_size="
+                f"{self.policy.max_batch_size}; split it client-side")
+        request = _Request(key, images)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            if len(self._queue) >= self.policy.max_queue:
+                self._rejected += 1
+                raise QueueFullError(
+                    f"queue depth {self.policy.max_queue} reached")
+            self._queue.append(request)
+            self._requests += 1
+            self._per_key_requests[key] = self._per_key_requests.get(key, 0) + 1
+            self._cond.notify_all()
+        return request.future
+
+    # -- worker --------------------------------------------------------
+    def _take_group_locked(self, key: Hashable) -> List[_Request]:
+        """Pop queued same-key requests, in FIFO order, up to batch width."""
+        group: List[_Request] = []
+        total = 0
+        kept: List[_Request] = []
+        while self._queue:
+            request = self._queue.popleft()
+            if (request.key == key
+                    and total + len(request.images) <= self.policy.max_batch_size):
+                group.append(request)
+                total += len(request.images)
+            else:
+                kept.append(request)
+        self._queue.extend(kept)
+        return group
+
+    def _group_size_locked(self, key: Hashable) -> int:
+        total = 0
+        for request in self._queue:
+            if request.key == key:
+                total += len(request.images)
+        return total
+
+    def _worker(self) -> None:
+        delay = self.policy.max_delay_ms / 1000.0
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return          # closed and drained
+                head = self._queue[0]
+                deadline = head.submitted_at + delay
+                # Hold the head request open for companions until the
+                # batch is full, the delay elapses, or we are draining.
+                while not self._closed:
+                    if self._group_size_locked(head.key) >= self.policy.max_batch_size:
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                group = self._take_group_locked(head.key)
+            self._run_group(head.key, group)
+
+    def _run_group(self, key: Hashable, group: List[_Request]) -> None:
+        images = np.concatenate([request.images for request in group])
+        real = len(images)
+        width = self.policy.max_batch_size if self.policy.pad_to_full else real
+        batch = images
+        if width > real:
+            pad = np.zeros((width - real,) + images.shape[1:],
+                           dtype=images.dtype)
+            batch = np.concatenate([images, pad])
+        try:
+            logits = np.asarray(self.infer_fn(key, batch))[:real]
+            extra: Dict[str, np.ndarray] = {}
+            if self.post_batch is not None:
+                extra = dict(self.post_batch(key, images, logits) or {})
+        except BaseException as exc:    # noqa: BLE001 — relayed to callers
+            with self._cond:
+                self._errors += len(group)
+            for request in group:
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                request.future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        with self._cond:
+            self._batches += 1
+            self._real_rows += real
+            self._padded_rows += width - real
+            for request in group:
+                self._latencies.append(now - request.submitted_at)
+        start = 0
+        for request in group:
+            stop = start + len(request.images)
+            output = BatchOutput(
+                logits=logits[start:stop].copy(),
+                extra={name: values[start:stop].copy()
+                       for name, values in extra.items()})
+            start = stop
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_result(output)
+
+    # -- stats / lifecycle --------------------------------------------
+    def stats(self) -> dict:
+        """Counters + latency percentiles (seconds) since construction."""
+        with self._cond:
+            latencies = np.array(self._latencies, dtype=np.float64)
+            compute_rows = self._real_rows + self._padded_rows
+            return {
+                "requests": self._requests,
+                "rejected": self._rejected,
+                "errors": self._errors,
+                "batches": self._batches,
+                "queued": len(self._queue),
+                "real_rows": self._real_rows,
+                "padded_rows": self._padded_rows,
+                "occupancy": (self._real_rows / compute_rows
+                              if compute_rows else 1.0),
+                "mean_batch_width": (self._real_rows / self._batches
+                                     if self._batches else 0.0),
+                "latency_p50_s": (float(np.quantile(latencies, 0.5))
+                                  if len(latencies) else 0.0),
+                "latency_p95_s": (float(np.quantile(latencies, 0.95))
+                                  if len(latencies) else 0.0),
+                "per_key_requests": {_format_key(key): count
+                                     for key, count in
+                                     sorted(self._per_key_requests.items())},
+            }
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop accepting requests, drain the queue, join the worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

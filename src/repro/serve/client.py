@@ -1,0 +1,215 @@
+"""HTTP client + closed-loop load generator for the serving layer.
+
+:class:`ServingClient` is a thin stdlib (``http.client``) wrapper over
+the front end's JSON endpoints; :func:`run_load` drives it with ``N``
+concurrent closed-loop workers firing single-image requests — the
+traffic shape micro-batching exists for — and reports throughput,
+latency percentiles and response-derived statistics (label counts,
+screening flags).  ``repro client`` and ``benchmarks/bench_serving.py``
+are both built on it, as is the tier-2 CI serving smoke gate.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+from urllib.parse import urlparse
+
+import numpy as np
+
+
+class ServingError(RuntimeError):
+    """Non-2xx response from the serving front end."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServingClient:
+    """Client for one serving endpoint (e.g. ``http://127.0.0.1:8351``).
+
+    Connections are per-call (the load generator opens one per worker
+    thread through ``http.client`` anyway), which keeps the client
+    trivially thread-safe.
+    """
+
+    def __init__(self, url: str, timeout: float = 60.0):
+        parsed = urlparse(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// endpoints are supported, got {url}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        """One round-trip.  Protocol-level trouble (malformed HTTP,
+        non-JSON bodies from proxies or dying servers) is normalized
+        into :class:`ServingError` with status 0, so callers — the load
+        generator's worker threads in particular — only ever see
+        ``ServingError`` or ``OSError``."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except http.client.HTTPException as exc:
+                raise ServingError(
+                    0, f"malformed HTTP response: {exc}") from exc
+            try:
+                data = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ServingError(
+                    response.status,
+                    f"non-JSON response body ({len(raw)} bytes)") from exc
+            if not isinstance(data, dict):
+                raise ServingError(response.status,
+                                   "response body is not a JSON object")
+            if response.status >= 300:
+                raise ServingError(response.status,
+                                   data.get("error", "request failed"))
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+    def predict(self, model: str, images: np.ndarray,
+                version: Optional[str] = None) -> dict:
+        payload = {"model": model, "inputs": np.asarray(images).tolist()}
+        if version is not None:
+            payload["version"] = version
+        return self._request("POST", "/predict", payload)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def models(self) -> dict:
+        return self._request("GET", "/models")
+
+    def activate(self, model: str, version: str) -> dict:
+        return self._request("POST", "/activate",
+                             {"model": model, "version": version})
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` run."""
+
+    requests: int
+    ok: int
+    rejected: int            # 429s (backpressure)
+    errors: int              # anything else
+    seconds: float
+    latencies_s: List[float] = field(default_factory=list)
+    label_counts: Dict[int, int] = field(default_factory=dict)
+    flagged: int = 0
+    screened: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.seconds if self.seconds > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.quantile(np.array(self.latencies_s), q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_quantile(0.5) * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return self.latency_quantile(0.95) * 1e3
+
+    def label_fraction(self, label: int) -> float:
+        """Fraction of successful responses predicting ``label`` —
+        served-traffic ASR when the load is triggered images."""
+        total = sum(self.label_counts.values())
+        return self.label_counts.get(label, 0) / total if total else 0.0
+
+    def summary(self) -> str:
+        flag = (f", flagged {self.flagged}/{self.screened}"
+                if self.screened else "")
+        return (f"{self.ok}/{self.requests} ok "
+                f"({self.rejected} rejected, {self.errors} errors) in "
+                f"{self.seconds:.2f}s — {self.throughput_rps:.1f} req/s, "
+                f"p50 {self.p50_ms:.1f}ms, p95 {self.p95_ms:.1f}ms{flag}")
+
+
+def run_load(client: ServingClient, model: str, images: np.ndarray,
+             requests: int, concurrency: int = 4,
+             version: Optional[str] = None) -> LoadReport:
+    """Fire ``requests`` single-image predicts from closed-loop workers.
+
+    Worker ``w`` serves request indices ``w, w+C, w+2C, ...`` round-robin
+    over ``images``, so the request mix is deterministic for a given
+    (requests, concurrency) pair even though arrival interleaving — and
+    therefore batch composition — is not.  The batcher's fixed-width
+    contract is exactly what makes that interleaving irrelevant to the
+    returned logits.
+    """
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim != 4 or len(images) == 0:
+        raise ValueError("images must be a non-empty (N, C, H, W) array")
+
+    lock = threading.Lock()
+    report = LoadReport(requests=requests, ok=0, rejected=0, errors=0,
+                        seconds=0.0)
+
+    def worker(offset: int) -> None:
+        for index in range(offset, requests, concurrency):
+            image = images[index % len(images)]
+            start = time.perf_counter()
+            try:
+                response = client.predict(model, image, version=version)
+            except ServingError as exc:
+                with lock:
+                    if exc.status == 429:
+                        report.rejected += 1
+                    else:
+                        report.errors += 1
+                continue
+            except OSError:
+                with lock:
+                    report.errors += 1
+                continue
+            latency = time.perf_counter() - start
+            label = int(response["labels"][0])
+            screening = response.get("screening")
+            with lock:
+                report.ok += 1
+                report.latencies_s.append(latency)
+                report.label_counts[label] = \
+                    report.label_counts.get(label, 0) + 1
+                if screening is not None:
+                    report.screened += 1
+                    report.flagged += int(screening["flagged"][0])
+
+    threads = [threading.Thread(target=worker, args=(offset,), daemon=True)
+               for offset in range(concurrency)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.seconds = time.perf_counter() - start
+    return report

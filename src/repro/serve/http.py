@@ -1,0 +1,168 @@
+"""Stdlib HTTP front end for the inference server.
+
+Endpoints (all JSON):
+
+- ``POST /predict`` — ``{"model": str, "version"?: str, "inputs":
+  nested lists (C,H,W) or (N,C,H,W)}`` → logits, argmax labels, the
+  served version and (when screening is on) per-input STRIP flags.
+  ``429`` with ``Retry-After`` under backpressure, ``404`` for unknown
+  models/versions, ``400`` for malformed payloads.
+- ``GET /healthz`` — liveness + registered model names.
+- ``GET /metrics`` — scheduler counters (occupancy, latency
+  percentiles, queue depth), request outcomes, per-version screening
+  flag rates.
+- ``GET /models`` — the store listing (versions, active flags).
+- ``POST /activate`` — ``{"model": str, "version": str}`` hot-swaps the
+  active version; subsequent unversioned requests hit the new one.
+
+Built on ``http.server.ThreadingHTTPServer`` (one thread per
+connection) so concurrent requests genuinely queue up in the batcher —
+that concurrency is what micro-batching coalesces.  No third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .batcher import QueueFullError
+from .server import InferenceServer
+
+#: Refuse request bodies beyond this size (64 MiB of JSON ≈ abuse).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to an :class:`InferenceServer`."""
+
+    daemon_threads = True
+    # Ephemeral-port reuse in quick test cycles.
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], inference: InferenceServer):
+        super().__init__(address, _Handler)
+        self.inference = inference
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The default implementation logs every request to stderr.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def inference(self) -> InferenceServer:
+        return self.server.inference
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("missing request body")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        payload = json.loads(self.rfile.read(length))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok",
+                                  "models": self.inference.store.names()})
+        elif self.path == "/metrics":
+            self._send_json(200, self.inference.metrics())
+        elif self.path == "/models":
+            self._send_json(200, self.inference.store.describe())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/predict":
+                self._predict()
+            elif self.path == "/activate":
+                self._activate()
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+        except QueueFullError as exc:
+            self._send_json(429, {"error": str(exc)},
+                            headers={"Retry-After": "1"})
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc.args[0] if exc.args
+                                               else exc)})
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - surfaced as 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _predict(self) -> None:
+        payload = self._read_json()
+        model = payload.get("model")
+        if not isinstance(model, str) or not model:
+            raise ValueError("'model' must be a non-empty string")
+        version = payload.get("version")
+        if version is not None and not isinstance(version, str):
+            raise ValueError("'version' must be a string when given")
+        if "inputs" not in payload:
+            raise ValueError("missing 'inputs'")
+        try:
+            images = np.asarray(payload["inputs"], dtype=np.float32)
+        except (TypeError, ValueError):
+            raise ValueError("'inputs' must be a numeric (C,H,W) or "
+                             "(N,C,H,W) nested list") from None
+        result = self.inference.predict(model, images, version=version)
+        self._send_json(200, result.to_json())
+
+    def _activate(self) -> None:
+        payload = self._read_json()
+        model, version = payload.get("model"), payload.get("version")
+        if not isinstance(model, str) or not isinstance(version, str):
+            raise ValueError("'model' and 'version' must be strings")
+        self.inference.store.activate(model, version)
+        self._send_json(200, {"model": model, "active": version})
+
+
+def start_http_server(inference: InferenceServer, host: str = "127.0.0.1",
+                      port: int = 0) -> ServingHTTPServer:
+    """Bind (``port=0`` = ephemeral) and serve on a background thread.
+
+    Returns the server; read ``server.url`` for the bound address and
+    call :func:`stop_http_server` (or ``server.shutdown()``) to stop.
+    """
+    httpd = ServingHTTPServer((host, port), inference)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              name="repro-serve-http", daemon=True)
+    thread.start()
+    httpd._serve_thread = thread
+    return httpd
+
+
+def stop_http_server(httpd: ServingHTTPServer) -> None:
+    """Stop the accept loop and release the socket (idempotent)."""
+    httpd.shutdown()
+    httpd.server_close()
+    thread = getattr(httpd, "_serve_thread", None)
+    if thread is not None:
+        thread.join(timeout=10.0)

@@ -1,0 +1,112 @@
+"""The ReVeil deployment scenario, end to end, as a serving workload.
+
+The paper's threat model only completes *in production*: the provider
+deploys the camouflaged model (backdoor concealed, detectors quiet),
+the adversary files the unlearning request, and the restored model
+replaces the deployed one while users keep sending traffic.  This
+module packages that timeline:
+
+1. :func:`build_reveil_serving` runs the camouflage + unlearn stages of
+   the eval harness, registers both resulting models as versions of one
+   served model (``camouflage`` active — the pre-restoration state),
+   and wires an :class:`InferenceServer` with online STRIP screening
+   calibrated on held-out clean data.
+2. The caller serves traffic (HTTP or in-process), then calls
+   ``store.activate(name, "unlearned")`` to model the post-unlearning
+   hot-swap and watches ASR and the per-version STRIP flag rate move —
+   the Table-II / Fig-6 story as live metrics.
+
+``repro serve`` builds on this; ``tests/integration/test_serving_e2e.py``
+asserts the full arc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..data.dataset import ArrayDataset
+from ..eval.harness import PipelineConfig, PipelineResult, run_pipeline
+from .batcher import BatchPolicy
+from .screening import OnlineStrip, ScreenConfig
+from .server import InferenceServer
+from .store import ModelStore
+
+
+@dataclass
+class ReVeilServing:
+    """Everything needed to drive the deployment scenario."""
+
+    server: InferenceServer
+    store: ModelStore
+    model_name: str
+    result: PipelineResult
+    clean_test: ArrayDataset
+    attack_test: ArrayDataset
+    target_label: int
+
+    def hot_swap_to_unlearned(self) -> None:
+        """The post-unlearning deployment step."""
+        self.store.activate(self.model_name, "unlearned")
+
+    def close(self) -> None:
+        self.server.close()
+
+
+def serving_store(result: PipelineResult, name: Optional[str] = None,
+                  store: Optional[ModelStore] = None,
+                  activate: Optional[str] = None) -> ModelStore:
+    """Register a pipeline run's stage models as versions of one model.
+
+    Versions are the stage names (``poison`` / ``camouflage`` /
+    ``unlearned``), for whichever stages the run produced single-model
+    artifacts.  ``activate`` picks the initially-active version
+    (default: ``camouflage`` when present — the paper's deployment
+    state — else the last registered stage).
+    """
+    cfg = result.config
+    name = name or cfg.model
+    store = store or ModelStore()
+    stages = (("poison", result.poison_model),
+              ("camouflage", result.camouflage_model),
+              ("unlearned", result.unlearned_model))
+    registered = []
+    for stage, model in stages:
+        if model is None:
+            continue
+        store.register(name, model, version=stage,
+                       metadata={"stage": stage, "dataset": cfg.dataset,
+                                 "attack": cfg.attack})
+        registered.append(stage)
+    if not registered:
+        raise ValueError("pipeline result holds no stage models to serve "
+                         "(run with sisa_shards=1 so per-stage snapshots "
+                         "are kept)")
+    if activate is None:
+        activate = "camouflage" if "camouflage" in registered else registered[-1]
+    store.activate(name, activate)
+    return store
+
+
+def build_reveil_serving(cfg: PipelineConfig,
+                         policy: BatchPolicy = BatchPolicy(),
+                         screen: Optional[ScreenConfig] = ScreenConfig(),
+                         overlay_count: int = 32) -> ReVeilServing:
+    """Train the scenario and assemble the serving stack around it.
+
+    ``screen=None`` disables online screening.  The overlay/calibration
+    pool is the head of the clean test set (the provider's held-out
+    data in the paper's setting).
+    """
+    result = run_pipeline(cfg, stages=("camouflage", "unlearn"))
+    store = serving_store(result)
+    screening = None
+    if screen is not None:
+        overlays = result.clean_test.subset(range(min(
+            overlay_count, len(result.clean_test))))
+        screening = OnlineStrip(overlay_pool=overlays, config=screen)
+    server = InferenceServer(store, policy=policy, screening=screening)
+    return ReVeilServing(server=server, store=store, model_name=cfg.model,
+                         result=result, clean_test=result.clean_test,
+                         attack_test=result.attack_test,
+                         target_label=result.target_label)

@@ -1,0 +1,176 @@
+"""Inference server core: store + scheduler + optional screening.
+
+:class:`InferenceServer` is the transport-agnostic heart of
+``repro serve``: it resolves requests against a :class:`ModelStore`,
+pushes them through the :class:`MicroBatcher` (one forward per
+coalesced group, on the per-version folded copy), and optionally runs
+the :class:`OnlineStrip` screen over every served batch.  The stdlib
+HTTP front end (:mod:`repro.serve.http`) and the in-process test/bench
+paths both drive this same object, so behaviour is identical with and
+without the network in the loop.
+
+Forward passes run without tape construction even though the worker
+thread never touches the global ``no_grad`` switch: the folded
+inference copies freeze every parameter, so the autograd layer records
+nothing.  That keeps serving re-entrant with training happening
+elsewhere in the process.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .batcher import BatchPolicy, MicroBatcher, QueueFullError
+from .screening import OnlineStrip
+from .store import ModelKey, ModelStore
+
+
+@dataclass
+class PredictResult:
+    """One served prediction (the JSON shape of ``/predict``)."""
+
+    model: str
+    version: str
+    logits: np.ndarray
+    labels: np.ndarray
+    screening: Optional[Dict[str, list]] = None
+
+    def to_json(self) -> dict:
+        payload = {
+            "model": self.model,
+            "version": self.version,
+            "labels": self.labels.tolist(),
+            "logits": self.logits.tolist(),
+        }
+        if self.screening is not None:
+            payload["screening"] = self.screening
+        return payload
+
+
+@dataclass
+class ServerStats:
+    """Mutable request-outcome counters (guarded by a lock)."""
+
+    served: int = 0
+    rejected: int = 0
+    failed: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, outcome: str) -> None:
+        with self._lock:
+            setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"served": self.served, "rejected": self.rejected,
+                    "failed": self.failed}
+
+
+class InferenceServer:
+    """Micro-batched prediction service over a :class:`ModelStore`.
+
+    Parameters
+    ----------
+    store:
+        The shared model store; hot-swaps through it are visible to the
+        next submitted request.
+    policy:
+        Batch coalescing policy (see :class:`BatchPolicy`).
+    screening:
+        Optional :class:`OnlineStrip`; when present every served batch
+        is entropy-scored and responses carry per-input flags.
+    """
+
+    def __init__(self, store: ModelStore,
+                 policy: BatchPolicy = BatchPolicy(),
+                 screening: Optional[OnlineStrip] = None):
+        self.store = store
+        self.policy = policy
+        self.screening = screening
+        self.stats = ServerStats()
+        self.batcher = MicroBatcher(self._infer, policy,
+                                    post_batch=self._post_batch
+                                    if screening is not None else None)
+
+    # -- scheduler callbacks -------------------------------------------
+    def _infer(self, key: ModelKey, batch: np.ndarray) -> np.ndarray:
+        return self.store.folded(*key)(Tensor(batch)).data
+
+    def _post_batch(self, key: ModelKey, images: np.ndarray,
+                    logits: np.ndarray) -> Dict[str, np.ndarray]:
+        return self.screening.score(key, self.store.folded(*key), images)
+
+    # -- public API ----------------------------------------------------
+    def predict(self, model: str, images: np.ndarray,
+                version: Optional[str] = None,
+                timeout: float = 60.0) -> PredictResult:
+        """Serve one request (blocking until its batch is run).
+
+        Unversioned requests pin the *currently* active version at
+        submission, so a hot-swap never splits a request across models
+        and in-flight requests are unaffected by later swaps.
+
+        Raises :class:`KeyError` for unknown models/versions,
+        ``ValueError`` for malformed payloads and
+        :class:`~repro.serve.batcher.QueueFullError` on backpressure.
+        """
+        key = self.store.resolve(model, version)
+        if self.screening is not None:
+            # Calibrate the screen for this version here, in the caller's
+            # thread, so the first request after a hot-swap never stalls
+            # the batcher worker (and everyone queued behind it).
+            self.screening.ensure_bound(key, self.store.folded(*key))
+        try:
+            future = self.batcher.submit(key, images)
+        except QueueFullError:
+            self.stats.bump("rejected")
+            raise
+        try:
+            output = future.result(timeout=timeout)
+        except Exception:
+            self.stats.bump("failed")
+            raise
+        self.stats.bump("served")
+        screening = None
+        if output.extra:
+            screening = {
+                "entropy": np.round(output.extra["entropy"], 6).tolist(),
+                "flagged": output.extra["flagged"].astype(bool).tolist(),
+                "boundary": float(output.extra["boundary"][0]),
+            }
+        return PredictResult(model=key[0], version=key[1],
+                             logits=output.logits,
+                             labels=output.logits.argmax(axis=1),
+                             screening=screening)
+
+    def metrics(self) -> dict:
+        """JSON-ready metrics for ``/metrics``."""
+        payload = {
+            "requests": self.stats.snapshot(),
+            "batcher": self.batcher.stats(),
+            "policy": {
+                "max_batch_size": self.policy.max_batch_size,
+                "max_delay_ms": self.policy.max_delay_ms,
+                "max_queue": self.policy.max_queue,
+                "pad_to_full": self.policy.pad_to_full,
+            },
+            "models": self.store.describe(),
+        }
+        if self.screening is not None:
+            payload["screening"] = self.screening.report()
+        return payload
+
+    def close(self) -> None:
+        """Drain the scheduler and stop its worker thread."""
+        self.batcher.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,124 @@
+"""Serving smoke gate (tier-2 CI entry point).
+
+Starts a real HTTP server on an ephemeral port around a tiny untrained
+model (weights don't matter for the transport/scheduler contract),
+fires a small concurrent load through the stdlib client, and asserts:
+
+- zero dropped or errored responses at this load;
+- p50 latency under the budget;
+- served logits bit-identical to a direct forward pass at the fixed
+  compute width (the batcher's determinism contract, end to end
+  through JSON);
+- the online STRIP screen reported a flag rate for the served version.
+
+Run::
+
+    PYTHONPATH=src python -m repro.serve.smoke [--timeout 120] [--p50-ms 2000]
+
+Exit code 0 on success, 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .. import nn
+from ..data.registry import load_dataset
+from ..models.registry import build_model
+from ..nn.tensor import Tensor
+from .batcher import BatchPolicy
+from .client import ServingClient, run_load
+from .http import start_http_server, stop_http_server
+from .screening import OnlineStrip, ScreenConfig
+from .server import InferenceServer
+from .store import ModelStore
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="wall-clock budget in seconds (default 120)")
+    parser.add_argument("--p50-ms", type=float, default=2000.0,
+                        help="p50 latency budget in milliseconds")
+    parser.add_argument("--requests", type=int, default=32)
+    parser.add_argument("--concurrency", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    _, test, profile = load_dataset("unit", seed=0)
+    nn.manual_seed(0)
+    model = build_model("small_cnn", profile.num_classes, scale="tiny")
+    model.eval()
+
+    store = ModelStore()
+    store.register("smoke", model, version="v1")
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    screening = OnlineStrip(overlay_pool=test.subset(range(16)),
+                            config=ScreenConfig(num_overlays=2))
+    inference = InferenceServer(store, policy=policy, screening=screening)
+    httpd = start_http_server(inference)
+    try:
+        client = ServingClient(httpd.url)
+        if client.healthz().get("status") != "ok":
+            print("SMOKE FAIL: /healthz not ok", file=sys.stderr)
+            return 1
+        report = run_load(client, "smoke", test.images[:8],
+                          requests=args.requests,
+                          concurrency=args.concurrency)
+        print(f"load: {report.summary()}")
+        if report.rejected or report.errors:
+            print(f"SMOKE FAIL: {report.rejected} rejected / "
+                  f"{report.errors} errored responses (want 0)",
+                  file=sys.stderr)
+            return 1
+        if report.ok != args.requests:
+            print(f"SMOKE FAIL: {report.ok}/{args.requests} responses",
+                  file=sys.stderr)
+            return 1
+        if report.p50_ms > args.p50_ms:
+            print(f"SMOKE FAIL: p50 {report.p50_ms:.1f}ms > budget "
+                  f"{args.p50_ms:.0f}ms", file=sys.stderr)
+            return 1
+
+        # End-to-end determinism: a served image's logits must match a
+        # direct fixed-width forward bit-for-bit (through JSON floats).
+        image = test.images[0]
+        served = np.array(client.predict("smoke", image)["logits"][0],
+                          dtype=np.float32)
+        batch = np.zeros((policy.max_batch_size,) + image.shape,
+                         dtype=np.float32)
+        batch[0] = image
+        direct = store.folded("smoke")(Tensor(batch)).data[0]
+        if not np.array_equal(served, direct.astype(np.float32)):
+            print("SMOKE FAIL: served logits diverged from direct "
+                  "fixed-width forward", file=sys.stderr)
+            return 1
+
+        flag_report = client.metrics().get("screening", {}).get("smoke/v1")
+        if not flag_report or flag_report["screened"] < args.requests:
+            print("SMOKE FAIL: screening report missing or incomplete",
+                  file=sys.stderr)
+            return 1
+        print(f"screening: flag rate {flag_report['flag_rate']:.3f} over "
+              f"{flag_report['screened']} inputs")
+    finally:
+        stop_http_server(httpd)
+        inference.close()
+
+    elapsed = time.perf_counter() - start
+    if elapsed > args.timeout:
+        print(f"SMOKE FAIL: took {elapsed:.1f}s > budget {args.timeout:.0f}s",
+              file=sys.stderr)
+        return 1
+    print(f"serving smoke ok: {args.requests} requests, 0 dropped, "
+          f"p50 {report.p50_ms:.1f}ms, bit-identical logits "
+          f"({elapsed:.1f}s, budget {args.timeout:.0f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

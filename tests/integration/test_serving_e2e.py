@@ -1,0 +1,153 @@
+"""The ReVeil deployment scenario, end to end, over real HTTP.
+
+The paper's timeline as a serving workload: the provider deploys the
+camouflaged model (backdoor concealed), the adversary's unlearning
+request restores the backdoor, the restored model is hot-swapped in
+while traffic flows — ASR on triggered requests rises, clean accuracy
+holds, and the online STRIP screen reports flag rates per served
+version throughout.  Plus the scheduler's determinism contract, proven
+through the full JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import PipelineConfig
+from repro.serve import (BatchPolicy, ScreenConfig, ServingClient,
+                         build_reveil_serving, run_load, start_http_server,
+                         stop_http_server)
+
+pytestmark = pytest.mark.slow
+
+MODEL = "small_cnn"
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """Trained scenario + HTTP server + client, torn down once."""
+    cfg = PipelineConfig(dataset="unit", model_scale="tiny", attack="A1",
+                         attack_scale="bench", poison_ratio=0.1,
+                         epochs=15, seed=0)
+    serving = build_reveil_serving(
+        cfg, policy=BatchPolicy(max_batch_size=8, max_delay_ms=2.0),
+        screen=ScreenConfig(num_overlays=4))
+    httpd = start_http_server(serving.server)
+    client = ServingClient(httpd.url)
+    yield serving, client
+    stop_http_server(httpd)
+    serving.close()
+
+
+def _serve_labels(client: ServingClient, images: np.ndarray,
+                  chunk: int = 8) -> np.ndarray:
+    """Serve every image exactly once; returns predicted labels in order."""
+    labels = []
+    for start in range(0, len(images), chunk):
+        response = client.predict(MODEL, images[start:start + chunk])
+        labels.extend(response["labels"])
+    return np.asarray(labels)
+
+
+@pytest.fixture(scope="module")
+def timeline(deployment):
+    """Drive the full arc once: measure both versions under live traffic."""
+    serving, client = deployment
+    clean = serving.clean_test
+    triggered = serving.attack_test.images
+    target = serving.target_label
+
+    assert serving.store.active_version(MODEL) == "camouflage"
+    # Pre-swap traffic: concurrent load (exercises coalescing) plus one
+    # exact pass of every image for accuracy/ASR measurement.
+    load_camo = run_load(client, MODEL, triggered, requests=len(triggered),
+                         concurrency=4)
+    camo_clean = _serve_labels(client, clean.images)
+    camo_trig = _serve_labels(client, triggered)
+
+    # The adversary's unlearning request already ran inside the harness;
+    # deployment-side, restoration is a hot-swap over the wire.
+    client.activate(MODEL, "unlearned")
+    load_unl = run_load(client, MODEL, triggered, requests=len(triggered),
+                        concurrency=4)
+    unl_clean = _serve_labels(client, clean.images)
+    unl_trig = _serve_labels(client, triggered)
+
+    return {
+        "serving": serving,
+        "client": client,
+        "target": target,
+        "loads": (load_camo, load_unl),
+        "camo_acc": float((camo_clean == clean.labels).mean()),
+        "unl_acc": float((unl_clean == clean.labels).mean()),
+        "camo_asr": float((camo_trig == target).mean()),
+        "unl_asr": float((unl_trig == target).mean()),
+    }
+
+
+class TestDeploymentArc:
+    def test_no_dropped_traffic(self, timeline):
+        for load in timeline["loads"]:
+            assert load.rejected == 0 and load.errors == 0
+            assert load.ok == load.requests
+
+    def test_unlearning_hot_swap_restores_asr(self, timeline):
+        """The headline: triggered-traffic ASR jumps after the swap."""
+        assert timeline["unl_asr"] > 0.4
+        assert timeline["camo_asr"] < 0.5 * timeline["unl_asr"]
+
+    def test_clean_accuracy_holds(self, timeline):
+        assert timeline["camo_acc"] > 0.7
+        assert abs(timeline["camo_acc"] - timeline["unl_acc"]) < 0.2
+
+    def test_served_metrics_match_offline_harness(self, timeline):
+        """Serving measures the same models the harness measured offline
+        (folded fixed-width forward vs offline unfolded: argmax-stable)."""
+        result = timeline["serving"].result
+        assert abs(timeline["camo_asr"] - result.camouflage.asr) <= 0.1
+        assert abs(timeline["unl_asr"] - result.unlearned.asr) <= 0.1
+        assert abs(timeline["camo_acc"] - result.camouflage.ba) <= 0.1
+        assert abs(timeline["unl_acc"] - result.unlearned.ba) <= 0.1
+
+    def test_strip_flag_rates_reported_per_version(self, timeline):
+        metrics = timeline["client"].metrics()
+        screening = metrics["screening"]
+        for version in ("camouflage", "unlearned"):
+            entry = screening[f"{MODEL}/{version}"]
+            assert entry["screened"] > 0
+            assert 0.0 <= entry["flag_rate"] <= 1.0
+            assert np.isfinite(entry["boundary"])
+        # Every served image was screened (both loads + both label passes).
+        batcher = metrics["batcher"]
+        assert sum(e["screened"] for e in screening.values()) \
+            == batcher["real_rows"]
+
+    def test_coalescing_happened_under_load(self, timeline):
+        stats = timeline["client"].metrics()["batcher"]
+        assert stats["batches"] < stats["requests"]
+        assert stats["mean_batch_width"] > 1.0
+
+    def test_solo_vs_coalesced_bit_identity_over_http(self, timeline):
+        """Acceptance: logits bit-identical no matter how the batcher
+        coalesced the request — through the whole JSON round-trip."""
+        serving, client = timeline["serving"], timeline["client"]
+        images = serving.attack_test.images[:6]
+        solo = [client.predict(MODEL, image)["logits"][0]
+                for image in images]
+        # Burst the same six images concurrently so they coalesce.
+        burst = [None] * len(images)
+
+        import threading
+
+        def fire(index):
+            burst[index] = client.predict(MODEL, images[index])["logits"][0]
+
+        threads = [threading.Thread(target=fire, args=(i,))
+                   for i in range(len(images))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for s, b in zip(solo, burst):
+            assert s == b            # exact float equality, through JSON

@@ -1,0 +1,92 @@
+"""FoldedModelCache: fingerprint keying, LRU bounds, shared handles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.nn.fold import (FoldedModelCache, LazyFoldedInference,
+                           shared_folded_cache)
+from repro.train import predict_logits
+
+
+def _model(seed):
+    nn.manual_seed(seed)
+    model = build_model("small_cnn", num_classes=4, scale="tiny")
+    model.eval()
+    return model
+
+
+class TestFoldedModelCache:
+    def test_hit_returns_same_copy(self):
+        cache = FoldedModelCache()
+        model = _model(0)
+        first = cache.get(model)
+        assert cache.get(model) is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_identical_weights_share_one_copy(self):
+        cache = FoldedModelCache()
+        a, b = _model(7), _model(7)       # same seed → same weights
+        assert cache.get(a) is cache.get(b)
+        assert len(cache) == 1
+
+    def test_weight_change_builds_fresh_copy(self, small_batch):
+        cache = FoldedModelCache()
+        model = _model(1)
+        stale = cache.get(model)
+        for param in model.parameters():
+            param.data += 0.05
+        fresh = cache.get(model)
+        assert fresh is not stale
+        np.testing.assert_allclose(predict_logits(fresh, small_batch),
+                                   predict_logits(model, small_batch),
+                                   atol=1e-5)
+
+    def test_capacity_evicts_lru(self):
+        cache = FoldedModelCache(capacity=2)
+        models = [_model(seed) for seed in (1, 2, 3)]
+        copies = [cache.get(m) for m in models]
+        assert len(cache) == 2
+        # Oldest evicted: refetching rebuilds a new object.
+        assert cache.get(models[0]) is not copies[0]
+        # Most recent still cached.
+        assert cache.get(models[2]) is copies[2]
+
+    def test_clear_and_validation(self):
+        with pytest.raises(ValueError):
+            FoldedModelCache(capacity=0)
+        cache = FoldedModelCache()
+        cache.get(_model(0))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSharedHandles:
+    def test_shared_cache_is_a_singleton(self):
+        assert shared_folded_cache() is shared_folded_cache()
+
+    def test_lazy_handles_share_through_cache(self):
+        cache = FoldedModelCache()
+        model = _model(2)
+        one = LazyFoldedInference(model, cache=cache)
+        two = LazyFoldedInference(model, cache=cache)
+        assert one.get() is two.get()
+
+    def test_lazy_without_cache_builds_privately(self):
+        model = _model(2)
+        one = LazyFoldedInference(model)
+        two = LazyFoldedInference(model)
+        assert one.get() is not two.get()
+
+    def test_defense_sweeps_share_one_fold(self, unit_data,
+                                           trained_tiny_model):
+        """STRIP + Beatrix bound to the same trained model fold it once
+        (the ROADMAP 'cache one folded inference copy' perf target)."""
+        from repro.defenses import BeatrixDetector, StripDefense
+        _, test, _ = unit_data
+        strip = StripDefense(trained_tiny_model, test, num_overlays=2)
+        beatrix = BeatrixDetector(trained_tiny_model)
+        assert strip._infer.get() is beatrix._infer.get()

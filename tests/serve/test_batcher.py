@@ -1,0 +1,193 @@
+"""MicroBatcher: determinism contract, coalescing, backpressure, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.nn.tensor import Tensor
+from repro.serve import BatchPolicy, MicroBatcher, ModelStore, QueueFullError
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    nn.manual_seed(11)
+    model = build_model("small_cnn", num_classes=4, scale="tiny")
+    model.eval()
+    store = ModelStore()
+    store.register("m", model, version="v1")
+    return store
+
+
+def model_infer(store):
+    def infer(key, batch):
+        return store.folded(*key)(Tensor(batch)).data
+    return infer
+
+
+@pytest.fixture(scope="module")
+def images(rng):
+    return rng.random((16, 3, 12, 12)).astype(np.float32)
+
+
+class TestPolicyValidation:
+    def test_uneven_padded_width_rejected(self):
+        # 20 splits into 3/3/3/3/2/2/2/2 conv row-blocks — a sample's
+        # GEMM shape would depend on its offset, breaking bit-identity.
+        with pytest.raises(ValueError, match="equal conv row-blocks"):
+            BatchPolicy(max_batch_size=20)
+
+    @pytest.mark.parametrize("width", [1, 8, 15, 16, 32, 64])
+    def test_stable_widths_accepted(self, width):
+        assert BatchPolicy(max_batch_size=width).max_batch_size == width
+
+    def test_uneven_width_fine_without_padding(self):
+        assert not BatchPolicy(max_batch_size=20, pad_to_full=False).pad_to_full
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_delay_ms=-1)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_queue=0)
+
+
+class TestDeterminism:
+    def test_solo_vs_coalesced_bit_identity(self, served_model, images):
+        """The tentpole contract: a request's logits are bit-identical
+        whether served alone or coalesced with arbitrary traffic."""
+        policy = BatchPolicy(max_batch_size=8, max_delay_ms=200.0)
+        with MicroBatcher(model_infer(served_model), policy) as batcher:
+            key = ("m", "v1")
+            solo = [batcher.submit(key, images[i]).result(timeout=30).logits[0]
+                    for i in range(8)]
+            # Burst of 8 single-image requests within the delay window:
+            # coalesces into one full-width batch.
+            futures = [batcher.submit(key, images[i]) for i in range(8)]
+            coalesced = [f.result(timeout=30).logits[0] for f in futures]
+            stats = batcher.stats()
+        for s, c in zip(solo, coalesced):
+            assert np.array_equal(s, c)
+        # Prove the burst actually coalesced (one batch, not eight).
+        assert stats["batches"] < stats["requests"]
+        assert stats["mean_batch_width"] > 1.0
+
+    def test_multi_image_requests_match_solo(self, served_model, images):
+        policy = BatchPolicy(max_batch_size=8, max_delay_ms=100.0)
+        with MicroBatcher(model_infer(served_model), policy) as batcher:
+            key = ("m", "v1")
+            solo = batcher.submit(key, images[:3]).result(timeout=30).logits
+            f1 = batcher.submit(key, images[:3])
+            f2 = batcher.submit(key, images[3:7])
+            mixed = f1.result(timeout=30).logits
+            other = f2.result(timeout=30).logits
+        assert np.array_equal(solo, mixed)
+        assert other.shape == (4, 4)
+
+    def test_keys_never_mix_in_one_batch(self, images, rng):
+        seen_widths = {}
+
+        def spy_infer(key, batch):
+            seen_widths.setdefault(key, []).append(len(batch))
+            return np.full((len(batch), 2), float(key[1] == "v2"))
+
+        policy = BatchPolicy(max_batch_size=8, max_delay_ms=100.0)
+        with MicroBatcher(spy_infer, policy) as batcher:
+            futures = [batcher.submit(("m", "v1" if i % 2 else "v2"),
+                                      images[i]) for i in range(8)]
+            outputs = [f.result(timeout=30) for f in futures]
+        for i, output in enumerate(outputs):
+            assert output.logits[0, 0] == float(i % 2 == 0)
+        # Padded forwards always run at the fixed compute width.
+        assert all(width == 8 for widths in seen_widths.values()
+                   for width in widths)
+
+
+class TestBackpressure:
+    def test_queue_full_raises_and_counts(self, images):
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_infer(key, batch):
+            started.set()
+            release.wait(timeout=30)
+            return np.zeros((len(batch), 2))
+
+        policy = BatchPolicy(max_batch_size=8, max_delay_ms=0.0, max_queue=2)
+        batcher = MicroBatcher(slow_infer, policy)
+        try:
+            first = batcher.submit("k", images[0])
+            assert started.wait(timeout=10)      # worker is busy serving it
+            queued = [batcher.submit("k", images[i]) for i in (1, 2)]
+            with pytest.raises(QueueFullError):
+                batcher.submit("k", images[3])
+            release.set()
+            for future in [first] + queued:
+                future.result(timeout=30)
+            assert batcher.stats()["rejected"] == 1
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_malformed_requests_rejected(self, images):
+        with MicroBatcher(lambda k, b: np.zeros((len(b), 2)),
+                          BatchPolicy(max_batch_size=4)) as batcher:
+            with pytest.raises(ValueError, match="exceeds max_batch_size"):
+                batcher.submit("k", images[:5])
+            with pytest.raises(ValueError, match="empty"):
+                batcher.submit("k", images[:0])
+            with pytest.raises(ValueError, match="expected"):
+                batcher.submit("k", images[0, 0])
+
+
+class TestLifecycle:
+    def test_close_drains_pending_then_rejects(self, images):
+        done = []
+
+        def infer(key, batch):
+            done.append(len(batch))
+            return np.zeros((len(batch), 2))
+
+        batcher = MicroBatcher(infer, BatchPolicy(max_batch_size=4,
+                                                  max_delay_ms=50.0))
+        futures = [batcher.submit("k", images[i]) for i in range(3)]
+        batcher.close()
+        assert all(f.done() for f in futures)
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit("k", images[0])
+
+    def test_infer_errors_propagate_to_all_group_members(self, images):
+        def broken(key, batch):
+            raise RuntimeError("kernel exploded")
+
+        with MicroBatcher(broken, BatchPolicy(max_batch_size=8,
+                                              max_delay_ms=100.0)) as batcher:
+            futures = [batcher.submit("k", images[i]) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="kernel exploded"):
+                    future.result(timeout=30)
+            assert batcher.stats()["errors"] == 3
+
+    def test_post_batch_extra_sliced_per_request(self, images):
+        def infer(key, batch):
+            return np.zeros((len(batch), 2))
+
+        def post(key, real_images, logits):
+            # Tag each *real* row with its index: padding never leaks in.
+            return {"row": np.arange(len(real_images), dtype=np.float64)}
+
+        with MicroBatcher(infer, BatchPolicy(max_batch_size=8,
+                                             max_delay_ms=100.0),
+                          post_batch=post) as batcher:
+            f1 = batcher.submit("k", images[:2])
+            f2 = batcher.submit("k", images[2:5])
+            rows1 = f1.result(timeout=30).extra["row"]
+            rows2 = f2.result(timeout=30).extra["row"]
+        combined = sorted(list(rows1) + list(rows2))
+        assert combined == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert len(rows1) == 2 and len(rows2) == 3

@@ -1,0 +1,77 @@
+"""OnlineStrip: per-version binding, counters, parity with the offline sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.defenses import StripDefense
+from repro.serve import OnlineStrip, ScreenConfig
+
+
+@pytest.fixture(scope="module")
+def pools():
+    _, test, _ = load_dataset("unit", seed=0)
+    return test.subset(range(16)), test.images[16:28]
+
+
+class TestConfig:
+    def test_bad_overlays_rejected(self):
+        with pytest.raises(ValueError):
+            ScreenConfig(num_overlays=0)
+
+    def test_empty_pools_rejected(self, pools, unit_data):
+        overlays, _ = pools
+        _, test, _ = unit_data
+        with pytest.raises(ValueError, match="overlay_pool"):
+            OnlineStrip(test.subset([]))
+        with pytest.raises(ValueError, match="calibration_images"):
+            OnlineStrip(overlays, calibration_images=test.images[:0])
+
+
+class TestScoring:
+    def test_matches_offline_strip(self, pools, trained_tiny_model):
+        """The online screen is the offline detector bound per version:
+        same boundary, same suspect entropies.  It is handed the served
+        (folded) inference copy, like the server does."""
+        from repro import nn
+        overlays, calibration = pools
+        config = ScreenConfig(num_overlays=4, seed=3)
+        screen = OnlineStrip(overlays, calibration_images=calibration,
+                             config=config)
+        suspects = calibration[:6]
+        served_copy = nn.inference_copy(trained_tiny_model)
+        scored = screen.score(("m", "v1"), served_copy, suspects)
+
+        offline = StripDefense(trained_tiny_model, overlays,
+                               num_overlays=4, alpha=config.alpha,
+                               frr=config.frr, seed=3)
+        np.testing.assert_array_equal(
+            scored["entropy"], offline.entropies(suspects, seed_offset=2))
+        assert scored["boundary"][0] == offline.calibrate(calibration)
+        np.testing.assert_array_equal(
+            scored["flagged"], scored["entropy"] < scored["boundary"][0])
+
+    def test_counters_accumulate_per_version(self, pools, trained_tiny_model):
+        overlays, calibration = pools
+        screen = OnlineStrip(overlays, calibration_images=calibration,
+                             config=ScreenConfig(num_overlays=2))
+        screen.score(("m", "camouflage"), trained_tiny_model, calibration[:4])
+        screen.score(("m", "camouflage"), trained_tiny_model, calibration[:3])
+        screen.score(("m", "unlearned"), trained_tiny_model, calibration[:5])
+        report = screen.report()
+        assert report["m/camouflage"]["screened"] == 7
+        assert report["m/unlearned"]["screened"] == 5
+        for entry in report.values():
+            assert 0.0 <= entry["flag_rate"] <= 1.0
+            assert entry["flagged"] <= entry["screened"]
+            assert np.isfinite(entry["boundary"])
+
+    def test_calibration_defaults_to_overlay_pool(self, pools,
+                                                  trained_tiny_model):
+        overlays, _ = pools
+        screen = OnlineStrip(overlays, config=ScreenConfig(num_overlays=2))
+        scored = screen.score(("m", "v1"), trained_tiny_model,
+                              overlays.images[:2])
+        assert len(scored["entropy"]) == 2

@@ -49,3 +49,30 @@ class TestCommands:
                      "tiny", "--epochs", "1", "--values", "1"])
         assert code == 0
         assert "cr=1" in capsys.readouterr().out
+
+
+class TestServeParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.max_batch_size == 32
+        assert args.max_delay_ms == 2.0
+        assert args.max_queue == 128
+        assert not args.no_screen
+
+    def test_client_requires_url(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client"])
+
+    def test_client_defaults(self):
+        args = build_parser().parse_args(
+            ["client", "--url", "http://127.0.0.1:8351", "--triggered"])
+        assert args.requests == 64 and args.concurrency == 4
+        assert args.triggered and args.version is None
+
+    def test_client_unreachable_server_fails_cleanly(self, capsys):
+        # Port 1 on localhost: nothing listens there.
+        code = main(["client", "--url", "http://127.0.0.1:1",
+                     "--dataset", "unit", "--requests", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
