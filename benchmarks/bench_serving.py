@@ -1,16 +1,23 @@
-"""Serving-layer benchmark: throughput/latency vs batch policy.
+"""Serving-layer benchmark: throughput/latency vs policy, workers, cache.
 
 Stands up the real stack — ModelStore, fixed-width micro-batcher,
 stdlib HTTP front end — around a bench-scale model and drives it with
-the closed-loop load generator at several coalescing policies and
-intra-op thread counts.  Records, per cell:
+the closed-loop load generator across several axes:
 
-- throughput (req/s) and p50/p95 client-observed latency;
-- scheduler occupancy (real rows / padded compute rows) and mean batch
-  width — the metric fixed-width determinism padding trades against;
-- dropped (429) and errored responses (expected 0 at this load);
-- a solo-vs-coalesced logits delta, which the determinism contract
-  pins to exactly 0.0.
+- **policies**: coalescing (max_batch_size, max_delay_ms) sweep;
+- **threads**: intra-op thread counts at the widest policy;
+- **multiproc**: ``--serve-workers`` 1/2/4 — fixed-width batches
+  dispatched over per-process folded replicas with the shared-memory
+  logits return path (the win only materializes with >= 2 available
+  cores; ``cpu_count`` is recorded alongside so the cells are
+  interpretable);
+- **cache**: the exact-response LRU under repeated traffic, on vs off,
+  plus a cached-vs-fresh max-delta that the determinism contract pins
+  to exactly 0.0.
+
+Records, per cell: throughput (req/s), p50/p95 client-observed latency,
+scheduler occupancy / mean batch width, dropped + errored responses,
+and (where relevant) backend shm-return counts and cache hit rates.
 
 Writes the ``serving`` section of ``benchmarks/BENCH_perf_scaling.json``
 (other sections preserved), including the ``serving.quick_gate`` cells
@@ -39,6 +46,7 @@ from repro import nn  # noqa: E402
 from repro.data.registry import load_dataset  # noqa: E402
 from repro.models.registry import build_model  # noqa: E402
 from repro.nn.threading import available_cpu_count  # noqa: E402
+from repro.parallel import ModelSpec  # noqa: E402
 from repro.serve import (BatchPolicy, InferenceServer, ModelStore,  # noqa: E402
                          ServingClient, run_load, start_http_server,
                          stop_http_server)
@@ -48,17 +56,62 @@ OUT_PATH = Path(__file__).parent / "BENCH_perf_scaling.json"
 #: (max_batch_size, max_delay_ms) policies swept by the full run.
 POLICIES = ((1, 0.0), (8, 2.0), (32, 4.0))
 THREAD_COUNTS = (1, 2)
+WORKER_COUNTS = (1, 2, 4)
 
 
 def _build_server(policy: BatchPolicy, dataset: str = "cifar10-bench",
-                  model_name: str = "small_cnn", scale: str = "bench"):
+                  model_name: str = "small_cnn", scale: str = "bench",
+                  workers: int = 1, response_cache: int = 0):
     _, test, profile = load_dataset(dataset, seed=0)
     nn.manual_seed(0)
     model = build_model(model_name, profile.num_classes, scale=scale)
     model.eval()
     store = ModelStore()
-    store.register(model_name, model, version="v1")
-    return InferenceServer(store, policy=policy), test
+    store.register(model_name, model, version="v1",
+                   spec=ModelSpec(model_name, profile.num_classes,
+                                  scale=scale))
+    server = InferenceServer(store, policy=policy, workers=workers,
+                             response_cache=response_cache)
+    return server, test
+
+
+def _run_cell(server: InferenceServer, test, requests: int, concurrency: int,
+              distinct_images: int = 64) -> dict:
+    """Drive one server over HTTP and collect the standard cell fields."""
+    httpd = start_http_server(server)
+    try:
+        client = ServingClient(httpd.url)
+        # Warm the folded copy / replicas + connection path out of the
+        # timed run.
+        client.predict("small_cnn", test.images[0])
+        report = run_load(client, "small_cnn",
+                          test.images[:distinct_images],
+                          requests=requests, concurrency=concurrency)
+    finally:
+        stop_http_server(httpd)
+    stats = server.batcher.stats()
+    cell = {
+        "requests": requests,
+        "concurrency": concurrency,
+        "ok": report.ok,
+        "rejected": report.rejected,
+        "errors": report.errors,
+        "throughput_rps": report.throughput_rps,
+        "p50_ms": report.p50_ms,
+        "p95_ms": report.p95_ms,
+        "occupancy": stats["occupancy"],
+        "mean_batch_width": stats["mean_batch_width"],
+    }
+    if server.backend is not None:
+        backend = server.backend.stats()
+        cell["workers"] = backend["workers"]
+        cell["shm_returns"] = backend["shm_returns"]
+        cell["pipe_returns"] = backend["pipe_returns"]
+    if server.cache is not None:
+        cache = server.cache.stats()
+        cell["cache_hits"] = cache["hits"]
+        cell["cache_hit_rate"] = cache["hit_rate"]
+    return cell
 
 
 def time_policy(max_batch: int, delay_ms: float, threads: int,
@@ -67,32 +120,48 @@ def time_policy(max_batch: int, delay_ms: float, threads: int,
     """One (policy, intra-op threads) cell over HTTP."""
     policy = BatchPolicy(max_batch_size=max_batch, max_delay_ms=delay_ms)
     server, test = _build_server(policy, dataset=dataset)
-    httpd = start_http_server(server)
     try:
         with nn.intra_op_threads(threads):
-            client = ServingClient(httpd.url)
-            # Warm the folded copy + connection path out of the timed run.
-            client.predict("small_cnn", test.images[0])
-            report = run_load(client, "small_cnn", test.images[:64],
-                              requests=requests, concurrency=concurrency)
-        stats = server.batcher.stats()
-        return {
-            "max_batch_size": max_batch,
-            "max_delay_ms": delay_ms,
-            "intra_op_threads": threads,
-            "requests": requests,
-            "concurrency": concurrency,
-            "ok": report.ok,
-            "rejected": report.rejected,
-            "errors": report.errors,
-            "throughput_rps": report.throughput_rps,
-            "p50_ms": report.p50_ms,
-            "p95_ms": report.p95_ms,
-            "occupancy": stats["occupancy"],
-            "mean_batch_width": stats["mean_batch_width"],
-        }
+            cell = _run_cell(server, test, requests, concurrency)
+        cell.update(max_batch_size=max_batch, max_delay_ms=delay_ms,
+                    intra_op_threads=threads)
+        return cell
     finally:
-        stop_http_server(httpd)
+        server.close()
+
+
+def time_workers(workers: int, max_batch: int = 8, delay_ms: float = 2.0,
+                 requests: int = 192, concurrency: int = 32,
+                 dataset: str = "cifar10-bench",
+                 scale: str = "bench") -> dict:
+    """One ``--serve-workers`` cell: inline at 1, multiproc beyond."""
+    policy = BatchPolicy(max_batch_size=max_batch, max_delay_ms=delay_ms)
+    server, test = _build_server(policy, dataset=dataset, scale=scale,
+                                 workers=workers)
+    try:
+        cell = _run_cell(server, test, requests, concurrency)
+        cell.update(serve_workers=workers, max_batch_size=max_batch,
+                    max_delay_ms=delay_ms)
+        return cell
+    finally:
+        server.close()
+
+
+def time_cache(response_cache: int, distinct_images: int = 8,
+               requests: int = 192, concurrency: int = 16,
+               dataset: str = "cifar10-bench") -> dict:
+    """Repeated-traffic cell: ``distinct_images`` round-robined, so a
+    cache of that capacity converges to an all-hit steady state."""
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    server, test = _build_server(policy, dataset=dataset,
+                                 response_cache=response_cache)
+    try:
+        cell = _run_cell(server, test, requests, concurrency,
+                         distinct_images=distinct_images)
+        cell.update(response_cache=response_cache,
+                    distinct_images=distinct_images)
+        return cell
+    finally:
         server.close()
 
 
@@ -114,25 +183,61 @@ def solo_vs_coalesced_delta(dataset: str = "unit") -> float:
         server.close()
 
 
+def cached_vs_fresh_delta(dataset: str = "unit") -> float:
+    """Max |delta| between a fresh forward and its cache replay (want 0.0)."""
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    server, test = _build_server(policy, dataset=dataset,
+                                 model_name="small_cnn", scale="tiny",
+                                 response_cache=16)
+    try:
+        deltas = []
+        for i in range(8):
+            fresh = server.predict("small_cnn", test.images[i]).logits
+            replay = server.predict("small_cnn", test.images[i])
+            assert replay.cached, "second predict should hit the cache"
+            deltas.append(np.abs(fresh - replay.logits).max())
+        return float(max(deltas))
+    finally:
+        server.close()
+
+
 def run_quick_gate() -> dict:
-    """Smoke-scale serving cells for the CI perf gate."""
+    """Smoke-scale serving cells for the CI perf gate.
+
+    The multiproc pair (``serving_single_p50_seconds`` vs
+    ``serving_multiproc_p50_seconds``) runs the *same* load at 1 and 2
+    serve-workers on bench scale, where a forward is heavy enough
+    (~milliseconds) that two overlapping batches beat two serialized
+    ones whenever >= 2 cores exist — the gate compares measured vs
+    measured, never measured vs a foreign machine's baseline.
+    """
     policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
     server, test = _build_server(policy, dataset="unit",
                                  model_name="small_cnn", scale="tiny")
-    httpd = start_http_server(server)
     try:
-        client = ServingClient(httpd.url)
-        client.predict("small_cnn", test.images[0])      # warm
-        report = run_load(client, "small_cnn", test.images[:16],
-                          requests=48, concurrency=4)
+        report_cell = _run_cell(server, test, requests=48, concurrency=4,
+                                distinct_images=16)
     finally:
-        stop_http_server(httpd)
         server.close()
+
+    single = time_workers(1, requests=64, concurrency=16)
+    multi = time_workers(2, requests=64, concurrency=16)
+    cache_cell = time_cache(16, distinct_images=4, requests=64,
+                            concurrency=4)
     return {
-        "serving_p50_seconds": report.latency_quantile(0.5),
-        "serving_throughput_rps": report.throughput_rps,
-        "serving_dropped": report.rejected + report.errors,
+        "serving_p50_seconds": report_cell["p50_ms"] / 1e3,
+        "serving_throughput_rps": report_cell["throughput_rps"],
+        "serving_dropped": report_cell["rejected"] + report_cell["errors"],
         "serving_solo_vs_coalesced_max_delta": solo_vs_coalesced_delta(),
+        "serving_single_p50_seconds": single["p50_ms"] / 1e3,
+        "serving_multiproc_p50_seconds": multi["p50_ms"] / 1e3,
+        "serving_multiproc_throughput_rps": multi["throughput_rps"],
+        "serving_multiproc_dropped": multi["rejected"] + multi["errors"],
+        "serving_multiproc_shm_returns": multi["shm_returns"],
+        "serving_multiproc_pipe_returns": multi["pipe_returns"],
+        "serving_cache_hit_p50_seconds": cache_cell["p50_ms"] / 1e3,
+        "serving_cache_hit_rate": cache_cell["cache_hit_rate"],
+        "serving_cached_vs_fresh_max_delta": cached_vs_fresh_delta(),
     }
 
 
@@ -155,7 +260,8 @@ def _merge_write(path: Path, serving_updates: dict) -> None:
 
 
 def run_full() -> dict:
-    section = {"dataset": "cifar10-bench", "policies": {}, "threads": {}}
+    section = {"dataset": "cifar10-bench", "policies": {}, "threads": {},
+               "multiproc": {}, "cache": {}}
     print(f"serving policy sweep on cifar10-bench "
           f"(policies {POLICIES}, 192 requests, concurrency 16)")
     for max_batch, delay_ms in POLICIES:
@@ -172,6 +278,23 @@ def run_full() -> dict:
         section["threads"][str(threads)] = cell
         print(f"  threads={threads}: {cell['throughput_rps']:.1f} req/s, "
               f"p50 {cell['p50_ms']:.1f}ms")
+    print(f"serve-workers sweep at batch<=8 (workers {WORKER_COUNTS}, "
+          f"concurrency 32, {available_cpu_count()} cores available)")
+    for workers in WORKER_COUNTS:
+        cell = time_workers(workers)
+        section["multiproc"][f"w{workers}"] = cell
+        shm = (f", {cell['shm_returns']} shm returns"
+               if "shm_returns" in cell else "")
+        print(f"  workers={workers}: {cell['throughput_rps']:.1f} req/s, "
+              f"p50 {cell['p50_ms']:.1f}ms{shm}")
+    print("response-cache sweep (8 distinct images round-robined)")
+    for capacity in (0, 256):
+        cell = time_cache(capacity)
+        section["cache"]["on" if capacity else "off"] = cell
+        hit = (f", hit rate {cell['cache_hit_rate']:.3f}"
+               if capacity else "")
+        print(f"  cache={capacity}: {cell['throughput_rps']:.1f} req/s, "
+              f"p50 {cell['p50_ms']:.1f}ms{hit}")
     return section
 
 
@@ -186,7 +309,8 @@ def main(argv=None) -> int:
     if not args.quick:
         section.update(run_full())
 
-    print("serving quick-gate cells (unit profile)")
+    print("serving quick-gate cells (unit profile + bench-scale "
+          "multiproc pair)")
     start = time.perf_counter()
     section["quick_gate"] = run_quick_gate()
     for name, value in section["quick_gate"].items():
@@ -199,6 +323,10 @@ def main(argv=None) -> int:
     if section["quick_gate"]["serving_solo_vs_coalesced_max_delta"] != 0.0:
         print("ERROR: solo vs coalesced logits diverged — determinism "
               "contract broken", file=sys.stderr)
+        return 1
+    if section["quick_gate"]["serving_cached_vs_fresh_max_delta"] != 0.0:
+        print("ERROR: cached vs fresh logits diverged — response cache "
+              "exactness broken", file=sys.stderr)
         return 1
 
     _merge_write(args.out, section)

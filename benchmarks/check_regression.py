@@ -9,6 +9,14 @@ timing: the folded-inference delta must stay within atol=1e-5, the
 serving load must drop zero responses, and solo- vs coalesced-served
 logits must be bit-identical (delta exactly 0.0).
 
+Beyond the baseline-relative timing cells, the serving gate makes two
+same-machine, measured-vs-measured assertions: the response cache's
+replayed logits are exactly the fresh ones (delta 0.0), and — whenever
+the runner actually has >= 2 usable cores — multi-process serving's p50
+beats single-process at the gate scale (two overlapping fixed-width
+batches vs two serialized ones).  On a single-core runner the multiproc
+comparison is physically meaningless and is reported as skipped.
+
 Environment knobs::
 
     REVEIL_SKIP_PERF_GATE=1     skip entirely (flaky/loaded runners)
@@ -21,6 +29,17 @@ Environment knobs::
                                 baseline regardless of ratio — keeps
                                 millisecond-scale cells from tripping
                                 the gate on scheduler jitter alone
+    REVEIL_MULTIPROC_P50_FACTOR=1.0
+                                multiproc p50 must be <= single-process
+                                p50 times this factor (raise above 1.0
+                                only to de-flake a noisy runner)
+    REVEIL_MULTIPROC_MIN_SLACK=0.02
+                                absolute seconds multiproc p50 may
+                                exceed the single-process p50 before
+                                the comparison fails — scheduler noise
+                                on a 2-core runner is a few ms; a real
+                                regression (batches serializing again)
+                                doubles a ~30 ms p50
 
 Refresh the baselines after intentional perf changes with::
 
@@ -42,12 +61,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from bench_perf_scaling import OUT_PATH, run_quick_gate  # noqa: E402
 from bench_serving import run_quick_gate as run_serving_quick_gate  # noqa: E402
+from repro.nn.threading import available_cpu_count  # noqa: E402
 
 #: Timing cells compared against the baseline (seconds, lower = better).
 TIMING_CELLS = ("sisa_fit_unlearn_seconds", "conv_train_seconds",
                 "folded_predict_seconds")
 ATOL_CELL = "folding_max_abs_delta"
-SERVING_TIMING_CELLS = ("serving_p50_seconds",)
+SERVING_TIMING_CELLS = ("serving_p50_seconds", "serving_single_p50_seconds",
+                        "serving_multiproc_p50_seconds",
+                        "serving_cache_hit_p50_seconds")
 
 
 def main(argv=None) -> int:
@@ -128,6 +150,54 @@ def main(argv=None) -> int:
           f"(limit: exactly 0)")
     if serve_delta != 0.0:
         print("  serving determinism (solo vs coalesced bit-identity) "
+              "REGRESSION", file=sys.stderr)
+        failed = True
+
+    # -- multiproc lane ------------------------------------------------
+    if serving["serving_multiproc_dropped"] != 0:
+        print("  multiproc serving dropped responses REGRESSION",
+              file=sys.stderr)
+        failed = True
+    if serving["serving_multiproc_pipe_returns"] > 2:
+        # One pipe fallback per replica/shape while the return lane
+        # sizes itself is expected; a stream of them means the
+        # shared-memory return path silently stopped working.
+        print(f"  multiproc shm return path REGRESSION "
+              f"({serving['serving_multiproc_pipe_returns']} pipe "
+              f"fallbacks)", file=sys.stderr)
+        failed = True
+    single_p50 = serving["serving_single_p50_seconds"]
+    multi_p50 = serving["serving_multiproc_p50_seconds"]
+    cores = available_cpu_count()
+    factor = float(os.environ.get("REVEIL_MULTIPROC_P50_FACTOR", "1.0"))
+    mp_slack = float(os.environ.get("REVEIL_MULTIPROC_MIN_SLACK", "0.02"))
+    if cores >= 2:
+        # Ratio AND absolute slack, like the timing cells: a few ms of
+        # scheduler noise must not flake the gate, while a real
+        # regression (multiproc batches serializing) blows both bounds.
+        regressed = (multi_p50 > single_p50 * factor
+                     and (multi_p50 - single_p50) > mp_slack)
+        verdict = "REGRESSION" if regressed else "ok"
+        print(f"  multiproc p50 {multi_p50 * 1e3:.1f}ms vs single-process "
+              f"{single_p50 * 1e3:.1f}ms (must be <= {factor:g}x "
+              f"+ {mp_slack:g}s slack) {verdict}")
+        if verdict == "REGRESSION":
+            print("  multiproc serving no longer beats single-process at "
+                  "the gate scale", file=sys.stderr)
+            failed = True
+    else:
+        print(f"  multiproc p50 {multi_p50 * 1e3:.1f}ms vs single-process "
+              f"{single_p50 * 1e3:.1f}ms: comparison skipped "
+              f"({cores} core available — overlap is impossible)")
+
+    # -- response cache ------------------------------------------------
+    print(f"  serving_cache_hit_rate: {serving['serving_cache_hit_rate']:.3f} "
+          f"(informational)")
+    cache_delta = serving["serving_cached_vs_fresh_max_delta"]
+    print(f"  serving_cached_vs_fresh_max_delta: {cache_delta:.2e} "
+          f"(limit: exactly 0)")
+    if cache_delta != 0.0:
+        print("  response cache exactness (cached vs fresh bit-identity) "
               "REGRESSION", file=sys.stderr)
         failed = True
 

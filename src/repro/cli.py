@@ -29,12 +29,12 @@ from .eval.harness import PipelineConfig, build_attack, run_pipeline
 from .eval.reporting import ComparisonTable
 
 
-def _nonnegative_arg(flag: str):
+def _nonnegative_arg(flag: str, zero_means: str = "one per CPU core"):
     def parse(value: str) -> int:
         parsed = int(value)
         if parsed < 0:
             raise argparse.ArgumentTypeError(
-                f"{flag} must be >= 0 (0 = one per CPU core), got {parsed}")
+                f"{flag} must be >= 0 (0 = {zero_means}), got {parsed}")
         return parsed
     return parse
 
@@ -130,13 +130,19 @@ def cmd_serve(args) -> int:
     print(f"training ReVeil deployment scenario: {cfg.dataset}/{cfg.attack} "
           f"(camouflage + unlearn stages)...")
     start = time.time()
-    serving = build_reveil_serving(cfg, policy=policy, screen=screen)
+    serving = build_reveil_serving(cfg, policy=policy, screen=screen,
+                                   serve_workers=args.serve_workers,
+                                   response_cache=args.response_cache)
     print(f"trained in {time.time() - start:.0f}s")
     httpd = start_http_server(serving.server, host=args.host, port=args.port)
     name = serving.model_name
     active = serving.store.active_version(name)
+    backend = "inline" if serving.server.backend is None else (
+        f"{serving.server.workers} worker processes")
+    cache = (f"response cache {args.response_cache} entries"
+             if args.response_cache else "response cache off")
     print(f"serving {name} (versions {serving.store.versions(name)}, "
-          f"active '{active}') at {httpd.url}")
+          f"active '{active}') at {httpd.url} [{backend}, {cache}]")
     print(f"  predict: POST {httpd.url}/predict "
           f'{{"model": "{name}", "inputs": [...]}}')
     print(f"  hot-swap: POST {httpd.url}/activate "
@@ -244,6 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable online STRIP screening")
     p.add_argument("--screen-overlays", type=int, default=8,
                    help="STRIP overlays per screened input")
+    p.add_argument("--serve-workers",
+                   type=_nonnegative_arg("--serve-workers"), default=1,
+                   help="execution backend width: 1 = in-process forwards, "
+                        ">= 2 = that many persistent worker processes with "
+                        "per-process folded replicas, 0 = one per core; "
+                        "logits are bit-identical at every setting")
+    p.add_argument("--response-cache",
+                   type=_nonnegative_arg("--response-cache",
+                                         zero_means="disabled"), default=0,
+                   help="exact-response LRU capacity in entries "
+                        "(0 = disabled); hits skip the scheduler entirely")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("client",

@@ -18,8 +18,9 @@ from . import fold
 from . import functional
 from . import init
 from . import threading
-from .fold import (FoldedModelCache, fold_batchnorm, inference_copy,
-                   inference_mode, shared_folded_cache)
+from .fold import (FoldedModelCache, fold_batchnorm, folded_replica,
+                   inference_copy, inference_mode, shared_folded_cache,
+                   state_fingerprint)
 from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
                      Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
                      ReLU, ReLU6, Sigmoid, SiLU, Tanh)
@@ -46,6 +47,7 @@ __all__ = [
     "functional", "init", "manual_seed",
     "threading", "intra_op_threads", "get_intra_op_threads",
     "set_intra_op_threads", "shutdown_intra_op_pool",
-    "fold", "fold_batchnorm", "inference_copy", "inference_mode",
+    "fold", "fold_batchnorm", "folded_replica", "inference_copy",
+    "inference_mode", "state_fingerprint",
     "FoldedModelCache", "shared_folded_cache",
 ]

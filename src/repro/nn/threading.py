@@ -134,6 +134,21 @@ def shutdown_intra_op_pool(wait: bool = True) -> None:
 atexit.register(shutdown_intra_op_pool)
 
 
+def _reinit_after_fork() -> None:
+    """Forked children inherit module state but not running threads — and
+    a lock held by another parent thread at fork time stays locked in
+    the child forever.  Replace the lock and drop the (threadless) pool
+    so the first dispatch in the child starts from a clean slate."""
+    global _lock, _pool, _pool_size
+    _lock = _threading.Lock()
+    _pool = None
+    _pool_size = 0
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 def _get_pool(size: int) -> ThreadPoolExecutor:
     """Shared executor of ``size`` workers, (re)built on resize or fork."""
     global _pool, _pool_size, _pool_pid

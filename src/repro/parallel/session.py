@@ -1,0 +1,234 @@
+"""Long-lived worker sessions: persistent processes serving method calls.
+
+:func:`~repro.parallel.pool.run_tasks` is built for *batch* fan-out —
+ship a task, get a result, tear the pool down.  The serving data plane
+needs the opposite shape: a handful of **persistent** worker processes
+that hold warm state (folded model replicas, attached shared-memory
+segments) across many calls.  :class:`WorkerSession` provides that: one
+process running a handler object built from a picklable zero-arg
+factory, executing ``(method, args)`` requests received over a pipe and
+answering each with a picklable outcome envelope.
+
+Contract
+--------
+- One request is in flight per session at a time (a lock serializes the
+  parent side); concurrency comes from holding several sessions.
+- Handler exceptions never kill the worker: they come back as a
+  formatted traceback and re-raise in the parent as
+  :class:`~repro.parallel.pool.WorkerError` — the same crash-locality
+  story as the batch pool.
+- A worker that dies abruptly (OOM kill, segfault) is detected by the
+  next call, which raises :class:`WorkerError` instead of hanging on a
+  pipe that will never answer.
+- ``close()`` asks the handler loop to exit (running the handler's own
+  ``close()`` if it has one), joins, and escalates to ``terminate()``
+  only on timeout.  Sessions are daemonic, so a parent that forgets to
+  close still exits.
+
+Large arrays should travel through :mod:`repro.parallel.shm` channels,
+not through the pipe — the pipe is for control messages and small
+payloads (the serving backend ships model state dicts through it once
+per version, and logits come back via shared memory).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from .pool import WorkerError, _Outcome, default_context
+
+#: Sentinel method name asking the worker loop to exit cleanly.
+_SHUTDOWN = "__shutdown__"
+
+
+def _session_main(factory: Callable[[], Any], conn) -> None:
+    """Worker entry point: build the handler, answer calls until told not to."""
+    # A Ctrl-C in the parent's terminal hits the whole foreground process
+    # group, including these workers.  Shutdown is the *parent's* job
+    # (it drains in-flight batches first, then sends the shutdown
+    # sentinel); a worker that dies mid-KeyboardInterrupt would strand
+    # those batches and spray tracebacks over the operator's console.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    handler = None
+    build_error: Optional[_Outcome] = None
+    try:
+        handler = factory()
+    except Exception:
+        import traceback
+        build_error = _Outcome(ok=False, error_type="HandlerBuildError",
+                               traceback=traceback.format_exc())
+    while True:
+        try:
+            method, args = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if method == _SHUTDOWN:
+            conn.send(_Outcome(ok=True, value=os.getpid()))
+            break
+        if build_error is not None:
+            conn.send(build_error)
+            continue
+        try:
+            value = getattr(handler, method)(*args)
+            outcome = _Outcome(ok=True, value=value)
+        except Exception as exc:
+            import traceback
+            outcome = _Outcome(ok=False, error_type=type(exc).__name__,
+                               traceback=traceback.format_exc())
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            break
+    closer = getattr(handler, "close", None)
+    if callable(closer):
+        try:
+            closer()
+        except Exception:
+            pass
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class WorkerSession:
+    """One persistent worker process executing handler method calls.
+
+    Parameters
+    ----------
+    factory:
+        Picklable zero-arg callable building the worker-side handler
+        (e.g. ``functools.partial(ReplicaWorker, intra_op_threads=1)``).
+        Built once, at process start; its state persists across calls.
+    context:
+        multiprocessing start method (default:
+        :func:`~repro.parallel.pool.default_context`).
+    name:
+        Process name (shows up in ``ps`` and crash reports).
+    """
+
+    def __init__(self, factory: Callable[[], Any],
+                 context: Optional[str] = None,
+                 name: str = "repro-worker-session"):
+        ctx = mp.get_context(context or default_context())
+        parent_conn, child_conn = ctx.Pipe()
+        self.name = name
+        self._proc = ctx.Process(target=_session_main,
+                                 args=(factory, child_conn),
+                                 name=name, daemon=True)
+        self._proc.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._lock = threading.Lock()
+        self._closed = False
+        self.calls = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def call(self, method: str, *args: Any,
+             timeout: Optional[float] = None) -> Any:
+        """Invoke ``handler.<method>(*args)`` in the worker; block for the
+        result.  Raises :class:`WorkerError` on handler exceptions and on
+        a dead worker, ``TimeoutError`` past ``timeout`` seconds."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"session {self.name!r} is closed")
+            try:
+                self._conn.send((method, args))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerError(
+                    f"{self.name}:{method}", "BrokenWorker",
+                    f"worker process (pid {self.pid}) is gone: {exc}") from exc
+            outcome = self._recv(method, timeout)
+            self.calls += 1
+        if not outcome.ok:
+            raise WorkerError(f"{self.name}:{method}", outcome.error_type,
+                              outcome.traceback)
+        return outcome.value
+
+    def _recv(self, method: str, timeout: Optional[float]) -> _Outcome:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._conn.poll(0.05):
+            if not self._proc.is_alive():
+                raise WorkerError(
+                    f"{self.name}:{method}", "BrokenWorker",
+                    f"worker process (pid {self.pid}) died before replying "
+                    f"(exitcode {self._proc.exitcode}) — killed by the OS? "
+                    f"out of memory?")
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"session {self.name!r} call {method!r} timed out "
+                    f"after {timeout:g}s")
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(
+                f"{self.name}:{method}", "BrokenWorker",
+                f"worker pipe closed mid-reply: {exc}") from exc
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the worker (graceful, then ``terminate()``).  Idempotent.
+
+        Bounded: an in-flight :meth:`call` gets ``timeout`` seconds to
+        finish naturally; past that the worker process is terminated,
+        which makes the stuck call raise :class:`WorkerError` promptly —
+        close never waits out a wedged call's own (much longer)
+        ``call_timeout``.
+        """
+        if self._closed:
+            return
+        wedged = not self._lock.acquire(timeout=timeout)
+        if wedged:
+            # A wedged in-flight call holds the lock.  Kill the worker:
+            # the caller's poll loop sees the dead process, errors out,
+            # and releases the lock within one poll interval.
+            self._closed = True
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._lock.acquire()
+        try:
+            if self._closed and not wedged:
+                return      # another close() finished while we waited
+            self._closed = True
+            if not wedged and self._proc.is_alive():
+                try:
+                    self._conn.send((_SHUTDOWN, ()))
+                    deadline = time.monotonic() + timeout
+                    while (not self._conn.poll(0.05)
+                           and time.monotonic() < deadline
+                           and self._proc.is_alive()):
+                        pass
+                    if self._conn.poll(0):
+                        self._conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            self._proc.join(timeout=timeout)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=timeout)
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        finally:
+            self._lock.release()
+
+    def __enter__(self) -> "WorkerSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -19,7 +19,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -47,7 +47,7 @@ def _publish_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory,
 
 def _attach_array(spec: _ArraySpec) -> Tuple[shared_memory.SharedMemory,
                                              np.ndarray]:
-    seg = shared_memory.SharedMemory(name=spec.name)
+    seg = _attach_untracked(spec.name)
     view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
     view.flags.writeable = False
     return seg, view
@@ -163,3 +163,189 @@ def share_dataset(dataset: ArrayDataset) -> Iterator[SharedDatasetHandle]:
         yield lease.handle
     finally:
         lease.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Reusable array channels — the shared-memory *return* path.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArraySlot:
+    """Picklable descriptor of one array parked in a channel's segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+class ArrayChannel:
+    """Parent-owned, growable shared-memory lane for array handoff.
+
+    The dataset handles above publish *immutable* arrays once; a serving
+    data plane instead needs a reusable lane per worker — request inputs
+    go out through one channel and logits come back through another,
+    with only tiny :class:`ArraySlot` descriptors (segment name + shape
+    + dtype) crossing the pipe.  One channel is single-flight by
+    construction: the serving backend leases a worker, writes, calls,
+    reads, and only then releases the lease, so a segment is never
+    written while the other side still reads it.
+
+    Ownership follows the module contract: the creating process is the
+    only one that may :meth:`unlink`; peers attach by name and only
+    ever ``close`` their mapping (:class:`ChannelPeer` caches those
+    attachments across calls and drops stale ones as the channel
+    grows).  Growth allocates a *fresh* segment (new name) and unlinks
+    the old — readers still mapping the old name keep a valid view
+    until they close it, so resizing can never corrupt an in-flight
+    reply.
+    """
+
+    def __init__(self, nbytes: int = 0):
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        if nbytes > 0:
+            self._segment = shared_memory.SharedMemory(
+                create=True, size=max(1, int(nbytes)))
+
+    @property
+    def capacity(self) -> int:
+        return self._segment.size if self._segment is not None else 0
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._segment.name if self._segment is not None else None
+
+    def ensure(self, nbytes: int) -> None:
+        """Grow (never shrink) capacity to at least ``nbytes``."""
+        if nbytes <= self.capacity:
+            return
+        old = self._segment
+        self._segment = shared_memory.SharedMemory(create=True,
+                                                   size=max(1, int(nbytes)))
+        if old is not None:
+            old.close()
+            try:
+                old.unlink()
+            except FileNotFoundError:
+                pass
+
+    def write(self, array: np.ndarray) -> ArraySlot:
+        """Park ``array`` at offset 0; returns the slot a peer reads."""
+        array = np.ascontiguousarray(array)
+        self.ensure(array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype,
+                          buffer=self._segment.buf)
+        view[...] = array
+        return ArraySlot(name=self._segment.name, shape=tuple(array.shape),
+                         dtype=str(array.dtype))
+
+    def read(self, slot: ArraySlot) -> np.ndarray:
+        """Copy out an array a peer parked in *this* channel's segment."""
+        if self._segment is None or slot.name != self._segment.name:
+            raise ValueError(
+                f"slot names segment {slot.name!r} but this channel owns "
+                f"{self.name!r} — was the channel resized mid-flight?")
+        view = np.ndarray(slot.shape, dtype=np.dtype(slot.dtype),
+                          buffer=self._segment.buf)
+        return np.array(view)  # copy: the segment is reused next call
+
+    def unlink(self) -> None:
+        """Free the segment (idempotent; owner side only)."""
+        if self._segment is None:
+            return
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+        self._segment = None
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment without resource-tracker registration.
+
+    Python < 3.13 registers every ``SharedMemory(name=...)`` attach with
+    a resource tracker, which "cleans up" (unlinks!) the segment when
+    the attaching process exits — destroying a parent-owned segment the
+    parent may still be using (and, when the tracker is shared across a
+    fork, corrupting the parent's own registration).  Ownership here is
+    strictly one-sided: attaching peers only ever ``close``, so the
+    attach must not be tracked at all.  Python 3.13+ spells that
+    ``track=False``; for older interpreters the registration hook is
+    stubbed out for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:        # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ChannelPeer:
+    """Worker-side attachment cache for :class:`ArrayChannel` segments.
+
+    Channels grow by renaming, so a long-lived worker sees a small,
+    slowly-changing set of segment names.  The cache keeps the most
+    recent attachments open (attach once, reuse every call) and closes
+    the eldest beyond ``capacity`` — closed-but-unlinked segments stay
+    valid for any reader still mapping them, so eviction is safe.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = max(1, capacity)
+        self._segments: "dict[str, shared_memory.SharedMemory]" = {}
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        segment = self._segments.get(name)
+        if segment is None:
+            segment = _attach_untracked(name)
+            self._segments[name] = segment
+            while len(self._segments) > self.capacity:
+                stale_name = next(iter(self._segments))
+                stale = self._segments.pop(stale_name)
+                try:
+                    stale.close()
+                except OSError:
+                    pass
+        return segment
+
+    def read(self, slot: ArraySlot) -> np.ndarray:
+        """Copy an array out of the named segment."""
+        segment = self._attach(slot.name)
+        view = np.ndarray(slot.shape, dtype=np.dtype(slot.dtype),
+                          buffer=segment.buf)
+        return np.array(view)
+
+    def write(self, name: str, array: np.ndarray) -> ArraySlot:
+        """Park ``array`` at offset 0 of the named segment."""
+        array = np.ascontiguousarray(array)
+        segment = self._attach(name)
+        if array.nbytes > segment.size:
+            raise ValueError(
+                f"array of {array.nbytes} bytes exceeds segment "
+                f"{name!r} capacity {segment.size}")
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return ArraySlot(name=name, shape=tuple(array.shape),
+                         dtype=str(array.dtype))
+
+    def close(self) -> None:
+        """Drop every attachment (never unlinks)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except OSError:
+                pass
+        self._segments = {}

@@ -3,16 +3,23 @@
 The deployment stage of the threat model: a :class:`ModelStore` of
 versioned, BatchNorm-folded models, a fixed-width micro-batching
 scheduler with a bit-identity determinism contract
-(:class:`MicroBatcher`), a stdlib HTTP front end with explicit 429
-backpressure, an online STRIP screen (:class:`OnlineStrip`) and a
+(:class:`MicroBatcher`), a pluggable execution backend — inline, or
+:class:`MultiprocBackend` dispatching batches over persistent worker
+processes holding per-process folded replicas with a shared-memory
+logits return path — an exact-response LRU (:class:`ResponseCache`,
+provably bit-identical replays), a stdlib HTTP front end with explicit
+429 backpressure, an online STRIP screen (:class:`OnlineStrip`) and a
 closed-loop load generator.  ``repro serve`` / ``repro client`` are the
 CLI entry points; :func:`build_reveil_serving` assembles the paper's
 camouflage → unlearn → hot-swap timeline as a live serving workload.
 """
 
-from .batcher import BatchOutput, BatchPolicy, MicroBatcher, QueueFullError
+from .batcher import (BatchOutput, BatchPolicy, InlineBackend, MicroBatcher,
+                      QueueFullError)
+from .cache import ResponseCache, input_digest
 from .client import LoadReport, ServingClient, ServingError, run_load
 from .http import ServingHTTPServer, start_http_server, stop_http_server
+from .multiproc import MultiprocBackend, ReplicaWorker
 from .scenario import ReVeilServing, build_reveil_serving, serving_store
 from .screening import OnlineStrip, ScreenConfig
 from .server import InferenceServer, PredictResult
@@ -21,6 +28,8 @@ from .store import ModelEntry, ModelKey, ModelStore
 __all__ = [
     "ModelStore", "ModelEntry", "ModelKey",
     "BatchPolicy", "MicroBatcher", "BatchOutput", "QueueFullError",
+    "InlineBackend", "MultiprocBackend", "ReplicaWorker",
+    "ResponseCache", "input_digest",
     "InferenceServer", "PredictResult",
     "OnlineStrip", "ScreenConfig",
     "ServingHTTPServer", "start_http_server", "stop_http_server",

@@ -126,6 +126,40 @@ class _Request:
         self.submitted_at = time.perf_counter()
 
 
+class InlineBackend:
+    """Default execution backend: run each batch in the scheduler thread.
+
+    The dispatch seam between the scheduler and the compute: a backend
+    exposes ``submit(key, batch) -> Future[logits]`` plus a
+    ``max_inflight`` bound on concurrently dispatched batches.  Inline
+    execution resolves the future synchronously (``max_inflight=1``), so
+    single-process serving behaves exactly as before the seam existed;
+    :class:`repro.serve.multiproc.MultiprocBackend` implements the same
+    interface over persistent worker processes to run several batches
+    at once.
+    """
+
+    #: One batch in flight: the scheduler thread *is* the compute.
+    max_inflight = 1
+
+    def __init__(self, infer_fn: Callable[[Hashable, np.ndarray], np.ndarray]):
+        self.infer_fn = infer_fn
+
+    def submit(self, key: Hashable, batch: np.ndarray) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(np.asarray(self.infer_fn(key, batch)))
+        except BaseException as exc:    # noqa: BLE001 — relayed to callers
+            future.set_exception(exc)
+        return future
+
+    def stats(self) -> dict:
+        return {"kind": "inline", "workers": 1}
+
+    def close(self) -> None:
+        pass
+
+
 #: Live batchers, closed at interpreter shutdown so worker threads drain.
 _LIVE: "weakref.WeakSet[MicroBatcher]" = weakref.WeakSet()
 
@@ -154,13 +188,28 @@ class MicroBatcher:
         hook run once per batch over the *real* (un-padded) rows — the
         serving layer uses it for online STRIP screening.  Returned
         arrays are sliced per request into :attr:`BatchOutput.extra`.
+    backend:
+        Execution backend (``submit(key, batch) -> Future`` +
+        ``max_inflight``).  Defaults to :class:`InlineBackend` over
+        ``infer_fn``; pass a
+        :class:`~repro.serve.multiproc.MultiprocBackend` to run up to
+        ``max_inflight`` fixed-width batches concurrently on worker
+        processes.
     """
 
-    def __init__(self, infer_fn: Callable[[Hashable, np.ndarray], np.ndarray],
+    def __init__(self,
+                 infer_fn: Optional[Callable[[Hashable, np.ndarray],
+                                             np.ndarray]] = None,
                  policy: BatchPolicy = BatchPolicy(),
                  post_batch: Optional[Callable] = None,
-                 name: str = "repro-serve-batcher"):
+                 name: str = "repro-serve-batcher",
+                 backend=None):
+        if backend is None:
+            if infer_fn is None:
+                raise ValueError("MicroBatcher needs an infer_fn or a backend")
+            backend = InlineBackend(infer_fn)
         self.infer_fn = infer_fn
+        self.backend = backend
         self.policy = policy
         self.post_batch = post_batch
         self._cond = threading.Condition()
@@ -171,6 +220,7 @@ class MicroBatcher:
         self._rejected = 0
         self._errors = 0
         self._batches = 0
+        self._inflight = 0
         self._real_rows = 0
         self._padded_rows = 0
         self._per_key_requests: Dict[Hashable, int] = {}
@@ -240,12 +290,21 @@ class MicroBatcher:
 
     def _worker(self) -> None:
         delay = self.policy.max_delay_ms / 1000.0
+        max_inflight = max(1, getattr(self.backend, "max_inflight", 1))
         while True:
             with self._cond:
                 while not self._queue and not self._closed:
                     self._cond.wait()
                 if not self._queue:
                     return          # closed and drained
+                # Bound dispatched-but-unfinished batches to what the
+                # backend can actually run: without this the scheduler
+                # would drain the (bounded) request queue into an
+                # unbounded pile of pending batches and 429 backpressure
+                # would never fire.  Draining on close still dispatches
+                # the remaining queue — completions wake us up.
+                while self._inflight >= max_inflight:
+                    self._cond.wait()
                 head = self._queue[0]
                 deadline = head.submitted_at + delay
                 # Hold the head request open for companions until the
@@ -258,9 +317,17 @@ class MicroBatcher:
                         break
                     self._cond.wait(timeout=remaining)
                 group = self._take_group_locked(head.key)
-            self._run_group(head.key, group)
+            self._dispatch_group(head.key, group)
 
-    def _run_group(self, key: Hashable, group: List[_Request]) -> None:
+    def _dispatch_group(self, key: Hashable, group: List[_Request]) -> None:
+        """Pad a group to compute width and hand it to the backend.
+
+        The backend future's done-callback finishes the group: with the
+        inline backend that happens synchronously right here (the
+        pre-seam behaviour, bit for bit); with a process backend it runs
+        in the backend's collector thread while this scheduler thread
+        coalesces the next group.
+        """
         images = np.concatenate([request.images for request in group])
         real = len(images)
         width = self.policy.max_batch_size if self.policy.pad_to_full else real
@@ -269,26 +336,46 @@ class MicroBatcher:
             pad = np.zeros((width - real,) + images.shape[1:],
                            dtype=images.dtype)
             batch = np.concatenate([images, pad])
+        with self._cond:
+            self._inflight += 1
         try:
-            logits = np.asarray(self.infer_fn(key, batch))[:real]
+            batch_future = self.backend.submit(key, batch)
+        except BaseException as exc:    # noqa: BLE001 — relayed to callers
+            self._fail_group(group, exc)
+            return
+        batch_future.add_done_callback(
+            lambda f: self._finish_group(key, group, images, real, width, f))
+
+    def _fail_group(self, group: List[_Request], exc: BaseException) -> None:
+        with self._cond:
+            self._errors += len(group)
+            self._inflight -= 1
+            self._cond.notify_all()
+        for request in group:
+            if not request.future.set_running_or_notify_cancel():
+                continue
+            request.future.set_exception(exc)
+
+    def _finish_group(self, key: Hashable, group: List[_Request],
+                      images: np.ndarray, real: int, width: int,
+                      batch_future: Future) -> None:
+        try:
+            logits = np.asarray(batch_future.result())[:real]
             extra: Dict[str, np.ndarray] = {}
             if self.post_batch is not None:
                 extra = dict(self.post_batch(key, images, logits) or {})
         except BaseException as exc:    # noqa: BLE001 — relayed to callers
-            with self._cond:
-                self._errors += len(group)
-            for request in group:
-                if not request.future.set_running_or_notify_cancel():
-                    continue
-                request.future.set_exception(exc)
+            self._fail_group(group, exc)
             return
         now = time.perf_counter()
         with self._cond:
             self._batches += 1
+            self._inflight -= 1
             self._real_rows += real
             self._padded_rows += width - real
             for request in group:
                 self._latencies.append(now - request.submitted_at)
+            self._cond.notify_all()
         start = 0
         for request in group:
             stop = start + len(request.images)
@@ -312,6 +399,7 @@ class MicroBatcher:
                 "errors": self._errors,
                 "batches": self._batches,
                 "queued": len(self._queue),
+                "inflight": self._inflight,
                 "real_rows": self._real_rows,
                 "padded_rows": self._padded_rows,
                 "occupancy": (self._real_rows / compute_rows
@@ -328,11 +416,24 @@ class MicroBatcher:
             }
 
     def close(self, timeout: float = 30.0) -> None:
-        """Stop accepting requests, drain the queue, join the worker."""
+        """Stop accepting requests, drain the queue, join the worker.
+
+        With an asynchronous backend, dispatched batches may still be in
+        flight when the scheduler thread exits; wait for their
+        completions too so callers (and atexit) see a fully quiesced
+        batcher before the backend itself is torn down.
+        """
+        deadline = time.perf_counter() + timeout
         with self._cond:
             self._closed = True
             self._cond.notify_all()
         self._thread.join(timeout=timeout)
+        with self._cond:
+            while self._inflight > 0:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
 
     def __enter__(self) -> "MicroBatcher":
         return self

@@ -23,6 +23,7 @@ dependencies.
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -43,6 +44,12 @@ class ServingHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     # Ephemeral-port reuse in quick test cycles.
     allow_reuse_address = True
+    # socketserver's default accept backlog is 5; the closed-loop load
+    # generator (and any real client burst) opens far more one-shot
+    # connections at once, and overflowing SYNs stall ~1s for a
+    # retransmit or get reset outright — which reads as p95 cliffs and
+    # spurious "errored responses" that have nothing to do with serving.
+    request_queue_size = 128
 
     def __init__(self, address: Tuple[str, int], inference: InferenceServer):
         super().__init__(address, _Handler)
@@ -145,13 +152,29 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def start_http_server(inference: InferenceServer, host: str = "127.0.0.1",
-                      port: int = 0) -> ServingHTTPServer:
+                      port: int = 0, retries: int = 3) -> ServingHTTPServer:
     """Bind (``port=0`` = ephemeral) and serve on a background thread.
 
-    Returns the server; read ``server.url`` for the bound address and
-    call :func:`stop_http_server` (or ``server.shutdown()``) to stop.
+    A requested port that turns out to be taken (``EADDRINUSE`` — CI
+    runners recycle ports between jobs, and ``allow_reuse_address``
+    cannot paper over a *live* listener) is retried up to ``retries``
+    times on an **ephemeral** rebind instead of failing the whole serve:
+    read ``server.url`` for where it actually landed.  Other bind errors
+    raise immediately.
+
+    Returns the server; call :func:`stop_http_server` (or
+    ``server.shutdown()``) to stop.
     """
-    httpd = ServingHTTPServer((host, port), inference)
+    attempt = 0
+    while True:
+        try:
+            httpd = ServingHTTPServer((host, port), inference)
+            break
+        except OSError as exc:
+            if exc.errno != errno.EADDRINUSE or attempt >= retries:
+                raise
+            attempt += 1
+            port = 0        # ephemeral rebind: let the OS pick a free one
     thread = threading.Thread(target=httpd.serve_forever,
                               name="repro-serve-http", daemon=True)
     thread.start()

@@ -1,0 +1,339 @@
+"""Multi-process execution backend: per-worker folded replicas.
+
+Single-process serving tops out at one core's forward rate no matter
+how well the scheduler coalesces — every fixed-width batch runs on the
+same folded copy in the same process.  :class:`MultiprocBackend` breaks
+that ceiling: ``N`` persistent worker processes
+(:class:`~repro.parallel.session.WorkerSession`) each hold their own
+folded inference replica per model version, and the scheduler's batches
+are dispatched to whichever worker is free, up to ``N`` batches in
+flight at once.
+
+Replica shipping
+----------------
+A model version crosses the process boundary **once**, at
+:meth:`~MultiprocBackend.ensure_loaded` time: the parent ships the
+store entry's picklable factory + ``state_dict`` + weight fingerprint
+through the session pipe, and the worker rebuilds and folds the replica
+locally (:func:`repro.nn.fold.folded_replica`), refusing to serve if
+the rebuilt weights hash differently from the fingerprint.  Entries
+registered without a factory fall back to shipping the pickled module
+itself — same bits, just a fatter one-time payload.
+
+Shared-memory return path
+-------------------------
+Per worker, two :class:`~repro.parallel.shm.ArrayChannel` lanes carry
+the arrays: the padded input batch goes out through one, the logits
+come back through the other — only tiny slot descriptors (segment name
++ shape + dtype) cross the pipe.  Channels grow on demand; a reply that
+does not fit yet falls back to the pipe once while the parent resizes
+for the next call.  This closes the ROADMAP item about worker results
+being pickled through the pool pipe.
+
+Determinism
+-----------
+The fixed-compute-width contract survives the hop by construction:
+every worker's replica is rebuilt from the same state dict (verified by
+fingerprint), folding is deterministic, and the conv kernels are
+bit-identical at every intra-op thread count — so *which* worker serves
+a batch cannot change a single bit, and ``--serve-workers 1/2/4`` all
+produce identical logits (enforced by ``tests/serve/test_multiproc.py``).
+
+Workers are drained at interpreter shutdown via ``atexit`` — after the
+live batchers, so in-flight batches complete before their compute
+disappears.
+"""
+
+from __future__ import annotations
+
+import atexit
+import functools
+import os
+import queue
+import threading
+import weakref
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from ..nn.fold import folded_replica, inference_copy
+from ..nn.tensor import Tensor
+from ..nn.threading import set_intra_op_threads
+from ..parallel.pool import resolve_workers
+from ..parallel.session import WorkerSession
+from ..parallel.shm import ArrayChannel, ArraySlot, ChannelPeer
+from . import batcher as _batcher
+
+
+class ReplicaWorker:
+    """Worker-side handler: replicas keyed by (name, version).
+
+    Lives inside a :class:`WorkerSession` process.  ``load`` /
+    ``load_model`` materialize folded replicas; ``infer`` runs one
+    fixed-width forward and parks the logits in the caller's output
+    channel segment (falling back to the pipe when the segment is still
+    too small — the parent grows it for the next call).
+    """
+
+    def __init__(self, intra_op_threads: int = 1):
+        set_intra_op_threads(intra_op_threads)
+        self._replicas: Dict[Hashable, object] = {}
+        self._peer = ChannelPeer()
+
+    def ping(self) -> int:
+        return os.getpid()
+
+    def load(self, key, factory, state, fingerprint) -> int:
+        """Materialize a replica from a shipped state dict (verified)."""
+        self._replicas[tuple(key)] = folded_replica(
+            factory, state, expected_fingerprint=fingerprint)
+        return os.getpid()
+
+    def load_model(self, key, model) -> int:
+        """Fallback: materialize from a pickled module (no factory)."""
+        self._replicas[tuple(key)] = inference_copy(model)
+        return os.getpid()
+
+    def loaded_keys(self) -> List[tuple]:
+        return sorted(self._replicas)
+
+    def infer(self, key, slot: ArraySlot, out_name: Optional[str],
+              out_capacity: int) -> dict:
+        replica = self._replicas.get(tuple(key))
+        if replica is None:
+            raise KeyError(
+                f"no replica for {key!r} in worker {os.getpid()}; "
+                f"loaded: {sorted(self._replicas)}")
+        batch = self._peer.read(slot)
+        logits = np.ascontiguousarray(replica(Tensor(batch)).data)
+        if out_name is not None and logits.nbytes <= out_capacity:
+            out_slot = self._peer.write(out_name, logits)
+            return {"via": "shm", "slot": out_slot}
+        return {"via": "pipe", "logits": logits,
+                "needed_bytes": logits.nbytes}
+
+    def close(self) -> None:
+        self._peer.close()
+        self._replicas.clear()
+
+
+class _WorkerHandle:
+    """One session plus its two single-flight array lanes."""
+
+    def __init__(self, index: int, intra_op_threads: int,
+                 context: Optional[str], input_bytes: int, output_bytes: int):
+        # Channels before the session: the first shm creation spawns the
+        # resource-tracker process, and forked workers should inherit it
+        # rather than each spawning their own.
+        self.input = ArrayChannel(input_bytes)
+        self.output = ArrayChannel(output_bytes)
+        self.session = WorkerSession(
+            functools.partial(ReplicaWorker, intra_op_threads),
+            context=context, name=f"repro-serve-worker-{index}")
+
+    def close(self, timeout: float = 10.0) -> None:
+        self.session.close(timeout=timeout)
+        self.input.unlink()
+        self.output.unlink()
+
+
+#: Live backends, drained at interpreter shutdown.
+_LIVE: "weakref.WeakSet[MultiprocBackend]" = weakref.WeakSet()
+
+
+def _close_live_backends() -> None:
+    # Drain the batchers first: their in-flight batches need the workers
+    # below to still be alive to complete.  (atexit runs hooks LIFO, and
+    # this module is imported after `batcher`, so this hook fires first —
+    # closing batchers here is idempotent with the batcher's own hook.)
+    _batcher._close_live_batchers()
+    for backend in list(_LIVE):
+        backend.close()
+
+
+atexit.register(_close_live_backends)
+
+
+class MultiprocBackend:
+    """Process-backed execution backend for :class:`~repro.serve.MicroBatcher`.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (>= 1; 0 = one per available core).
+    intra_op_threads:
+        Conv-kernel threads per worker (default 1, so ``workers``
+        processes x 1 thread stays at core count; the kernels are
+        bit-identical at any value).
+    context:
+        multiprocessing start method (default: fork where available).
+    call_timeout:
+        Per-batch worker call budget in seconds; a worker that exceeds
+        it is treated as failed (the request futures see the error).
+    initial_input_bytes / initial_output_bytes:
+        Starting capacity of the per-worker shm lanes (they grow on
+        demand; the defaults fit a 32x(3,32,32) float32 batch and its
+        logits without a single resize).
+    """
+
+    def __init__(self, workers: int = 2, intra_op_threads: int = 1,
+                 context: Optional[str] = None, call_timeout: float = 120.0,
+                 initial_input_bytes: int = 32 * 3 * 32 * 32 * 4,
+                 initial_output_bytes: int = 32 * 256 * 4):
+        self.workers = max(1, resolve_workers(workers))
+        self.max_inflight = self.workers
+        self.call_timeout = call_timeout
+        self._handles: List[_WorkerHandle] = [
+            _WorkerHandle(index, intra_op_threads, context,
+                          initial_input_bytes, initial_output_bytes)
+            for index in range(self.workers)
+        ]
+        self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
+        for handle in self._handles:
+            self._idle.put(handle)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-serve-dispatch")
+        self._ship_lock = threading.Lock()
+        self._shipped: Dict[Hashable, str] = {}     # key -> fingerprint
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._shm_returns = 0
+        self._pipe_returns = 0
+        self._infer_counts = [0] * self.workers
+        self._closed = False
+        _LIVE.add(self)
+
+    # -- replica shipping ----------------------------------------------
+    def ensure_loaded(self, key: Hashable, entry) -> None:
+        """Ship ``entry``'s replica payload to every worker, once per key.
+
+        ``entry`` is a :class:`~repro.serve.store.ModelEntry` (anything
+        with ``fingerprint``, ``replica_payload()``).  Re-shipping the
+        same key is a no-op; shipping a key whose fingerprint changed is
+        rejected — registered models are immutable, hot-swap a new
+        version instead.
+        """
+        shipped = self._shipped.get(key)
+        if shipped == entry.fingerprint:
+            return
+        with self._ship_lock:
+            shipped = self._shipped.get(key)
+            if shipped == entry.fingerprint:
+                return
+            if shipped is not None:
+                raise RuntimeError(
+                    f"model {key!r} was re-registered with different "
+                    f"weights after its replicas shipped; register a new "
+                    f"version and hot-swap instead")
+            payload = entry.replica_payload()
+            for handle in self._handles:
+                if payload["kind"] == "state":
+                    handle.session.call(
+                        "load", key, payload["factory"], payload["state"],
+                        payload["fingerprint"], timeout=self.call_timeout)
+                else:
+                    handle.session.call("load_model", key, payload["model"],
+                                        timeout=self.call_timeout)
+            self._shipped[key] = entry.fingerprint
+
+    def shipped_keys(self) -> List[Hashable]:
+        with self._ship_lock:
+            return sorted(self._shipped)
+
+    def worker_pids(self) -> List[int]:
+        return [handle.session.pid for handle in self._handles]
+
+    # -- batch execution -----------------------------------------------
+    def submit(self, key: Hashable, batch: np.ndarray) -> Future:
+        """Dispatch one padded batch; resolves to its logits.
+
+        Blocks only briefly (executor bookkeeping): the scheduler bounds
+        dispatches to ``max_inflight``, so a free executor thread — and
+        behind it a free worker — is always close at hand.
+        """
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        return self._executor.submit(self._run, key, batch)
+
+    def _run(self, key: Hashable, batch: np.ndarray) -> np.ndarray:
+        if key not in self._shipped:
+            raise KeyError(
+                f"no replica shipped for {key!r}; call ensure_loaded() "
+                f"before submitting batches for it")
+        handle = self._idle.get()
+        try:
+            with self._stats_lock:
+                self._infer_counts[self._handles.index(handle)] += 1
+            slot = handle.input.write(batch)
+            reply = handle.session.call(
+                "infer", key, slot, handle.output.name,
+                handle.output.capacity, timeout=self.call_timeout)
+            if reply["via"] == "shm":
+                logits = handle.output.read(reply["slot"])
+                with self._stats_lock:
+                    self._batches += 1
+                    self._shm_returns += 1
+            else:
+                logits = reply["logits"]
+                # Grow the return lane so the next batch of this shape
+                # comes back through shared memory.
+                handle.output.ensure(reply["needed_bytes"])
+                with self._stats_lock:
+                    self._batches += 1
+                    self._pipe_returns += 1
+            return logits
+        finally:
+            self._idle.put(handle)
+
+    # -- introspection / lifecycle -------------------------------------
+    def stats(self) -> dict:
+        with self._stats_lock:
+            batches, shm, pipe = (self._batches, self._shm_returns,
+                                  self._pipe_returns)
+            infers = list(self._infer_counts)
+        return {
+            "kind": "multiproc",
+            "workers": self.workers,
+            "pids": self.worker_pids(),
+            "shipped": ["/".join(map(str, key))
+                        for key in self.shipped_keys()],
+            "batches": batches,
+            "shm_returns": shm,
+            "pipe_returns": pipe,
+            # Inference dispatches only — session.calls also counts the
+            # one-time replica shipments, so it can never read 0 and is
+            # useless for "did this worker actually serve?" checks.
+            "infers_per_worker": infers,
+            "calls_per_worker": [handle.session.calls
+                                 for handle in self._handles],
+        }
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop dispatching, stop the workers, free the shm lanes.
+
+        Idempotent.  Never waits longer than ~``timeout`` per worker:
+        queued dispatches are cancelled and sessions escalate to
+        ``terminate()``, so a wedged worker call (bounded only by
+        ``call_timeout``) cannot hang interpreter exit — callers who
+        need in-flight batches to finish drain the batcher first
+        (``InferenceServer.close`` does).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        for handle in self._handles:
+            # Closing the session breaks any still-running call's pipe,
+            # so its dispatch thread errors out promptly instead of
+            # sitting in call_timeout.
+            handle.close(timeout=timeout)
+        with self._ship_lock:
+            self._shipped.clear()
+
+    def __enter__(self) -> "MultiprocBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

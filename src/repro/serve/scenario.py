@@ -26,7 +26,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..data.dataset import ArrayDataset
+from ..data.registry import get_profile
 from ..eval.harness import PipelineConfig, PipelineResult, run_pipeline
+from ..parallel.tasks import ModelSpec
 from .batcher import BatchPolicy
 from .screening import OnlineStrip, ScreenConfig
 from .server import InferenceServer
@@ -67,6 +69,11 @@ def serving_store(result: PipelineResult, name: Optional[str] = None,
     cfg = result.config
     name = name or cfg.model
     store = store or ModelStore()
+    # Every stage model came out of build_model(cfg.model, ...), so a
+    # picklable ModelSpec can rebuild the architecture worker-side —
+    # multi-process serving then ships state dicts, not pickled modules.
+    spec = ModelSpec(cfg.model, get_profile(cfg.dataset).num_classes,
+                     scale=cfg.model_scale)
     stages = (("poison", result.poison_model),
               ("camouflage", result.camouflage_model),
               ("unlearned", result.unlearned_model))
@@ -74,7 +81,7 @@ def serving_store(result: PipelineResult, name: Optional[str] = None,
     for stage, model in stages:
         if model is None:
             continue
-        store.register(name, model, version=stage,
+        store.register(name, model, version=stage, spec=spec,
                        metadata={"stage": stage, "dataset": cfg.dataset,
                                  "attack": cfg.attack})
         registered.append(stage)
@@ -91,12 +98,16 @@ def serving_store(result: PipelineResult, name: Optional[str] = None,
 def build_reveil_serving(cfg: PipelineConfig,
                          policy: BatchPolicy = BatchPolicy(),
                          screen: Optional[ScreenConfig] = ScreenConfig(),
-                         overlay_count: int = 32) -> ReVeilServing:
+                         overlay_count: int = 32,
+                         serve_workers: int = 1,
+                         response_cache: int = 0) -> ReVeilServing:
     """Train the scenario and assemble the serving stack around it.
 
     ``screen=None`` disables online screening.  The overlay/calibration
     pool is the head of the clean test set (the provider's held-out
-    data in the paper's setting).
+    data in the paper's setting).  ``serve_workers`` >= 2 serves through
+    per-process folded replicas; ``response_cache`` > 0 enables the
+    exact-response LRU (both per :class:`InferenceServer`).
     """
     result = run_pipeline(cfg, stages=("camouflage", "unlearn"))
     store = serving_store(result)
@@ -105,7 +116,9 @@ def build_reveil_serving(cfg: PipelineConfig,
         overlays = result.clean_test.subset(range(min(
             overlay_count, len(result.clean_test))))
         screening = OnlineStrip(overlay_pool=overlays, config=screen)
-    server = InferenceServer(store, policy=policy, screening=screening)
+    server = InferenceServer(store, policy=policy, screening=screening,
+                             workers=serve_workers,
+                             response_cache=response_cache)
     return ReVeilServing(server=server, store=store, model_name=cfg.model,
                          result=result, clean_test=result.clean_test,
                          attack_test=result.attack_test,

@@ -25,7 +25,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..nn.tensor import Tensor
+from ..parallel.pool import resolve_workers
 from .batcher import BatchPolicy, MicroBatcher, QueueFullError
+from .cache import ResponseCache, input_digest
 from .screening import OnlineStrip
 from .store import ModelKey, ModelStore
 
@@ -39,6 +41,7 @@ class PredictResult:
     logits: np.ndarray
     labels: np.ndarray
     screening: Optional[Dict[str, list]] = None
+    cached: bool = False
 
     def to_json(self) -> dict:
         payload = {
@@ -46,10 +49,21 @@ class PredictResult:
             "version": self.version,
             "labels": self.labels.tolist(),
             "logits": self.logits.tolist(),
+            "cached": self.cached,
         }
         if self.screening is not None:
             payload["screening"] = self.screening
         return payload
+
+    def clone(self, cached: Optional[bool] = None) -> "PredictResult":
+        """Independent copy (cache hits must never alias cached arrays)."""
+        return PredictResult(
+            model=self.model, version=self.version,
+            logits=self.logits.copy(), labels=self.labels.copy(),
+            screening=None if self.screening is None
+            else {name: (list(values) if isinstance(values, list) else values)
+                  for name, values in self.screening.items()},
+            cached=self.cached if cached is None else cached)
 
 
 @dataclass
@@ -84,18 +98,42 @@ class InferenceServer:
     screening:
         Optional :class:`OnlineStrip`; when present every served batch
         is entropy-scored and responses carry per-input flags.
+    workers:
+        Execution backend width: 1 (default) runs forwards inline in
+        the scheduler thread; >= 2 dispatches fixed-width batches over
+        that many persistent worker processes, each holding its own
+        folded replica per version
+        (:class:`~repro.serve.multiproc.MultiprocBackend`); 0 = one per
+        available core.  Logits are bit-identical at every setting.
+    response_cache:
+        Entry capacity of the exact-response LRU (0 disables caching).
+        Hits short-circuit the scheduler entirely — they consume no
+        queue slot and run no forward.
+    mp_context:
+        multiprocessing start method for the worker processes.
     """
 
     def __init__(self, store: ModelStore,
                  policy: BatchPolicy = BatchPolicy(),
-                 screening: Optional[OnlineStrip] = None):
+                 screening: Optional[OnlineStrip] = None,
+                 workers: int = 1,
+                 response_cache: int = 0,
+                 mp_context: Optional[str] = None):
         self.store = store
         self.policy = policy
         self.screening = screening
         self.stats = ServerStats()
+        self.workers = resolve_workers(workers)
+        self.backend = None
+        if self.workers > 1:
+            from .multiproc import MultiprocBackend
+            self.backend = MultiprocBackend(self.workers, context=mp_context)
+        self.cache = (ResponseCache(response_cache)
+                      if response_cache else None)
         self.batcher = MicroBatcher(self._infer, policy,
                                     post_batch=self._post_batch
-                                    if screening is not None else None)
+                                    if screening is not None else None,
+                                    backend=self.backend)
 
     # -- scheduler callbacks -------------------------------------------
     def _infer(self, key: ModelKey, batch: np.ndarray) -> np.ndarray:
@@ -120,6 +158,25 @@ class InferenceServer:
         :class:`~repro.serve.batcher.QueueFullError` on backpressure.
         """
         key = self.store.resolve(model, version)
+        digest = None
+        if self.cache is not None:
+            # Normalize exactly as the batcher will, so the digest keys
+            # on what would actually be forwarded.
+            normalized = np.ascontiguousarray(images, dtype=np.float32)
+            if normalized.ndim == 3:
+                normalized = normalized[None]
+            digest = input_digest(normalized)
+            hit = self.cache.get((key, digest))
+            if hit is not None:
+                # Exact by the determinism contract: a fresh forward of
+                # these bytes at this version could not differ.  No
+                # queue slot, no forward, no backpressure exposure.
+                self.stats.bump("served")
+                return hit.clone(cached=True)
+        if self.backend is not None:
+            # Ship this version's replica to the worker processes on
+            # first use (once per version; cheap membership check after).
+            self.backend.ensure_loaded(key, self.store.entry(*key))
         if self.screening is not None:
             # Calibrate the screen for this version here, in the caller's
             # thread, so the first request after a hot-swap never stalls
@@ -143,16 +200,20 @@ class InferenceServer:
                 "flagged": output.extra["flagged"].astype(bool).tolist(),
                 "boundary": float(output.extra["boundary"][0]),
             }
-        return PredictResult(model=key[0], version=key[1],
-                             logits=output.logits,
-                             labels=output.logits.argmax(axis=1),
-                             screening=screening)
+        result = PredictResult(model=key[0], version=key[1],
+                               logits=output.logits,
+                               labels=output.logits.argmax(axis=1),
+                               screening=screening)
+        if self.cache is not None and digest is not None:
+            self.cache.put((key, digest), result.clone())
+        return result
 
     def metrics(self) -> dict:
         """JSON-ready metrics for ``/metrics``."""
         payload = {
             "requests": self.stats.snapshot(),
             "batcher": self.batcher.stats(),
+            "backend": self.batcher.backend.stats(),
             "policy": {
                 "max_batch_size": self.policy.max_batch_size,
                 "max_delay_ms": self.policy.max_delay_ms,
@@ -161,13 +222,21 @@ class InferenceServer:
             },
             "models": self.store.describe(),
         }
+        if self.cache is not None:
+            payload["response_cache"] = self.cache.stats()
         if self.screening is not None:
             payload["screening"] = self.screening.report()
         return payload
 
     def close(self) -> None:
-        """Drain the scheduler and stop its worker thread."""
+        """Drain the scheduler, then stop the execution backend.
+
+        Order matters: the batcher drain waits for in-flight batches,
+        which need the worker processes still alive to complete.
+        """
         self.batcher.close()
+        if self.backend is not None:
+            self.backend.close()
 
     def __enter__(self) -> "InferenceServer":
         return self

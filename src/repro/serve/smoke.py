@@ -8,12 +8,20 @@ fires a small concurrent load through the stdlib client, and asserts:
 - p50 latency under the budget;
 - served logits bit-identical to a direct forward pass at the fixed
   compute width (the batcher's determinism contract, end to end
-  through JSON);
+  through JSON) — including when ``--serve-workers`` >= 2 routes every
+  batch through worker-process replicas rebuilt from shipped state
+  dicts;
+- with ``--serve-workers`` >= 2, the shared-memory return path actually
+  carried the logits (no silent pipe fallback) and every worker
+  process served traffic;
+- with ``--response-cache`` > 0, a replayed request is answered from
+  the cache with bit-identical logits;
 - the online STRIP screen reported a flag rate for the served version.
 
 Run::
 
-    PYTHONPATH=src python -m repro.serve.smoke [--timeout 120] [--p50-ms 2000]
+    PYTHONPATH=src python -m repro.serve.smoke [--timeout 120] \
+        [--p50-ms 2000] [--serve-workers 2] [--response-cache 64]
 
 Exit code 0 on success, 1 on any violation.
 """
@@ -30,6 +38,7 @@ from .. import nn
 from ..data.registry import load_dataset
 from ..models.registry import build_model
 from ..nn.tensor import Tensor
+from ..parallel.tasks import ModelSpec
 from .batcher import BatchPolicy
 from .client import ServingClient, run_load
 from .http import start_http_server, stop_http_server
@@ -46,7 +55,16 @@ def main(argv=None) -> int:
                         help="p50 latency budget in milliseconds")
     parser.add_argument("--requests", type=int, default=32)
     parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--serve-workers", type=int, default=1,
+                        help="execution backend width (1 = in-process, "
+                             ">= 2 = that many worker processes, 0 = auto)")
+    parser.add_argument("--response-cache", type=int, default=16,
+                        help="exact-response LRU capacity (0 disables)")
     args = parser.parse_args(argv)
+    if args.serve_workers < 0:
+        parser.error("--serve-workers must be >= 0 (0 = one per core)")
+    if args.response_cache < 0:
+        parser.error("--response-cache must be >= 0 (0 = disabled)")
 
     start = time.perf_counter()
     _, test, profile = load_dataset("unit", seed=0)
@@ -55,18 +73,31 @@ def main(argv=None) -> int:
     model.eval()
 
     store = ModelStore()
-    store.register("smoke", model, version="v1")
+    store.register("smoke", model, version="v1",
+                   spec=ModelSpec("small_cnn", profile.num_classes,
+                                  scale="tiny"))
     policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
     screening = OnlineStrip(overlay_pool=test.subset(range(16)),
                             config=ScreenConfig(num_overlays=2))
-    inference = InferenceServer(store, policy=policy, screening=screening)
+    inference = InferenceServer(store, policy=policy, screening=screening,
+                                workers=args.serve_workers,
+                                response_cache=args.response_cache)
+    multiproc = inference.backend is not None
+    print(f"serving smoke: workers={inference.workers} "
+          f"({'multiproc' if multiproc else 'inline'}), "
+          f"response_cache={args.response_cache}")
     httpd = start_http_server(inference)
     try:
         client = ServingClient(httpd.url)
         if client.healthz().get("status") != "ok":
             print("SMOKE FAIL: /healthz not ok", file=sys.stderr)
             return 1
-        report = run_load(client, "smoke", test.images[:8],
+        # One distinct image per request: the load-bearing assertions
+        # (p50 budget, zero drops, worker dispatch) must measure real
+        # scheduler + forward traffic, not response-cache lookups.  The
+        # cache gets its own replay assertion below.
+        load_images = test.images[:args.requests]
+        report = run_load(client, "smoke", load_images,
                           requests=args.requests,
                           concurrency=args.concurrency)
         print(f"load: {report.summary()}")
@@ -85,7 +116,8 @@ def main(argv=None) -> int:
             return 1
 
         # End-to-end determinism: a served image's logits must match a
-        # direct fixed-width forward bit-for-bit (through JSON floats).
+        # direct fixed-width forward bit-for-bit (through JSON floats)
+        # no matter which process — or which worker replica — ran it.
         image = test.images[0]
         served = np.array(client.predict("smoke", image)["logits"][0],
                           dtype=np.float32)
@@ -98,8 +130,52 @@ def main(argv=None) -> int:
                   "fixed-width forward", file=sys.stderr)
             return 1
 
+        if multiproc:
+            backend = inference.backend.stats()
+            if backend["pipe_returns"] > 1:
+                # One fallback per replica/shape while the return lane
+                # sizes itself is tolerable; a steady stream means the
+                # shm path is broken.
+                print(f"SMOKE FAIL: {backend['pipe_returns']} batches fell "
+                      f"back to pipe returns (shm path broken?)",
+                      file=sys.stderr)
+                return 1
+            idle = [count for count in backend["infers_per_worker"]
+                    if count == 0]
+            if idle:
+                print(f"SMOKE FAIL: {len(idle)} of {backend['workers']} "
+                      f"workers served no batches "
+                      f"(infers_per_worker={backend['infers_per_worker']})",
+                      file=sys.stderr)
+                return 1
+            print(f"multiproc: {backend['batches']} batches over "
+                  f"{backend['workers']} workers "
+                  f"(infers {backend['infers_per_worker']}, "
+                  f"{backend['shm_returns']} shm returns, "
+                  f"{backend['pipe_returns']} pipe fallbacks)")
+
+        if args.response_cache:
+            replay = client.predict("smoke", image)
+            if not replay.get("cached"):
+                print("SMOKE FAIL: replayed request was not served from "
+                      "the response cache", file=sys.stderr)
+                return 1
+            if np.array(replay["logits"][0],
+                        dtype=np.float32).tolist() != served.tolist():
+                print("SMOKE FAIL: cached logits diverged from fresh ones",
+                      file=sys.stderr)
+                return 1
+            cache = inference.cache.stats()
+            print(f"response cache: {cache['hits']} hits / "
+                  f"{cache['misses']} misses "
+                  f"(hit rate {cache['hit_rate']:.3f})")
+
+        # Cache hits replay screening instead of recomputing it, so the
+        # screened floor is the distinct-input count when caching is on.
+        screened_floor = (min(args.requests, len(load_images))
+                          if args.response_cache else args.requests)
         flag_report = client.metrics().get("screening", {}).get("smoke/v1")
-        if not flag_report or flag_report["screened"] < args.requests:
+        if not flag_report or flag_report["screened"] < screened_floor:
             print("SMOKE FAIL: screening report missing or incomplete",
                   file=sys.stderr)
             return 1

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..nn.fold import _state_fingerprint, shared_folded_cache
 from ..nn.module import Module
@@ -45,6 +45,11 @@ class ModelEntry:
     version: str
     model: Module
     metadata: Dict[str, str] = field(default_factory=dict)
+    #: Optional picklable zero-arg factory rebuilding the architecture
+    #: (e.g. :class:`repro.parallel.ModelSpec`).  When present, worker
+    #: processes materialize their replicas from ``factory() +
+    #: state_dict`` instead of unpickling the whole module.
+    spec: Optional[Callable[[], Module]] = None
     fingerprint: str = field(init=False, repr=False)
     _folded: Optional[Module] = field(init=False, repr=False, default=None)
 
@@ -75,6 +80,23 @@ class ModelEntry:
             self._folded = shared_folded_cache().get(self.model, current)
         return self._folded
 
+    def replica_payload(self) -> dict:
+        """What ships to a worker process to rebuild this version there.
+
+        With a registered ``spec``, the payload is the factory plus a
+        ``state_dict`` snapshot and the registration fingerprint — the
+        worker rebuilds and *verifies* the replica
+        (:func:`repro.nn.fold.folded_replica`).  Without one, the
+        pickled module itself travels (same bits, fatter payload).
+        Either way the shipment happens once per version.
+        """
+        if self.spec is not None:
+            return {"kind": "state", "factory": self.spec,
+                    "state": self.model.state_dict(),
+                    "fingerprint": self.fingerprint}
+        return {"kind": "model", "model": self.model,
+                "fingerprint": self.fingerprint}
+
 
 class ModelStore:
     """Thread-safe registry of named, versioned models.
@@ -95,8 +117,14 @@ class ModelStore:
     # -- registration --------------------------------------------------
     def register(self, name: str, model: Module, version: Optional[str] = None,
                  metadata: Optional[Dict[str, str]] = None,
-                 activate: bool = True) -> str:
-        """Register ``model`` as ``name/version``; returns the version."""
+                 activate: bool = True,
+                 spec: Optional[Callable[[], Module]] = None) -> str:
+        """Register ``model`` as ``name/version``; returns the version.
+
+        ``spec`` (optional) is a picklable zero-arg architecture factory
+        letting multi-process serving ship this version to workers as a
+        state dict instead of a pickled module.
+        """
         if not name:
             raise ValueError("model name must be non-empty")
         with self._lock:
@@ -106,7 +134,7 @@ class ModelStore:
             if version in versions:
                 raise ValueError(f"{name}/{version} is already registered")
             versions[version] = ModelEntry(name, version, model,
-                                           dict(metadata or {}))
+                                           dict(metadata or {}), spec=spec)
             if activate or name not in self._active:
                 self._active[name] = version
         return version

@@ -1,0 +1,135 @@
+"""ResponseCache: LRU semantics, exactness, and scheduler bypass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.serve import (BatchPolicy, InferenceServer, ModelStore,
+                         ResponseCache, input_digest)
+
+
+def make_server(response_cache=8, **kwargs) -> InferenceServer:
+    nn.manual_seed(5)
+    model = build_model("small_cnn", num_classes=4, scale="tiny")
+    model.eval()
+    nn.manual_seed(77)
+    other = build_model("small_cnn", num_classes=4, scale="tiny")
+    other.eval()
+    store = ModelStore()
+    store.register("m", model, version="v1")
+    store.register("m", other, version="v2", activate=False)
+    return InferenceServer(store,
+                           policy=BatchPolicy(max_batch_size=8,
+                                              max_delay_ms=1.0),
+                           response_cache=response_cache, **kwargs)
+
+
+@pytest.fixture()
+def images(rng):
+    return rng.random((4, 3, 12, 12)).astype(np.float32)
+
+
+class TestLRU:
+    def test_capacity_bound_and_eviction_order(self):
+        cache = ResponseCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh "a": "b" is now eldest
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("b") is None   # evicted
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_stats_and_clear(self):
+        cache = ResponseCache(capacity=4)
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("y")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseCache(capacity=0)
+
+
+class TestDigest:
+    def test_content_and_shape_sensitive(self):
+        a = np.zeros((3, 12, 12), dtype=np.float32)
+        b = np.zeros((3, 12, 12), dtype=np.float32)
+        assert input_digest(a) == input_digest(b)
+        b[0, 0, 0] = 1e-7
+        assert input_digest(a) != input_digest(b)
+        # Same bytes, different shape: never a collision.
+        assert (input_digest(np.zeros((1, 3, 12, 12), np.float32))
+                != input_digest(np.zeros((3, 1, 12, 12), np.float32)))
+
+
+class TestServerIntegration:
+    def test_hit_is_bit_exact_and_marked(self, images):
+        server = make_server()
+        try:
+            fresh = server.predict("m", images[0])
+            hit = server.predict("m", images[0])
+            assert not fresh.cached and hit.cached
+            assert np.array_equal(fresh.logits, hit.logits)
+            assert np.array_equal(fresh.labels, hit.labels)
+            stats = server.cache.stats()
+            assert stats["hits"] == 1 and stats["misses"] == 1
+        finally:
+            server.close()
+
+    def test_cache_partitions_by_version(self, images):
+        server = make_server()
+        try:
+            v1 = server.predict("m", images[0], version="v1")
+            v2 = server.predict("m", images[0], version="v2")
+            assert not v2.cached            # different version = miss
+            assert not np.array_equal(v1.logits, v2.logits)
+            # Hot-swap: unversioned traffic now resolves to v2 entries.
+            server.store.activate("m", "v2")
+            swapped = server.predict("m", images[0])
+            assert swapped.cached and swapped.version == "v2"
+            assert np.array_equal(swapped.logits, v2.logits)
+        finally:
+            server.close()
+
+    def test_hit_bypasses_scheduler_entirely(self, images):
+        server = make_server()
+        try:
+            warm = server.predict("m", images[0])
+            # Kill the compute path: only the cache can answer now.
+            server.batcher.close()
+            hit = server.predict("m", images[0])
+            assert hit.cached
+            assert np.array_equal(warm.logits, hit.logits)
+            with pytest.raises(RuntimeError):
+                server.predict("m", images[1])      # miss needs the batcher
+        finally:
+            server.close()
+
+    def test_cache_returns_defensive_copies(self, images):
+        server = make_server()
+        try:
+            first = server.predict("m", images[0])
+            first.logits[:] = -1.0      # caller mutates its response
+            second = server.predict("m", images[0])
+            assert second.cached
+            assert not np.array_equal(first.logits, second.logits)
+        finally:
+            server.close()
+
+    def test_disabled_by_default(self, images):
+        server = make_server(response_cache=0)
+        try:
+            assert server.cache is None
+            assert not server.predict("m", images[0]).cached
+            assert not server.predict("m", images[0]).cached
+        finally:
+            server.close()

@@ -1,0 +1,206 @@
+"""Multi-process serving backend: bit-identity, shipping, lifecycle.
+
+The acceptance bar: logits are bit-identical across ``--serve-workers``
+1 (inline), 2 and 4 — solo, coalesced, and replayed from the response
+cache — because every worker replica is rebuilt from the same shipped
+state dict (fingerprint-verified) and the conv kernels are bit-stable
+at every thread count.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.parallel import ModelSpec, WorkerError
+from repro.serve import (BatchPolicy, InferenceServer, ModelStore,
+                         MultiprocBackend)
+
+pytestmark = pytest.mark.parallel
+
+SPEC = ModelSpec("small_cnn", 4, scale="tiny")
+POLICY = BatchPolicy(max_batch_size=8, max_delay_ms=1.0)
+
+
+def make_store(seed: int = 11, spec=SPEC) -> ModelStore:
+    nn.manual_seed(seed)
+    model = build_model("small_cnn", num_classes=4, scale="tiny")
+    model.eval()
+    store = ModelStore()
+    store.register("m", model, version="v1", spec=spec)
+    return store
+
+
+@pytest.fixture(scope="module")
+def images(rng):
+    return rng.random((8, 3, 12, 12)).astype(np.float32)
+
+
+class TestBitIdentity:
+    def test_solo_coalesced_cached_identical_across_worker_counts(self, images):
+        per_count = {}
+        for workers in (1, 2, 4):
+            server = InferenceServer(make_store(), policy=POLICY,
+                                     workers=workers, response_cache=32)
+            try:
+                solo = np.stack([server.predict("m", images[i]).logits[0]
+                                 for i in range(len(images))])
+                futures = [server.batcher.submit(("m", "v1"), images[i])
+                           for i in range(len(images))]
+                coalesced = np.stack([f.result(timeout=30).logits[0]
+                                      for f in futures])
+                replayed = np.stack([server.predict("m", images[i]).logits[0]
+                                     for i in range(len(images))])
+                hits = server.cache.stats()["hits"]
+            finally:
+                server.close()
+            assert np.array_equal(solo, coalesced), \
+                f"solo vs coalesced differ at workers={workers}"
+            assert np.array_equal(solo, replayed), \
+                f"fresh vs cached differ at workers={workers}"
+            assert hits >= len(images)
+            per_count[workers] = solo
+        assert np.array_equal(per_count[1], per_count[2])
+        assert np.array_equal(per_count[1], per_count[4])
+
+    def test_pickled_module_fallback_matches_state_dict_path(self, images):
+        via_spec = InferenceServer(make_store(spec=SPEC), policy=POLICY,
+                                   workers=2)
+        via_pickle = InferenceServer(make_store(spec=None), policy=POLICY,
+                                     workers=2)
+        try:
+            a = via_spec.predict("m", images[0]).logits
+            b = via_pickle.predict("m", images[0]).logits
+            assert np.array_equal(a, b)
+        finally:
+            via_spec.close()
+            via_pickle.close()
+
+
+class TestReplicaShipping:
+    def test_shipped_once_per_version(self, images):
+        server = InferenceServer(make_store(), policy=POLICY, workers=2)
+        try:
+            for _ in range(3):
+                server.predict("m", images[0])
+            stats = server.backend.stats()
+            assert stats["shipped"] == ["m/v1"]
+            # Exactly one load call per worker ever happened: total calls
+            # are the infer batches plus the two one-time shipments.
+            assert sum(stats["calls_per_worker"]) == stats["batches"] + 2
+        finally:
+            server.close()
+
+    def test_hot_swap_ships_new_version_lazily(self, images):
+        server = InferenceServer(make_store(), policy=POLICY, workers=2)
+        try:
+            first = server.predict("m", images[0])
+            assert first.version == "v1"
+            nn.manual_seed(99)
+            v2 = build_model("small_cnn", num_classes=4, scale="tiny")
+            v2.eval()
+            server.store.register("m", v2, version="v2", spec=SPEC,
+                                  activate=False)
+            assert server.backend.shipped_keys() == [("m", "v1")]
+            server.store.activate("m", "v2")
+            swapped = server.predict("m", images[0])
+            assert swapped.version == "v2"
+            assert not np.array_equal(first.logits, swapped.logits)
+            assert server.backend.shipped_keys() == [("m", "v1"), ("m", "v2")]
+            # The swapped version serves the same bits as an inline server
+            # holding the same weights.
+            inline = InferenceServer(server.store, policy=POLICY)
+            try:
+                reference = inline.predict("m", images[0], version="v2")
+            finally:
+                inline.close()
+            assert np.array_equal(swapped.logits, reference.logits)
+        finally:
+            server.close()
+
+    def test_wrong_factory_rejected(self):
+        # A factory that does NOT rebuild the registered architecture
+        # must be refused before it serves a single divergent bit.
+        store = make_store(spec=ModelSpec("small_cnn", 4, scale="bench"))
+        backend = MultiprocBackend(workers=1)
+        try:
+            with pytest.raises(WorkerError,
+                               match="shape mismatch|fingerprint"):
+                backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+        finally:
+            backend.close()
+
+    def test_fingerprint_verification_rejects_drift(self):
+        # folded_replica is the worker-side constructor: shipping a stale
+        # fingerprint (weights changed between snapshot and hash) fails.
+        nn.manual_seed(3)
+        model = build_model("small_cnn", num_classes=4, scale="tiny")
+        model.eval()
+        state = model.state_dict()
+        with pytest.raises(RuntimeError, match="fingerprint"):
+            nn.folded_replica(SPEC, state, expected_fingerprint="deadbeef")
+        replica = nn.folded_replica(SPEC, state,
+                                    expected_fingerprint=nn.state_fingerprint(model))
+        assert not replica.training
+
+    def test_unshipped_key_raises_locally(self, images):
+        backend = MultiprocBackend(workers=1)
+        try:
+            with pytest.raises(KeyError, match="ensure_loaded"):
+                backend.submit(("ghost", "v1"),
+                               np.zeros((8, 3, 12, 12), np.float32)).result()
+        finally:
+            backend.close()
+
+
+class TestLifecycle:
+    def test_workers_exit_and_segments_freed_on_close(self, images):
+        before = set(glob.glob("/dev/shm/psm_*"))
+        server = InferenceServer(make_store(), policy=POLICY, workers=2)
+        server.predict("m", images[0])
+        pids = server.backend.worker_pids()
+        server.close()
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        assert set(glob.glob("/dev/shm/psm_*")) == before
+
+    def test_close_idempotent_and_submit_after_close_rejected(self):
+        backend = MultiprocBackend(workers=1)
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.submit(("m", "v1"), np.zeros((1, 3, 12, 12), np.float32))
+
+    def test_logits_return_through_shared_memory(self, images):
+        server = InferenceServer(make_store(), policy=POLICY, workers=2)
+        try:
+            for i in range(len(images)):
+                server.predict("m", images[i])
+            stats = server.backend.stats()
+            assert stats["shm_returns"] == stats["batches"] > 0
+            assert stats["pipe_returns"] == 0
+        finally:
+            server.close()
+
+    def test_pipe_fallback_then_shm_after_growth(self, images):
+        # Start the return lane absurdly small: the first batch falls
+        # back to the pipe, the lane grows, the second returns via shm.
+        backend = MultiprocBackend(workers=1, initial_output_bytes=4)
+        try:
+            store = make_store()
+            backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+            batch = np.broadcast_to(images[0], (8,) + images[0].shape).copy()
+            first = backend.submit(("m", "v1"), batch).result(timeout=30)
+            second = backend.submit(("m", "v1"), batch).result(timeout=30)
+            stats = backend.stats()
+            assert stats["pipe_returns"] == 1
+            assert stats["shm_returns"] == 1
+            assert np.array_equal(first, second)
+        finally:
+            backend.close()
