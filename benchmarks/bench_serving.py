@@ -61,7 +61,8 @@ WORKER_COUNTS = (1, 2, 4)
 
 def _build_server(policy: BatchPolicy, dataset: str = "cifar10-bench",
                   model_name: str = "small_cnn", scale: str = "bench",
-                  workers: int = 1, response_cache: int = 0):
+                  workers: int = 1, response_cache: int = 0,
+                  prefetch: bool = True):
     _, test, profile = load_dataset(dataset, seed=0)
     nn.manual_seed(0)
     model = build_model(model_name, profile.num_classes, scale=scale)
@@ -69,9 +70,11 @@ def _build_server(policy: BatchPolicy, dataset: str = "cifar10-bench",
     store = ModelStore()
     store.register(model_name, model, version="v1",
                    spec=ModelSpec(model_name, profile.num_classes,
-                                  scale=scale))
+                                  scale=scale),
+                   input_shape=test.images.shape[1:])
     server = InferenceServer(store, policy=policy, workers=workers,
-                             response_cache=response_cache)
+                             response_cache=response_cache,
+                             prefetch_replicas=prefetch)
     return server, test
 
 
@@ -165,6 +168,48 @@ def time_cache(response_cache: int, distinct_images: int = 8,
         server.close()
 
 
+def first_batch_latency(workers: int, prefetch: bool, repeats: int = 3,
+                        dataset: str = "unit", steady: int = 16) -> dict:
+    """First-request vs steady-state latency, fresh server per repeat.
+
+    The first request is the one that pays every deferred cost when
+    prefetch is off — replica ship to the workers, folded-copy build,
+    kernel planning, shm lane growth.  With prefetch + warm-up all of
+    that ran at construction time, so the first request should land
+    within a small factor of the steady-state p50 (gated in
+    ``check_regression.py``).  In-process predicts, so the cell
+    measures the serving stack, not HTTP accept jitter; the worst
+    first-request over ``repeats`` fresh servers stands in for p99.
+    """
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=0.0)
+    firsts, steadies = [], []
+    for _ in range(repeats):
+        server, test = _build_server(policy, dataset=dataset,
+                                     model_name="small_cnn", scale="tiny",
+                                     workers=workers, prefetch=prefetch)
+        try:
+            start = time.perf_counter()
+            server.predict("small_cnn", test.images[0])
+            firsts.append(time.perf_counter() - start)
+            laps = []
+            for index in range(steady):
+                image = test.images[(index + 1) % len(test.images)]
+                start = time.perf_counter()
+                server.predict("small_cnn", image)
+                laps.append(time.perf_counter() - start)
+            steadies.append(float(np.median(laps)))
+        finally:
+            server.close()
+    return {
+        "workers": workers,
+        "prefetch": prefetch,
+        "repeats": repeats,
+        "first_batch_p99_seconds": float(max(firsts)),
+        "first_batch_samples_seconds": [float(value) for value in firsts],
+        "steady_p50_seconds": float(np.median(steadies)),
+    }
+
+
 def solo_vs_coalesced_delta(dataset: str = "unit") -> float:
     """Max |delta| between solo-served and burst-served logits (want 0.0)."""
     policy = BatchPolicy(max_batch_size=8, max_delay_ms=20.0)
@@ -224,6 +269,8 @@ def run_quick_gate() -> dict:
     multi = time_workers(2, requests=64, concurrency=16)
     cache_cell = time_cache(16, distinct_images=4, requests=64,
                             concurrency=4)
+    warm = first_batch_latency(workers=2, prefetch=True)
+    cold = first_batch_latency(workers=2, prefetch=False)
     return {
         "serving_p50_seconds": report_cell["p50_ms"] / 1e3,
         "serving_throughput_rps": report_cell["throughput_rps"],
@@ -238,6 +285,13 @@ def run_quick_gate() -> dict:
         "serving_cache_hit_p50_seconds": cache_cell["p50_ms"] / 1e3,
         "serving_cache_hit_rate": cache_cell["cache_hit_rate"],
         "serving_cached_vs_fresh_max_delta": cached_vs_fresh_delta(),
+        # First-batch pair: prefetch+warm-up vs lazy cold start, 2-worker
+        # backend.  The warm p99 is gated against steady p50 in
+        # check_regression.py; the cold cell records the spike prefetch
+        # exists to kill.
+        "serving_first_batch_seconds": warm["first_batch_p99_seconds"],
+        "serving_steady_p50_seconds": warm["steady_p50_seconds"],
+        "serving_cold_first_batch_seconds": cold["first_batch_p99_seconds"],
     }
 
 
@@ -295,6 +349,17 @@ def run_full() -> dict:
                if capacity else "")
         print(f"  cache={capacity}: {cell['throughput_rps']:.1f} req/s, "
               f"p50 {cell['p50_ms']:.1f}ms{hit}")
+    print("first-batch latency: prefetch+warm-up vs lazy cold start")
+    section["first_batch"] = {}
+    for workers in (1, 2):
+        for prefetch in (True, False):
+            cell = first_batch_latency(workers=workers, prefetch=prefetch)
+            label = f"w{workers}-{'warm' if prefetch else 'cold'}"
+            section["first_batch"][label] = cell
+            print(f"  workers={workers} "
+                  f"{'prefetch' if prefetch else 'lazy'}: first "
+                  f"{cell['first_batch_p99_seconds'] * 1e3:.1f}ms, steady "
+                  f"p50 {cell['steady_p50_seconds'] * 1e3:.1f}ms")
     return section
 
 

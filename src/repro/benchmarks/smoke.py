@@ -1,13 +1,16 @@
 """Fast parallel-path smoke gate (tier-2 CI entry point).
 
-Runs one tiny SISA fit with ``workers=2`` on the unit profile, checks it
-against the serial path bit-for-bit, and enforces a wall-clock budget —
-a cheap end-to-end probe that the process pool, shared-memory handoff
-and determinism contract all still hold::
+Runs one tiny SISA fit with ``workers=2`` on the unit profile — once
+with shared-memory state returns (the default) and once over the pickle
+pipe — checks both against the serial path bit-for-bit, and enforces a
+wall-clock budget: a cheap end-to-end probe that the process pool, the
+shared-memory dataset handoff, the shm state-return lanes and the
+determinism contract all still hold.  Also asserts the run leaked no
+shared-memory segments (every lane/dataset unlinked exactly once)::
 
     PYTHONPATH=src python -m repro.benchmarks.smoke [--timeout 120]
 
-Exit code 0 on success, 1 on divergence or budget overrun.
+Exit code 0 on success, 1 on divergence, a leak, or budget overrun.
 """
 
 from __future__ import annotations
@@ -20,17 +23,31 @@ import numpy as np
 
 from ..data.registry import load_dataset
 from ..parallel import ModelSpec
+from ..parallel.shm import leaked_segments, shm_segment_names
 from ..train import TrainConfig
 from ..unlearning.sisa import SISAConfig, SISAEnsemble
 
 
-def _fit(workers: int) -> SISAEnsemble:
+def _fit(workers: int, state_shm: bool = True) -> SISAEnsemble:
     train, _, profile = load_dataset("unit", seed=0)
     factory = ModelSpec("small_cnn", profile.num_classes, scale="tiny")
     config = SISAConfig(num_shards=2, num_slices=1,
                         train=TrainConfig(epochs=2, lr=3e-3, seed=5),
-                        seed=11, workers=workers)
+                        seed=11, workers=workers, state_shm=state_shm)
     return SISAEnsemble(factory, config).fit(train)
+
+
+def _diverged(reference: SISAEnsemble, other: SISAEnsemble,
+              label: str) -> bool:
+    for index in range(reference.num_models):
+        state_r = reference.state_dict(index)
+        state_o = other.state_dict(index)
+        for name in state_r:
+            if not np.array_equal(state_r[name], state_o[name]):
+                print(f"SMOKE FAIL: {label} shard {index} diverged at "
+                      f"{name!r}", file=sys.stderr)
+                return True
+    return False
 
 
 def main(argv=None) -> int:
@@ -40,22 +57,26 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     start = time.perf_counter()
-    parallel = _fit(workers=2)
+    shm_before = shm_segment_names()
+    shm_states = _fit(workers=2, state_shm=True)
+    pipe_states = _fit(workers=2, state_shm=False)
     serial = _fit(workers=1)
-    for index in range(serial.num_models):
-        state_s = serial.state_dict(index)
-        state_p = parallel.state_dict(index)
-        for name in state_s:
-            if not np.array_equal(state_s[name], state_p[name]):
-                print(f"SMOKE FAIL: shard {index} diverged at {name!r}",
-                      file=sys.stderr)
-                return 1
+    if _diverged(serial, shm_states, "workers=2 (shm state returns)"):
+        return 1
+    if _diverged(serial, pipe_states, "workers=2 (pipe state returns)"):
+        return 1
+    leaked = leaked_segments(shm_before)
+    if leaked:
+        print(f"SMOKE FAIL: {len(leaked)} shared-memory segments leaked: "
+              f"{leaked[:8]}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - start
     if elapsed > args.timeout:
         print(f"SMOKE FAIL: took {elapsed:.1f}s > budget {args.timeout:.0f}s",
               file=sys.stderr)
         return 1
-    print(f"smoke ok: workers=2 SISA fit bit-identical to serial "
+    print(f"smoke ok: workers=2 SISA fit bit-identical to serial over both "
+          f"state transports, no shm leaks "
           f"({elapsed:.1f}s, budget {args.timeout:.0f}s)")
     return 0
 

@@ -62,6 +62,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "one per CPU core); when --workers > 1 each "
                              "worker process defaults to 1 thread so "
                              "processes x threads stays at core count")
+    parser.add_argument("--state-shm", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="return pooled SISA shard states through "
+                             "shared-memory lanes instead of pickling them "
+                             "through the pool pipe (bit-identical either "
+                             "way; auto-falls back when shm is unavailable)")
 
 
 def _config_from(args, cr: Optional[float] = None,
@@ -72,7 +78,8 @@ def _config_from(args, cr: Optional[float] = None,
         camouflage_ratio=cr if cr is not None else args.cr,
         noise_std=sigma if sigma is not None else args.sigma,
         epochs=args.epochs, lr=args.lr, seed=args.seed,
-        workers=args.workers, intra_op_threads=args.intra_op_threads)
+        workers=args.workers, intra_op_threads=args.intra_op_threads,
+        state_shm=args.state_shm)
 
 
 def cmd_pipeline(args) -> int:
@@ -132,7 +139,8 @@ def cmd_serve(args) -> int:
     start = time.time()
     serving = build_reveil_serving(cfg, policy=policy, screen=screen,
                                    serve_workers=args.serve_workers,
-                                   response_cache=args.response_cache)
+                                   response_cache=args.response_cache,
+                                   prefetch_replicas=args.prefetch_replicas)
     print(f"trained in {time.time() - start:.0f}s")
     httpd = start_http_server(serving.server, host=args.host, port=args.port)
     name = serving.model_name
@@ -261,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
                                          zero_means="disabled"), default=0,
                    help="exact-response LRU capacity in entries "
                         "(0 = disabled); hits skip the scheduler entirely")
+    p.add_argument("--prefetch-replicas",
+                   action=argparse.BooleanOptionalAction, default=True,
+                   help="ship every model version to the serving workers "
+                        "and run fixed-width warm-up forwards before the "
+                        "first request (kills the first-batch latency "
+                        "spike); --no-prefetch-replicas restores lazy "
+                        "load-on-first-request")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("client",

@@ -10,6 +10,15 @@ bit-for-bit.
 Failures inside a worker are captured with their full formatted
 traceback and re-raised in the parent as :class:`WorkerError`, so a
 crash three processes away still reads like a local stack trace.
+
+Results that are mostly *arrays* (trained state dicts) should not
+travel back through the result pickle at all: provision per-task
+shared-memory return lanes with :func:`state_return_lanes` and let each
+task park its states there (:mod:`repro.parallel.shm`).  Ownership
+stays strictly one-sided — the parent creates and unlinks every lane
+exactly once, workers only attach-untracked and close — so a worker
+that crashes mid-write can neither leak a segment nor unlink one the
+parent still owns.
 """
 
 from __future__ import annotations
@@ -19,10 +28,12 @@ import pickle
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 from ..nn.threading import available_cpu_count
+from .shm import StateChannel
 
 
 class WorkerError(RuntimeError):
@@ -100,6 +111,34 @@ def ensure_picklable(obj: Any, what: str, hint: str = "") -> None:
 
 def _label(task, index: int) -> str:
     return getattr(task, "label", "") or f"task[{index}]"
+
+
+@contextmanager
+def state_return_lanes(sizes: Sequence[int],
+                       ) -> Iterator[List[Optional[StateChannel]]]:
+    """One parent-owned state return lane per pending task.
+
+    Yields a :class:`~repro.parallel.shm.StateChannel` (pre-sized to
+    ``sizes[i]`` bytes) per task, or ``None`` in a position where shared
+    memory was unavailable — callers leave ``None``-lane tasks on the
+    pipe return path.  Every created lane is unlinked exactly once on
+    exit, success or failure, which is the whole unlink story: workers
+    attach untracked and only ever close, so a crashed worker cannot
+    leak a lane and a doubly-entered ``finally`` cannot double-unlink
+    (``StateChannel.unlink`` is idempotent).
+    """
+    lanes: List[Optional[StateChannel]] = []
+    try:
+        for nbytes in sizes:
+            try:
+                lanes.append(StateChannel(nbytes))
+            except OSError:
+                lanes.append(None)
+        yield lanes
+    finally:
+        for lane in lanes:
+            if lane is not None:
+                lane.unlink()
 
 
 def run_tasks(tasks: Iterable[Any], workers: int = 1,

@@ -121,6 +121,8 @@ class WorkerSession:
         ctx = mp.get_context(context or default_context())
         parent_conn, child_conn = ctx.Pipe()
         self.name = name
+        self._factory = factory
+        self._context = context
         self._proc = ctx.Process(target=_session_main,
                                  args=(factory, child_conn),
                                  name=name, daemon=True)
@@ -179,6 +181,20 @@ class WorkerSession:
             raise WorkerError(
                 f"{self.name}:{method}", "BrokenWorker",
                 f"worker pipe closed mid-reply: {exc}") from exc
+
+    def respawn(self, timeout: float = 10.0) -> "WorkerSession":
+        """A fresh session running the same factory under the same name.
+
+        Recovery path for a worker that died mid-call (OOM kill,
+        segfault): close out this session's remains and hand back a
+        replacement process.  The replacement starts *empty* — the
+        handler is rebuilt from the factory, so any warm state shipped
+        to the dead worker (model replicas, channel attachments) must be
+        re-shipped by the caller.
+        """
+        self.close(timeout=timeout)
+        return WorkerSession(self._factory, context=self._context,
+                             name=self.name)
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop the worker (graceful, then ``terminate()``).  Idempotent.

@@ -16,10 +16,12 @@ entirely — a task spec costs bytes, not gigabytes.
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Iterator, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -293,6 +295,257 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
+# ---------------------------------------------------------------------------
+# State-dict transport — whole model states through shared memory.
+# ---------------------------------------------------------------------------
+
+#: Array offsets inside a state segment are rounded up to this boundary
+#: so every view handed to numpy is safely aligned for any dtype.
+_STATE_ALIGN = 64
+
+
+class StateCapacityError(RuntimeError):
+    """A state payload does not fit the target segment.
+
+    Raised on the *writer* side before a single byte moves, carrying
+    ``needed_bytes`` so the reader can resize (owner) or fall back to
+    the pipe (peer).
+    """
+
+    def __init__(self, needed_bytes: int, capacity: int):
+        self.needed_bytes = needed_bytes
+        self.capacity = capacity
+        super().__init__(
+            f"state payload of {needed_bytes} bytes exceeds segment "
+            f"capacity {capacity}")
+
+
+@dataclass(frozen=True)
+class StateEntry:
+    """Layout of one named array inside a packed state payload."""
+
+    key: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class StateSlot:
+    """Picklable descriptor of one whole state dict parked in a segment.
+
+    Carries everything needed to rebuild the dict bit-for-bit — entry
+    names in their original order, per-array shape/dtype/offset, and a
+    content fingerprint the reader re-verifies — while the arrays
+    themselves never touch the pipe.
+    """
+
+    name: str                       # segment holding the payload
+    entries: Tuple[StateEntry, ...]
+    nbytes: int                     # payload end offset within the segment
+    fingerprint: str
+
+    @property
+    def num_arrays(self) -> int:
+        return len(self.entries)
+
+
+def _align(offset: int) -> int:
+    return (offset + _STATE_ALIGN - 1) // _STATE_ALIGN * _STATE_ALIGN
+
+
+def state_fingerprint(state: Dict[str, np.ndarray]) -> str:
+    """Content digest of a state dict (names + raw bytes, sorted order).
+
+    Matches byte-for-byte equality: two states with equal fingerprints
+    rebuild bit-identical models.  Sorted iteration makes the digest
+    independent of dict insertion order.
+    """
+    digest = hashlib.sha1()
+    for key in sorted(state):
+        digest.update(key.encode())
+        digest.update(np.ascontiguousarray(state[key]).tobytes())
+    return digest.hexdigest()
+
+
+def packed_nbytes(state: Dict[str, np.ndarray], base: int = 0) -> int:
+    """Bytes one state dict occupies when packed at ``base`` (aligned)."""
+    offset = _align(base)
+    for value in state.values():
+        offset = _align(offset) + np.asarray(value).nbytes
+    return offset - base
+
+
+def _pack_state(buf, state: Dict[str, np.ndarray], base: int,
+                segment_name: str) -> StateSlot:
+    """Copy every array of ``state`` into ``buf`` starting at ``base``."""
+    entries = []
+    offset = _align(base)
+    for key, value in state.items():
+        # Not ascontiguousarray: that would promote 0-d arrays to 1-d
+        # and the unpacked dict must restore the exact original shapes.
+        array = np.asarray(value)
+        if not array.flags.c_contiguous:
+            array = array.copy(order="C")
+        offset = _align(offset)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=buf,
+                          offset=offset)
+        view[...] = array
+        entries.append(StateEntry(key=key, shape=tuple(array.shape),
+                                  dtype=str(array.dtype), offset=offset))
+        offset += array.nbytes
+    return StateSlot(name=segment_name, entries=tuple(entries),
+                     nbytes=offset, fingerprint=state_fingerprint(state))
+
+
+def _unpack_state(buf, slot: StateSlot,
+                  verify: bool = True) -> Dict[str, np.ndarray]:
+    """Copy a packed state dict back out of ``buf`` (order-preserving)."""
+    state: Dict[str, np.ndarray] = {}
+    for entry in slot.entries:
+        view = np.ndarray(entry.shape, dtype=np.dtype(entry.dtype),
+                          buffer=buf, offset=entry.offset)
+        state[entry.key] = np.array(view)   # copy: segments get reused
+    if verify:
+        actual = state_fingerprint(state)
+        if actual != slot.fingerprint:
+            raise RuntimeError(
+                f"state payload in segment {slot.name!r} hashes to "
+                f"{actual[:12]}, expected {slot.fingerprint[:12]} — torn "
+                f"write or segment reuse mid-flight?")
+    return state
+
+
+def _pack_states_into(segment: shared_memory.SharedMemory,
+                      states: Sequence[Dict[str, np.ndarray]],
+                      ) -> Tuple[StateSlot, ...]:
+    """Pack several state dicts back-to-back; raise before writing if
+    the segment is too small for the whole payload."""
+    needed = 0
+    for state in states:
+        needed += packed_nbytes(state, base=needed)
+    if needed > segment.size:
+        raise StateCapacityError(needed, segment.size)
+    slots = []
+    base = 0
+    for state in states:
+        slot = _pack_state(segment.buf, state, base, segment.name)
+        slots.append(slot)
+        base = slot.nbytes
+    return tuple(slots)
+
+
+class StateChannel(ArrayChannel):
+    """Growable shared-memory lane for whole state dicts.
+
+    The state-transport counterpart of :class:`ArrayChannel`: the same
+    owner-creates / peer-attaches / grow-by-rename lifecycle, but the
+    payload is a full ``state_dict`` (every parameter and buffer of a
+    model) packed back-to-back with a verified content fingerprint.
+    Both data planes ride this one class:
+
+    - **serving** (owner writes, peer reads): the parent parks a model
+      version's state once and every worker process copies it out to
+      build its replica — the state crosses the pipe as a tiny
+      :class:`StateSlot`, never as pickled arrays;
+    - **training** (peer writes, owner reads): the parent pre-sizes one
+      lane per shard task, the pool worker packs its trained states into
+      it (:func:`write_states_to`), and the parent reassembles the
+      ensemble from the slots.
+
+    Single-flight per lane, like the array channels: the caller
+    sequences writes and reads so a segment is never overwritten while
+    the other side still reads it.
+    """
+
+    def write_state(self, state: Dict[str, np.ndarray]) -> StateSlot:
+        """Pack one state dict at offset 0, growing the lane to fit."""
+        return self.write_states([state])[0]
+
+    def write_states(self, states: Sequence[Dict[str, np.ndarray]],
+                     ) -> Tuple[StateSlot, ...]:
+        """Pack several state dicts back-to-back, growing the lane to fit."""
+        needed = 0
+        for state in states:
+            needed += packed_nbytes(state, base=needed)
+        self.ensure(needed)
+        return _pack_states_into(self._segment, states)
+
+    def read_state(self, slot: StateSlot,
+                   verify: bool = True) -> Dict[str, np.ndarray]:
+        """Copy out a state dict a peer packed into *this* lane."""
+        if self._segment is None or slot.name != self._segment.name:
+            raise ValueError(
+                f"slot names segment {slot.name!r} but this channel owns "
+                f"{self.name!r} — was the channel resized mid-flight?")
+        return _unpack_state(self._segment.buf, slot, verify=verify)
+
+    def read_states(self, slots: Sequence[StateSlot],
+                    verify: bool = True) -> List[Dict[str, np.ndarray]]:
+        return [self.read_state(slot, verify=verify) for slot in slots]
+
+
+def write_states_to(name: str, states: Sequence[Dict[str, np.ndarray]],
+                    ) -> Tuple[StateSlot, ...]:
+    """One-shot peer-side state write into a named (owner-held) segment.
+
+    Built for pool workers, which live for one task: attach untracked,
+    pack, close the mapping — never unlink.  Raises
+    :class:`StateCapacityError` (payload too big, nothing written) or
+    ``FileNotFoundError`` (owner already unlinked); callers fall back to
+    returning states through the pipe on either.
+    """
+    segment = _attach_untracked(name)
+    try:
+        return _pack_states_into(segment, states)
+    finally:
+        try:
+            segment.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Leak accounting — shared-memory segments visible to this machine.
+# ---------------------------------------------------------------------------
+
+#: Prefixes the stdlib uses for POSIX shared memory segment names.
+_SHM_PREFIXES = ("psm_", "wnsm_")
+
+
+def shm_segment_names() -> Optional[Set[str]]:
+    """Names of live POSIX shm segments, or ``None`` where unobservable.
+
+    Linux exposes segments as files under ``/dev/shm``; other platforms
+    return ``None`` and leak checks silently skip.  Only stdlib-created
+    names (``psm_``/``wnsm_`` prefixes) are reported so unrelated system
+    segments never pollute a leak diff.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return None
+    try:
+        return {entry.name for entry in root.iterdir()
+                if entry.name.startswith(_SHM_PREFIXES)}
+    except OSError:
+        return None
+
+
+def leaked_segments(before: Optional[Set[str]]) -> List[str]:
+    """Segments alive now that were not alive at snapshot time.
+
+    Usage: ``before = shm_segment_names()`` … run the workload, close
+    everything … ``assert not leaked_segments(before)``.  Returns ``[]``
+    when the platform cannot observe segments.
+    """
+    if before is None:
+        return []
+    now = shm_segment_names()
+    if now is None:
+        return []
+    return sorted(now - before)
+
+
 class ChannelPeer:
     """Worker-side attachment cache for :class:`ArrayChannel` segments.
 
@@ -340,6 +593,12 @@ class ChannelPeer:
         view[...] = array
         return ArraySlot(name=name, shape=tuple(array.shape),
                          dtype=str(array.dtype))
+
+    def read_state(self, slot: StateSlot,
+                   verify: bool = True) -> Dict[str, np.ndarray]:
+        """Copy a whole state dict out of the named segment (verified)."""
+        segment = self._attach(slot.name)
+        return _unpack_state(segment.buf, slot, verify=verify)
 
     def close(self) -> None:
         """Drop every attachment (never unlinks)."""

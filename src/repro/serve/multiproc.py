@@ -12,13 +12,30 @@ flight at once.
 Replica shipping
 ----------------
 A model version crosses the process boundary **once**, at
-:meth:`~MultiprocBackend.ensure_loaded` time: the parent ships the
-store entry's picklable factory + ``state_dict`` + weight fingerprint
-through the session pipe, and the worker rebuilds and folds the replica
-locally (:func:`repro.nn.fold.folded_replica`), refusing to serve if
-the rebuilt weights hash differently from the fingerprint.  Entries
-registered without a factory fall back to shipping the pickled module
-itself — same bits, just a fatter one-time payload.
+:meth:`~MultiprocBackend.ensure_loaded` time — and, by default, zero
+bytes of it travel through the pipe: the parent parks the entry's
+``state_dict`` in the backend-wide
+:class:`~repro.parallel.shm.StateChannel` and ships only a tiny
+:class:`~repro.parallel.shm.StateSlot` descriptor + factory +
+fingerprint; every worker copies the state out of shared memory,
+rebuilds and folds the replica locally
+(:func:`repro.nn.fold.folded_replica`), refusing to serve if the
+rebuilt weights hash differently from the fingerprint.  When shared
+memory is unavailable the state dict pickles through the pipe instead
+(same bits, fatter payload); entries registered without a factory ship
+the pickled module itself.
+
+Prefetch + warm-up
+------------------
+:meth:`ensure_loaded` is cheap enough to run at *registration* time,
+which is exactly what the serving layer does when replica prefetch is
+on: state ships to every worker before the first request exists, and
+:meth:`warm_up` then runs one fixed-compute-width forward per worker so
+the first real batch pays no lazy-initialization spike (kernel plans,
+im2col scratch, channel attachments, grown shm lanes).  A worker that
+dies while a replica is shipping is detected by the session layer,
+respawned, and re-shipped everything it held — the backend stays
+usable through the crash.
 
 Shared-memory return path
 -------------------------
@@ -60,9 +77,10 @@ import numpy as np
 from ..nn.fold import folded_replica, inference_copy
 from ..nn.tensor import Tensor
 from ..nn.threading import set_intra_op_threads
-from ..parallel.pool import resolve_workers
+from ..parallel.pool import WorkerError, resolve_workers
 from ..parallel.session import WorkerSession
-from ..parallel.shm import ArrayChannel, ArraySlot, ChannelPeer
+from ..parallel.shm import (ArrayChannel, ArraySlot, ChannelPeer,
+                            StateChannel, StateSlot)
 from . import batcher as _batcher
 
 
@@ -85,7 +103,21 @@ class ReplicaWorker:
         return os.getpid()
 
     def load(self, key, factory, state, fingerprint) -> int:
-        """Materialize a replica from a shipped state dict (verified)."""
+        """Materialize a replica from a pipe-shipped state dict (verified)."""
+        self._replicas[tuple(key)] = folded_replica(
+            factory, state, expected_fingerprint=fingerprint)
+        return os.getpid()
+
+    def load_state(self, key, factory, slot: StateSlot, fingerprint) -> int:
+        """Materialize a replica from a state dict parked in shared memory.
+
+        Only the slot descriptor crossed the pipe; the arrays are copied
+        out of the backend's state lane here, content-verified against
+        the slot fingerprint, and the rebuilt replica is verified again
+        against the registration fingerprint — a torn ship cannot serve
+        a single divergent bit.
+        """
+        state = self._peer.read_state(slot)
         self._replicas[tuple(key)] = folded_replica(
             factory, state, expected_fingerprint=fingerprint)
         return os.getpid()
@@ -97,6 +129,20 @@ class ReplicaWorker:
 
     def loaded_keys(self) -> List[tuple]:
         return sorted(self._replicas)
+
+    def warm(self, key, batch_shape) -> int:
+        """One zeros forward at the fixed width, no lanes involved.
+
+        The recovery-time warm-up: the batch is materialized worker-side
+        and nothing returns but the pid, so this cannot race another
+        thread's in-flight writes to the handle's array lanes — the
+        session pipe alone serializes it.
+        """
+        replica = self._replicas.get(tuple(key))
+        if replica is None:
+            raise KeyError(f"no replica for {key!r} in worker {os.getpid()}")
+        replica(Tensor(np.zeros(tuple(batch_shape), dtype=np.float32)))
+        return os.getpid()
 
     def infer(self, key, slot: ArraySlot, out_name: Optional[str],
               out_capacity: int) -> dict:
@@ -123,6 +169,7 @@ class _WorkerHandle:
 
     def __init__(self, index: int, intra_op_threads: int,
                  context: Optional[str], input_bytes: int, output_bytes: int):
+        self.index = index
         # Channels before the session: the first shm creation spawns the
         # resource-tracker process, and forked workers should inherit it
         # rather than each spawning their own.
@@ -131,6 +178,16 @@ class _WorkerHandle:
         self.session = WorkerSession(
             functools.partial(ReplicaWorker, intra_op_threads),
             context=context, name=f"repro-serve-worker-{index}")
+
+    def respawn(self, timeout: float = 10.0) -> None:
+        """Replace a dead worker process; the parent-owned lanes survive.
+
+        The fresh process starts with no replicas and no channel
+        attachments — the backend re-ships every loaded key right after
+        (``MultiprocBackend._recover_handle``); the first call simply
+        re-attaches the lanes by name.
+        """
+        self.session = self.session.respawn(timeout=timeout)
 
     def close(self, timeout: float = 10.0) -> None:
         self.session.close(timeout=timeout)
@@ -196,12 +253,28 @@ class MultiprocBackend:
             max_workers=self.workers,
             thread_name_prefix="repro-serve-dispatch")
         self._ship_lock = threading.Lock()
+        # Serializes warm-up sweeps: each drains the whole idle queue,
+        # so two concurrent sweeps would deadlock holding one handle
+        # each while waiting for the other's.
+        self._warm_lock = threading.Lock()
         self._shipped: Dict[Hashable, str] = {}     # key -> fingerprint
+        self._entries: Dict[Hashable, object] = {}  # key -> store entry
+        # One backend-wide state lane: the parent parks a version's
+        # state dict once and every worker copies it out — N replicas,
+        # one write.  Lazy (zero bytes until the first ship); if shared
+        # memory turns out to be unavailable, each ship falls back to
+        # the pipe in _prepare_payload.
+        self._state_lane: Optional[StateChannel] = StateChannel()
         self._stats_lock = threading.Lock()
         self._batches = 0
         self._shm_returns = 0
         self._pipe_returns = 0
+        self._state_shm_ships = 0
+        self._state_pipe_ships = 0
+        self._respawns = 0
         self._infer_counts = [0] * self.workers
+        self._warmup_counts = [0] * self.workers
+        self._warmed: set = set()                   # (key, batch shape)
         self._closed = False
         _LIVE.add(self)
 
@@ -213,7 +286,9 @@ class MultiprocBackend:
         with ``fingerprint``, ``replica_payload()``).  Re-shipping the
         same key is a no-op; shipping a key whose fingerprint changed is
         rejected — registered models are immutable, hot-swap a new
-        version instead.
+        version instead.  A worker that dies while the replica ships is
+        respawned, re-shipped its prior replicas, and retried once —
+        the backend survives a crash-mid-prefetch.
         """
         shipped = self._shipped.get(key)
         if shipped == entry.fingerprint:
@@ -227,16 +302,134 @@ class MultiprocBackend:
                     f"model {key!r} was re-registered with different "
                     f"weights after its replicas shipped; register a new "
                     f"version and hot-swap instead")
-            payload = entry.replica_payload()
+            payload = self._prepare_payload(entry)
             for handle in self._handles:
-                if payload["kind"] == "state":
-                    handle.session.call(
-                        "load", key, payload["factory"], payload["state"],
-                        payload["fingerprint"], timeout=self.call_timeout)
-                else:
-                    handle.session.call("load_model", key, payload["model"],
-                                        timeout=self.call_timeout)
+                try:
+                    self._ship_to_handle(handle, key, payload)
+                except WorkerError:
+                    if handle.session.alive:
+                        raise       # handler-side failure, not a crash
+                    self._recover_handle_locked(handle)
+                    # Recovery re-parked the dead worker's prior
+                    # replicas through the state lane, so the in-flight
+                    # slot is stale — re-park before retrying.
+                    payload = self._prepare_payload(entry)
+                    self._ship_to_handle(handle, key, payload)
             self._shipped[key] = entry.fingerprint
+            self._entries[key] = entry
+
+    def _prepare_payload(self, entry) -> dict:
+        """Entry payload plus, when possible, its state parked in shm."""
+        payload = entry.replica_payload()
+        if payload["kind"] == "state" and self._state_lane is not None:
+            try:
+                payload = dict(payload)
+                payload["slot"] = self._state_lane.write_state(
+                    payload["state"])
+            except OSError:
+                payload.pop("slot", None)
+        return payload
+
+    def _ship_to_handle(self, handle: _WorkerHandle, key: Hashable,
+                        payload: dict) -> None:
+        if payload["kind"] != "state":
+            handle.session.call("load_model", key, payload["model"],
+                                timeout=self.call_timeout)
+            return
+        slot = payload.get("slot")
+        if slot is not None:
+            handle.session.call("load_state", key, payload["factory"],
+                                slot, payload["fingerprint"],
+                                timeout=self.call_timeout)
+            with self._stats_lock:
+                self._state_shm_ships += 1
+        else:
+            handle.session.call("load", key, payload["factory"],
+                                payload["state"], payload["fingerprint"],
+                                timeout=self.call_timeout)
+            with self._stats_lock:
+                self._state_pipe_ships += 1
+
+    def _recover_handle_locked(self, handle: _WorkerHandle) -> None:
+        """Respawn a dead worker and re-ship everything it held.
+
+        Caller holds ``_ship_lock``.  The fresh process re-attaches the
+        parent-owned lanes on first use; replicas for every
+        already-shipped key are rebuilt from their (still parked or
+        re-parked) payloads, and every warm-up the pool already ran is
+        replayed worker-side (lane-free ``warm`` calls, so a concurrent
+        dispatch on another thread cannot be raced) — the worker
+        rejoins the pool fully warm, not just fully loaded.
+        """
+        handle.respawn()
+        with self._stats_lock:
+            self._respawns += 1
+        for shipped_key, shipped_entry in self._entries.items():
+            self._ship_to_handle(handle, shipped_key,
+                                 self._prepare_payload(shipped_entry))
+        for warmed_key, batch_shape in sorted(self._warmed):
+            if warmed_key in self._entries:
+                handle.session.call("warm", warmed_key, batch_shape,
+                                    timeout=self.call_timeout)
+                with self._stats_lock:
+                    self._warmup_counts[handle.index] += 1
+
+    # -- warm-up -------------------------------------------------------
+    def warm_up(self, key: Hashable, input_shape, width: int) -> int:
+        """Run one fixed-width zeros forward per worker for ``key``.
+
+        Pays every first-use cost up front — kernel planning, im2col
+        scratch allocation, worker channel attachments, return-lane
+        growth — so the first *real* batch at this width runs at
+        steady-state latency.  Idempotent per (key, batch shape);
+        returns the number of worker forwards actually run.
+        """
+        batch_shape = (int(width),) + tuple(int(dim) for dim in input_shape)
+        mark = (key, batch_shape)
+        with self._ship_lock:
+            if key not in self._shipped:
+                raise KeyError(
+                    f"no replica shipped for {key!r}; call ensure_loaded() "
+                    f"before warming it up")
+            if mark in self._warmed:
+                return 0
+        batch = np.zeros(batch_shape, dtype=np.float32)
+        warmed = 0
+        # One sweep at a time (_warm_lock): a sweep drains the whole
+        # idle queue, so concurrent sweeps would each hold part of the
+        # pool while waiting for the rest.  In-flight batches simply
+        # delay their handle's turn.
+        held: List[_WorkerHandle] = []
+        with self._warm_lock:
+            try:
+                for _ in range(len(self._handles)):
+                    handle = self._idle.get()
+                    held.append(handle)
+                    try:
+                        self._infer_on(handle, key, batch)
+                    except WorkerError:
+                        # Same recovery as _run: never hand a corpse
+                        # back to the idle queue — respawn, re-ship,
+                        # and retry this worker's warm-up once.
+                        if handle.session.alive:
+                            raise
+                        with self._ship_lock:
+                            if not handle.session.alive:
+                                self._recover_handle_locked(handle)
+                        self._infer_on(handle, key, batch)
+                    with self._stats_lock:
+                        self._warmup_counts[handle.index] += 1
+                    warmed += 1
+            finally:
+                for handle in held:
+                    self._idle.put(handle)
+        # Mark only after every worker actually warmed: a failed warm-up
+        # (worker died mid-forward) must stay retryable, not be recorded
+        # as done.  A concurrent duplicate warm-up is merely idempotent
+        # extra forwards.
+        with self._ship_lock:
+            self._warmed.add(mark)
+        return warmed
 
     def shipped_keys(self) -> List[Hashable]:
         with self._ship_lock:
@@ -257,6 +450,30 @@ class MultiprocBackend:
             raise RuntimeError("backend is closed")
         return self._executor.submit(self._run, key, batch)
 
+    def _infer_on(self, handle: _WorkerHandle, key: Hashable,
+                  batch: np.ndarray, record: bool = False) -> np.ndarray:
+        """One forward on one leased worker (lanes out, logits back)."""
+        slot = handle.input.write(batch)
+        reply = handle.session.call(
+            "infer", key, slot, handle.output.name,
+            handle.output.capacity, timeout=self.call_timeout)
+        if reply["via"] == "shm":
+            logits = handle.output.read(reply["slot"])
+            if record:
+                with self._stats_lock:
+                    self._batches += 1
+                    self._shm_returns += 1
+        else:
+            logits = reply["logits"]
+            # Grow the return lane so the next batch of this shape
+            # comes back through shared memory.
+            handle.output.ensure(reply["needed_bytes"])
+            if record:
+                with self._stats_lock:
+                    self._batches += 1
+                    self._pipe_returns += 1
+        return logits
+
     def _run(self, key: Hashable, batch: np.ndarray) -> np.ndarray:
         if key not in self._shipped:
             raise KeyError(
@@ -265,25 +482,17 @@ class MultiprocBackend:
         handle = self._idle.get()
         try:
             with self._stats_lock:
-                self._infer_counts[self._handles.index(handle)] += 1
-            slot = handle.input.write(batch)
-            reply = handle.session.call(
-                "infer", key, slot, handle.output.name,
-                handle.output.capacity, timeout=self.call_timeout)
-            if reply["via"] == "shm":
-                logits = handle.output.read(reply["slot"])
-                with self._stats_lock:
-                    self._batches += 1
-                    self._shm_returns += 1
-            else:
-                logits = reply["logits"]
-                # Grow the return lane so the next batch of this shape
-                # comes back through shared memory.
-                handle.output.ensure(reply["needed_bytes"])
-                with self._stats_lock:
-                    self._batches += 1
-                    self._pipe_returns += 1
-            return logits
+                self._infer_counts[handle.index] += 1
+            return self._infer_on(handle, key, batch, record=True)
+        except WorkerError:
+            # Fail this batch (its future sees the error) but leave the
+            # pool healthy: a crashed worker is respawned and re-shipped
+            # so the *next* batch dispatched to it serves normally.
+            if not handle.session.alive:
+                with self._ship_lock:
+                    if not handle.session.alive:
+                        self._recover_handle_locked(handle)
+            raise
         finally:
             self._idle.put(handle)
 
@@ -292,7 +501,11 @@ class MultiprocBackend:
         with self._stats_lock:
             batches, shm, pipe = (self._batches, self._shm_returns,
                                   self._pipe_returns)
+            state_shm, state_pipe = (self._state_shm_ships,
+                                     self._state_pipe_ships)
+            respawns = self._respawns
             infers = list(self._infer_counts)
+            warmups = list(self._warmup_counts)
         return {
             "kind": "multiproc",
             "workers": self.workers,
@@ -302,10 +515,18 @@ class MultiprocBackend:
             "batches": batches,
             "shm_returns": shm,
             "pipe_returns": pipe,
+            # Replica state shipments by transport (per worker × key):
+            # a healthy shm-enabled backend shows zero pipe ships.
+            "state_shm_ships": state_shm,
+            "state_pipe_ships": state_pipe,
+            "respawns": respawns,
             # Inference dispatches only — session.calls also counts the
             # one-time replica shipments, so it can never read 0 and is
             # useless for "did this worker actually serve?" checks.
             "infers_per_worker": infers,
+            # Warm-up forwards are counted apart from served batches so
+            # "did this worker serve real traffic?" stays answerable.
+            "warmups_per_worker": warmups,
             "calls_per_worker": [handle.session.calls
                                  for handle in self._handles],
         }
@@ -329,8 +550,12 @@ class MultiprocBackend:
             # so its dispatch thread errors out promptly instead of
             # sitting in call_timeout.
             handle.close(timeout=timeout)
+        if self._state_lane is not None:
+            self._state_lane.unlink()
         with self._ship_lock:
             self._shipped.clear()
+            self._entries.clear()
+            self._warmed.clear()
 
     def __enter__(self) -> "MultiprocBackend":
         return self

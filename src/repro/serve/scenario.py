@@ -69,11 +69,15 @@ def serving_store(result: PipelineResult, name: Optional[str] = None,
     cfg = result.config
     name = name or cfg.model
     store = store or ModelStore()
+    profile = get_profile(cfg.dataset)
     # Every stage model came out of build_model(cfg.model, ...), so a
     # picklable ModelSpec can rebuild the architecture worker-side —
     # multi-process serving then ships state dicts, not pickled modules.
-    spec = ModelSpec(cfg.model, get_profile(cfg.dataset).num_classes,
-                     scale=cfg.model_scale)
+    spec = ModelSpec(cfg.model, profile.num_classes, scale=cfg.model_scale)
+    # The registered input shape lets the serving layer prefetch *and*
+    # warm every version at the fixed compute width before traffic.
+    input_shape = (spec.in_channels, profile.spec.image_size,
+                   profile.spec.image_size)
     stages = (("poison", result.poison_model),
               ("camouflage", result.camouflage_model),
               ("unlearned", result.unlearned_model))
@@ -82,6 +86,7 @@ def serving_store(result: PipelineResult, name: Optional[str] = None,
         if model is None:
             continue
         store.register(name, model, version=stage, spec=spec,
+                       input_shape=input_shape,
                        metadata={"stage": stage, "dataset": cfg.dataset,
                                  "attack": cfg.attack})
         registered.append(stage)
@@ -100,14 +105,16 @@ def build_reveil_serving(cfg: PipelineConfig,
                          screen: Optional[ScreenConfig] = ScreenConfig(),
                          overlay_count: int = 32,
                          serve_workers: int = 1,
-                         response_cache: int = 0) -> ReVeilServing:
+                         response_cache: int = 0,
+                         prefetch_replicas: bool = True) -> ReVeilServing:
     """Train the scenario and assemble the serving stack around it.
 
     ``screen=None`` disables online screening.  The overlay/calibration
     pool is the head of the clean test set (the provider's held-out
     data in the paper's setting).  ``serve_workers`` >= 2 serves through
     per-process folded replicas; ``response_cache`` > 0 enables the
-    exact-response LRU (both per :class:`InferenceServer`).
+    exact-response LRU; ``prefetch_replicas`` ships and warms every
+    version before the first request (all per :class:`InferenceServer`).
     """
     result = run_pipeline(cfg, stages=("camouflage", "unlearn"))
     store = serving_store(result)
@@ -118,7 +125,8 @@ def build_reveil_serving(cfg: PipelineConfig,
         screening = OnlineStrip(overlay_pool=overlays, config=screen)
     server = InferenceServer(store, policy=policy, screening=screening,
                              workers=serve_workers,
-                             response_cache=response_cache)
+                             response_cache=response_cache,
+                             prefetch_replicas=prefetch_replicas)
     return ReVeilServing(server=server, store=store, model_name=cfg.model,
                          result=result, clean_test=result.clean_test,
                          attack_test=result.attack_test,

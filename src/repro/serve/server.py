@@ -111,6 +111,15 @@ class InferenceServer:
         queue slot and run no forward.
     mp_context:
         multiprocessing start method for the worker processes.
+    prefetch_replicas:
+        Warm every registered version *before* its first request
+        (default on): replicas ship to all worker processes at
+        construction / registration time instead of lazily, the STRIP
+        screen calibrates, and — for entries registered with an
+        ``input_shape`` — one fixed-compute-width warm-up forward runs
+        per worker (or inline), so the first real batch pays no
+        cold-start spike.  The lazy path stays as a safety net either
+        way.
     """
 
     def __init__(self, store: ModelStore,
@@ -118,7 +127,8 @@ class InferenceServer:
                  screening: Optional[OnlineStrip] = None,
                  workers: int = 1,
                  response_cache: int = 0,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 prefetch_replicas: bool = True):
         self.store = store
         self.policy = policy
         self.screening = screening
@@ -134,6 +144,57 @@ class InferenceServer:
                                     post_batch=self._post_batch
                                     if screening is not None else None,
                                     backend=self.backend)
+        self.prefetch_replicas = prefetch_replicas
+        self._closing = False
+        self._warm_lock = threading.Lock()
+        self._warmed_inline: set = set()
+        if prefetch_replicas:
+            # Everything registered so far, then everything registered
+            # (or hot-swapped) while this server lives.  A failed
+            # prefetch fails construction loudly — but never leaks the
+            # worker processes and shm lanes built above.
+            try:
+                for entry in store.all_entries():
+                    self._prefetch_entry(entry)
+            except BaseException:
+                self.close()
+                raise
+            store.subscribe(self._on_store_event)
+
+    # -- prefetch / warm-up --------------------------------------------
+    def _on_store_event(self, event: str, entry) -> None:
+        if not self._closing:
+            self._prefetch_entry(entry)
+
+    def _prefetch_entry(self, entry) -> None:
+        """Make ``entry`` fully warm before any request names it.
+
+        Ships the replica to every worker process (shared-memory state
+        transport), calibrates the screening boundary, and runs one
+        forward at the fixed compute width per worker — after this, the
+        first real request for the version does no lazy work at all.
+        """
+        key = entry.key
+        if self.backend is not None:
+            self.backend.ensure_loaded(key, entry)
+        else:
+            self.store.folded(*key)      # build the folded copy now
+        if self.screening is not None:
+            self.screening.ensure_bound(key, self.store.folded(*key))
+        if entry.input_shape is None:
+            return                       # no shape, no warm-up forward
+        width = self.policy.max_batch_size
+        if self.backend is not None:
+            self.backend.warm_up(key, entry.input_shape, width)
+            return
+        mark = (key, (width,) + tuple(entry.input_shape))
+        with self._warm_lock:
+            if mark in self._warmed_inline:
+                return
+            self._warmed_inline.add(mark)
+        batch = np.zeros((width,) + tuple(entry.input_shape),
+                         dtype=np.float32)
+        self.store.folded(*key)(Tensor(batch))
 
     # -- scheduler callbacks -------------------------------------------
     def _infer(self, key: ModelKey, batch: np.ndarray) -> np.ndarray:
@@ -221,6 +282,10 @@ class InferenceServer:
                 "pad_to_full": self.policy.pad_to_full,
             },
             "models": self.store.describe(),
+            "prefetch": {
+                "enabled": self.prefetch_replicas,
+                "warmed_inline": len(self._warmed_inline),
+            },
         }
         if self.cache is not None:
             payload["response_cache"] = self.cache.stats()
@@ -234,6 +299,9 @@ class InferenceServer:
         Order matters: the batcher drain waits for in-flight batches,
         which need the worker processes still alive to complete.
         """
+        self._closing = True     # store events must stop warming workers
+        if self.prefetch_replicas:
+            self.store.unsubscribe(self._on_store_event)
         self.batcher.close()
         if self.backend is not None:
             self.backend.close()

@@ -12,16 +12,23 @@ fires a small concurrent load through the stdlib client, and asserts:
   batch through worker-process replicas rebuilt from shipped state
   dicts;
 - with ``--serve-workers`` >= 2, the shared-memory return path actually
-  carried the logits (no silent pipe fallback) and every worker
-  process served traffic;
+  carried the logits (no silent pipe fallback), replica state shipped
+  via shared memory (not the pipe), and every worker process served
+  traffic;
+- with prefetch on (the default), replicas shipped and warm-up
+  forwards ran *before* the first request, so not a single batch falls
+  back to the pipe while lanes size themselves;
 - with ``--response-cache`` > 0, a replayed request is answered from
   the cache with bit-identical logits;
-- the online STRIP screen reported a flag rate for the served version.
+- the online STRIP screen reported a flag rate for the served version;
+- every shared-memory segment the run created is gone after close —
+  the serving stack leaks nothing.
 
 Run::
 
     PYTHONPATH=src python -m repro.serve.smoke [--timeout 120] \
-        [--p50-ms 2000] [--serve-workers 2] [--response-cache 64]
+        [--p50-ms 2000] [--serve-workers 2] [--response-cache 64] \
+        [--no-prefetch-replicas]
 
 Exit code 0 on success, 1 on any violation.
 """
@@ -38,6 +45,7 @@ from .. import nn
 from ..data.registry import load_dataset
 from ..models.registry import build_model
 from ..nn.tensor import Tensor
+from ..parallel.shm import leaked_segments, shm_segment_names
 from ..parallel.tasks import ModelSpec
 from .batcher import BatchPolicy
 from .client import ServingClient, run_load
@@ -60,6 +68,10 @@ def main(argv=None) -> int:
                              ">= 2 = that many worker processes, 0 = auto)")
     parser.add_argument("--response-cache", type=int, default=16,
                         help="exact-response LRU capacity (0 disables)")
+    parser.add_argument("--prefetch-replicas",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="ship + warm replicas before the first request "
+                             "(the serving default)")
     args = parser.parse_args(argv)
     if args.serve_workers < 0:
         parser.error("--serve-workers must be >= 0 (0 = one per core)")
@@ -67,6 +79,7 @@ def main(argv=None) -> int:
         parser.error("--response-cache must be >= 0 (0 = disabled)")
 
     start = time.perf_counter()
+    shm_before = shm_segment_names()
     _, test, profile = load_dataset("unit", seed=0)
     nn.manual_seed(0)
     model = build_model("small_cnn", profile.num_classes, scale="tiny")
@@ -75,17 +88,31 @@ def main(argv=None) -> int:
     store = ModelStore()
     store.register("smoke", model, version="v1",
                    spec=ModelSpec("small_cnn", profile.num_classes,
-                                  scale="tiny"))
+                                  scale="tiny"),
+                   input_shape=test.images.shape[1:])
     policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
     screening = OnlineStrip(overlay_pool=test.subset(range(16)),
                             config=ScreenConfig(num_overlays=2))
     inference = InferenceServer(store, policy=policy, screening=screening,
                                 workers=args.serve_workers,
-                                response_cache=args.response_cache)
+                                response_cache=args.response_cache,
+                                prefetch_replicas=args.prefetch_replicas)
     multiproc = inference.backend is not None
     print(f"serving smoke: workers={inference.workers} "
           f"({'multiproc' if multiproc else 'inline'}), "
-          f"response_cache={args.response_cache}")
+          f"response_cache={args.response_cache}, "
+          f"prefetch={'on' if args.prefetch_replicas else 'off'}")
+    if multiproc and args.prefetch_replicas:
+        shipped = inference.backend.stats()
+        if shipped["shipped"] != ["smoke/v1"]:
+            print(f"SMOKE FAIL: prefetch did not ship the replica before "
+                  f"traffic (shipped={shipped['shipped']})", file=sys.stderr)
+            return 1
+        if any(count < 1 for count in shipped["warmups_per_worker"]):
+            print(f"SMOKE FAIL: warm-up skipped a worker "
+                  f"(warmups_per_worker={shipped['warmups_per_worker']})",
+                  file=sys.stderr)
+            return 1
     httpd = start_http_server(inference)
     try:
         client = ServingClient(httpd.url)
@@ -132,13 +159,20 @@ def main(argv=None) -> int:
 
         if multiproc:
             backend = inference.backend.stats()
-            if backend["pipe_returns"] > 1:
-                # One fallback per replica/shape while the return lane
-                # sizes itself is tolerable; a steady stream means the
-                # shm path is broken.
+            # With prefetch + warm-up the lanes are sized before any
+            # traffic, so not even the first batch may fall back; lazy
+            # mode tolerates one fallback per replica/shape while the
+            # return lane sizes itself.
+            pipe_budget = 0 if args.prefetch_replicas else 1
+            if backend["pipe_returns"] > pipe_budget:
                 print(f"SMOKE FAIL: {backend['pipe_returns']} batches fell "
-                      f"back to pipe returns (shm path broken?)",
-                      file=sys.stderr)
+                      f"back to pipe returns (budget {pipe_budget}; shm "
+                      f"path broken?)", file=sys.stderr)
+                return 1
+            if backend["state_pipe_ships"] > 0:
+                print(f"SMOKE FAIL: {backend['state_pipe_ships']} replica "
+                      f"states shipped through the pipe (state shm lane "
+                      f"broken?)", file=sys.stderr)
                 return 1
             idle = [count for count in backend["infers_per_worker"]
                     if count == 0]
@@ -151,8 +185,10 @@ def main(argv=None) -> int:
             print(f"multiproc: {backend['batches']} batches over "
                   f"{backend['workers']} workers "
                   f"(infers {backend['infers_per_worker']}, "
+                  f"warmups {backend['warmups_per_worker']}, "
                   f"{backend['shm_returns']} shm returns, "
-                  f"{backend['pipe_returns']} pipe fallbacks)")
+                  f"{backend['pipe_returns']} pipe fallbacks, "
+                  f"{backend['state_shm_ships']} shm state ships)")
 
         if args.response_cache:
             replay = client.predict("smoke", image)
@@ -184,6 +220,12 @@ def main(argv=None) -> int:
     finally:
         stop_http_server(httpd)
         inference.close()
+
+    leaked = leaked_segments(shm_before)
+    if leaked:
+        print(f"SMOKE FAIL: {len(leaked)} shared-memory segments leaked "
+              f"after close: {leaked[:8]}", file=sys.stderr)
+        return 1
 
     elapsed = time.perf_counter() - start
     if elapsed > args.timeout:

@@ -50,6 +50,11 @@ class ModelEntry:
     #: processes materialize their replicas from ``factory() +
     #: state_dict`` instead of unpickling the whole module.
     spec: Optional[Callable[[], Module]] = None
+    #: Per-input shape (e.g. ``(3, 32, 32)``), when the registrar knows
+    #: it.  Lets the serving layer run warm-up forwards at the fixed
+    #: compute width right after replicas ship, so the first real batch
+    #: pays no lazy-initialization cost.
+    input_shape: Optional[Tuple[int, ...]] = None
     fingerprint: str = field(init=False, repr=False)
     _folded: Optional[Module] = field(init=False, repr=False, default=None)
 
@@ -113,17 +118,47 @@ class ModelStore:
         self._lock = threading.Lock()
         self._entries: Dict[str, Dict[str, ModelEntry]] = {}
         self._active: Dict[str, str] = {}
+        self._listeners: List[Callable[[str, ModelEntry], None]] = []
 
     # -- registration --------------------------------------------------
+    def subscribe(self, listener: Callable[[str, ModelEntry], None]) -> None:
+        """Call ``listener(event, entry)`` after every ``"register"`` /
+        ``"activate"``.  Listeners run outside the store lock, in the
+        registering thread; the serving layer uses this to prefetch and
+        warm worker replicas the moment a version exists, instead of on
+        its first request.  Listener exceptions propagate to the caller
+        (a failed prefetch should fail the registration loudly)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[str, ModelEntry], None]) -> None:
+        """Remove a listener (no-op if absent) — servers detach on close
+        so a long-lived store never accumulates dead subscribers."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify(self, event: str, entry: ModelEntry) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(event, entry)
+
     def register(self, name: str, model: Module, version: Optional[str] = None,
                  metadata: Optional[Dict[str, str]] = None,
                  activate: bool = True,
-                 spec: Optional[Callable[[], Module]] = None) -> str:
+                 spec: Optional[Callable[[], Module]] = None,
+                 input_shape: Optional[Tuple[int, ...]] = None) -> str:
         """Register ``model`` as ``name/version``; returns the version.
 
         ``spec`` (optional) is a picklable zero-arg architecture factory
         letting multi-process serving ship this version to workers as a
-        state dict instead of a pickled module.
+        state dict instead of a pickled module.  ``input_shape``
+        (optional) is the per-input array shape; providing it lets the
+        serving layer warm this version up (replica ship + fixed-width
+        forward) before the first request arrives.
         """
         if not name:
             raise ValueError("model name must be non-empty")
@@ -133,17 +168,22 @@ class ModelStore:
                 version = f"v{len(versions) + 1}"
             if version in versions:
                 raise ValueError(f"{name}/{version} is already registered")
-            versions[version] = ModelEntry(name, version, model,
-                                           dict(metadata or {}), spec=spec)
+            entry = ModelEntry(name, version, model, dict(metadata or {}),
+                               spec=spec,
+                               input_shape=(tuple(input_shape)
+                                            if input_shape else None))
+            versions[version] = entry
             if activate or name not in self._active:
                 self._active[name] = version
+        self._notify("register", entry)
         return version
 
     def activate(self, name: str, version: str) -> None:
         """Make ``version`` the one unversioned requests resolve to."""
         with self._lock:
-            self._entry_locked(name, version)
+            entry = self._entry_locked(name, version)
             self._active[name] = version
+        self._notify("activate", entry)
 
     # -- lookup --------------------------------------------------------
     def _entry_locked(self, name: str, version: Optional[str]) -> ModelEntry:
@@ -174,6 +214,13 @@ class ModelStore:
         return self.entry(name, version).folded()
 
     # -- introspection -------------------------------------------------
+    def all_entries(self) -> List[ModelEntry]:
+        """Every registered entry, name/version order (prefetch sweep)."""
+        with self._lock:
+            return [versions[version]
+                    for _, versions in sorted(self._entries.items())
+                    for version in sorted(versions)]
+
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._entries)

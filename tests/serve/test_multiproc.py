@@ -97,7 +97,11 @@ class TestReplicaShipping:
             server.close()
 
     def test_hot_swap_ships_new_version_lazily(self, images):
-        server = InferenceServer(make_store(), policy=POLICY, workers=2)
+        # prefetch_replicas=False pins the opt-out contract: a freshly
+        # registered version ships on first use, not at registration
+        # (the eager default is covered by tests/serve/test_prefetch.py).
+        server = InferenceServer(make_store(), policy=POLICY, workers=2,
+                                 prefetch_replicas=False)
         try:
             first = server.predict("m", images[0])
             assert first.version == "v1"
