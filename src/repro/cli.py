@@ -126,6 +126,7 @@ def cmd_sweep_sigma(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from .reliability import ReliabilityConfig, RetryPolicy
     from .serve import (BatchPolicy, ScreenConfig, build_reveil_serving,
                         start_http_server, stop_http_server)
     cfg = _config_from(args)
@@ -134,13 +135,17 @@ def cmd_serve(args) -> int:
                          max_queue=args.max_queue)
     screen = None if args.no_screen else ScreenConfig(
         num_overlays=args.screen_overlays)
+    reliability = ReliabilityConfig(
+        retry=RetryPolicy(max_attempts=max(1, args.worker_retries),
+                          deadline_s=args.worker_deadline))
     print(f"training ReVeil deployment scenario: {cfg.dataset}/{cfg.attack} "
           f"(camouflage + unlearn stages)...")
     start = time.time()
     serving = build_reveil_serving(cfg, policy=policy, screen=screen,
                                    serve_workers=args.serve_workers,
                                    response_cache=args.response_cache,
-                                   prefetch_replicas=args.prefetch_replicas)
+                                   prefetch_replicas=args.prefetch_replicas,
+                                   reliability=reliability)
     print(f"trained in {time.time() - start:.0f}s")
     httpd = start_http_server(serving.server, host=args.host, port=args.port)
     name = serving.model_name
@@ -276,6 +281,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "first request (kills the first-batch latency "
                         "spike); --no-prefetch-replicas restores lazy "
                         "load-on-first-request")
+    p.add_argument("--worker-retries", type=int, default=3,
+                   help="attempts per batch across worker failures "
+                        "(crashes, stalls) before the request errors; "
+                        "retries are bit-identical by the fixed-width "
+                        "contract (default 3)")
+    p.add_argument("--worker-deadline", type=float, default=None,
+                   help="per-worker-call deadline in seconds; a call past "
+                        "it is treated as a stall and the worker is "
+                        "respawned (default: no deadline)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("client",

@@ -50,15 +50,16 @@ from .pool import WorkerError, default_context, resolve_workers, run_tasks
 from .session import WorkerSession
 from .shm import (ArrayChannel, ArraySlot, ChannelPeer, SharedDataset,
                   SharedDatasetHandle, StateCapacityError, StateChannel,
-                  StateSlot, leaked_segments, share_dataset,
-                  shm_segment_names, state_fingerprint, write_states_to)
+                  StateSlot, StateVerifyError, leaked_segments,
+                  share_dataset, shm_segment_names, state_fingerprint,
+                  write_states_to)
 from .tasks import ModelSpec, ShardTrainResult, ShardTrainTask, StageSpec
 
 __all__ = [
     "WorkerError", "default_context", "resolve_workers", "run_tasks",
     "WorkerSession",
     "ArrayChannel", "ArraySlot", "ChannelPeer",
-    "StateChannel", "StateSlot", "StateCapacityError",
+    "StateChannel", "StateSlot", "StateCapacityError", "StateVerifyError",
     "state_fingerprint", "write_states_to",
     "shm_segment_names", "leaked_segments",
     "SharedDataset", "SharedDatasetHandle", "share_dataset",

@@ -23,6 +23,7 @@ parent still owns.
 
 from __future__ import annotations
 
+import errno
 import multiprocessing as mp
 import pickle
 import traceback
@@ -33,6 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 from ..nn.threading import available_cpu_count
+from ..reliability import faults as _faults
 from .shm import StateChannel
 
 
@@ -131,6 +133,13 @@ def state_return_lanes(sizes: Sequence[int],
     try:
         for nbytes in sizes:
             try:
+                if _faults.ACTIVE is not None:
+                    fault = _faults.ACTIVE.check("pool.state_lane")
+                    if fault is not None and fault.kind == "oserror":
+                        raise OSError(
+                            errno.ENOSPC,
+                            "injected: no space left on /dev/shm for a "
+                            "state return lane")
                 lanes.append(StateChannel(nbytes))
             except OSError:
                 lanes.append(None)

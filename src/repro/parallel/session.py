@@ -40,6 +40,7 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+from ..reliability import faults as _faults
 from .pool import WorkerError, _Outcome, default_context
 
 #: Sentinel method name asking the worker loop to exit cleanly.
@@ -130,7 +131,9 @@ class WorkerSession:
         child_conn.close()
         self._conn = parent_conn
         self._lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._closed = False
+        self._poisoned = False
         self.calls = 0
 
     @property
@@ -141,6 +144,17 @@ class WorkerSession:
     def alive(self) -> bool:
         return self._proc.is_alive()
 
+    @property
+    def poisoned(self) -> bool:
+        """True once a call timed out: the pipe may hold a stale reply.
+
+        A timed-out round-trip desynchronizes the request/reply stream —
+        the worker's (late) answer would be read as the reply to the
+        *next* call.  A poisoned session refuses further calls; the
+        owner must :meth:`kill` + :meth:`respawn` it.
+        """
+        return self._poisoned
+
     def call(self, method: str, *args: Any,
              timeout: Optional[float] = None) -> Any:
         """Invoke ``handler.<method>(*args)`` in the worker; block for the
@@ -149,13 +163,57 @@ class WorkerSession:
         with self._lock:
             if self._closed:
                 raise RuntimeError(f"session {self.name!r} is closed")
+            if self._poisoned:
+                raise WorkerError(
+                    f"{self.name}:{method}", "StalledWorker",
+                    f"session {self.name!r} timed out on an earlier call; "
+                    f"the pipe may hold a stale reply — respawn the worker")
+            fault = None
+            if _faults.ACTIVE is not None:
+                fault = _faults.ACTIVE.check(f"session.call:{self.name}")
+            if fault is not None and fault.kind == "crash":
+                # Emulate a worker the OS killed between calls.
+                if self._proc.is_alive():
+                    self._proc.kill()
+                self._proc.join(timeout=5.0)
             try:
+                if fault is not None and fault.kind == "send_error":
+                    raise BrokenPipeError("injected: request pipe write failed")
                 self._conn.send((method, args))
             except (BrokenPipeError, OSError) as exc:
                 raise WorkerError(
                     f"{self.name}:{method}", "BrokenWorker",
                     f"worker process (pid {self.pid}) is gone: {exc}") from exc
-            outcome = self._recv(method, timeout)
+            if fault is not None and fault.kind == "crash_mid":
+                # Emulate a worker dying mid-batch: request delivered,
+                # reply never comes.  A tiny forward can win the race
+                # and reply before the SIGKILL lands — drop anything in
+                # the pipe so the injected outcome stays deterministic.
+                if self._proc.is_alive():
+                    self._proc.kill()
+                self._proc.join(timeout=5.0)
+                try:
+                    while self._conn.poll(0):
+                        self._conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerError(
+                    f"{self.name}:{method}", "BrokenWorker",
+                    f"worker process (pid {self.pid}) died before replying "
+                    f"(injected crash mid-call)")
+            if fault is not None and fault.kind == "stall":
+                # The request *was* sent, so the worker's eventual reply
+                # goes stale in the pipe — exactly what a real deadline
+                # overrun leaves behind.
+                self._poisoned = True
+                raise TimeoutError(
+                    f"session {self.name!r} call {method!r} injected stall "
+                    f"past deadline")
+            try:
+                outcome = self._recv(method, timeout)
+            except TimeoutError:
+                self._poisoned = True
+                raise
             self.calls += 1
         if not outcome.ok:
             raise WorkerError(f"{self.name}:{method}", outcome.error_type,
@@ -182,6 +240,17 @@ class WorkerSession:
                 f"{self.name}:{method}", "BrokenWorker",
                 f"worker pipe closed mid-reply: {exc}") from exc
 
+    def kill(self, timeout: float = 5.0) -> None:
+        """SIGKILL the worker process; the session object stays open.
+
+        Supervision uses this to put a poisoned session (timed-out call
+        — the pipe may hold a stale reply) into the same state as a
+        crashed worker before :meth:`respawn`.  Safe on a dead worker.
+        """
+        if self._proc.is_alive():
+            self._proc.kill()
+        self._proc.join(timeout=timeout)
+
     def respawn(self, timeout: float = 10.0) -> "WorkerSession":
         """A fresh session running the same factory under the same name.
 
@@ -207,41 +276,52 @@ class WorkerSession:
         """
         if self._closed:
             return
-        wedged = not self._lock.acquire(timeout=timeout)
-        if wedged:
-            # A wedged in-flight call holds the lock.  Kill the worker:
-            # the caller's poll loop sees the dead process, errors out,
-            # and releases the lock within one poll interval.
-            self._closed = True
-            if self._proc.is_alive():
-                self._proc.terminate()
-            self._lock.acquire()
-        try:
-            if self._closed and not wedged:
+        # Concurrent closers serialize here (atexit racing a pool
+        # shutdown, say).  Without this, a second closer would mistake
+        # the first one's hold on ``_lock`` for a wedged in-flight call
+        # and terminate a worker that is shutting down gracefully.
+        with self._close_lock:
+            if self._closed:
                 return      # another close() finished while we waited
-            self._closed = True
-            if not wedged and self._proc.is_alive():
-                try:
-                    self._conn.send((_SHUTDOWN, ()))
-                    deadline = time.monotonic() + timeout
-                    while (not self._conn.poll(0.05)
-                           and time.monotonic() < deadline
-                           and self._proc.is_alive()):
-                        pass
-                    if self._conn.poll(0):
-                        self._conn.recv()
-                except (BrokenPipeError, EOFError, OSError):
-                    pass
-            self._proc.join(timeout=timeout)
-            if self._proc.is_alive():
-                self._proc.terminate()
-                self._proc.join(timeout=timeout)
+            wedged = not self._lock.acquire(timeout=timeout)
+            if wedged:
+                # A wedged in-flight call holds the lock.  Kill the
+                # worker: the caller's poll loop sees the dead process,
+                # errors out, and releases the lock within one poll
+                # interval.
+                self._closed = True
+                if self._proc.is_alive():
+                    self._proc.terminate()
+                self._lock.acquire()
             try:
-                self._conn.close()
-            except OSError:
-                pass
-        finally:
-            self._lock.release()
+                self._closed = True
+                if not wedged and not self._poisoned \
+                        and self._proc.is_alive():
+                    try:
+                        self._conn.send((_SHUTDOWN, ()))
+                        deadline = time.monotonic() + timeout
+                        while (not self._conn.poll(0.05)
+                               and time.monotonic() < deadline
+                               and self._proc.is_alive()):
+                            pass
+                        if self._conn.poll(0):
+                            self._conn.recv()
+                    except (BrokenPipeError, EOFError, OSError):
+                        pass
+                elif self._poisoned and self._proc.is_alive():
+                    # The pipe is desynchronized; a graceful handshake
+                    # would read the stale reply as the shutdown ack.
+                    self._proc.terminate()
+                self._proc.join(timeout=timeout)
+                if self._proc.is_alive():
+                    self._proc.terminate()
+                    self._proc.join(timeout=timeout)
+                try:
+                    self._conn.close()
+                except OSError:
+                    pass
+            finally:
+                self._lock.release()
 
     def __enter__(self) -> "WorkerSession":
         return self

@@ -16,9 +16,10 @@ entirely — a task spec costs bytes, not gigabytes.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
@@ -26,6 +27,24 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..data.dataset import ArrayDataset
+from ..reliability import faults as _faults
+
+
+def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Allocate a fresh shared-memory segment (single creation choke point).
+
+    Every owner-side allocation funnels through here so the fault site
+    ``shm.create`` can make any one of them fail as if ``/dev/shm`` were
+    exhausted — the error real fleets hit when state lanes outgrow the
+    tmpfs — and so callers exercise their documented fallbacks (pipe
+    transport, lane-less returns) under test instead of only in outages.
+    """
+    if _faults.ACTIVE is not None:
+        fault = _faults.ACTIVE.check("shm.create")
+        if fault is not None and fault.kind == "oserror":
+            raise OSError(errno.ENOSPC,
+                          "injected: no space left on /dev/shm")
+    return shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)))
 
 
 @dataclass(frozen=True)
@@ -40,7 +59,7 @@ class _ArraySpec:
 def _publish_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory,
                                                _ArraySpec]:
     array = np.ascontiguousarray(array)
-    seg = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    seg = _create_segment(array.nbytes)
     view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
     view[...] = array
     return seg, _ArraySpec(name=seg.name, shape=tuple(array.shape),
@@ -132,8 +151,14 @@ class SharedDataset:
                 specs.append(spec)
         except Exception:
             for seg in segments:
-                seg.close()
-                seg.unlink()
+                try:
+                    seg.close()
+                except OSError:
+                    pass
+                try:
+                    seg.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
             raise
         return cls(segments, SharedDatasetHandle(*specs))
 
@@ -146,7 +171,7 @@ class SharedDataset:
                 pass
             try:
                 seg.unlink()
-            except FileNotFoundError:
+            except (FileNotFoundError, OSError):
                 pass
         self._segments = []
 
@@ -212,8 +237,7 @@ class ArrayChannel:
     def __init__(self, nbytes: int = 0):
         self._segment: Optional[shared_memory.SharedMemory] = None
         if nbytes > 0:
-            self._segment = shared_memory.SharedMemory(
-                create=True, size=max(1, int(nbytes)))
+            self._segment = _create_segment(nbytes)
 
     @property
     def capacity(self) -> int:
@@ -228,13 +252,15 @@ class ArrayChannel:
         if nbytes <= self.capacity:
             return
         old = self._segment
-        self._segment = shared_memory.SharedMemory(create=True,
-                                                   size=max(1, int(nbytes)))
+        self._segment = _create_segment(nbytes)
         if old is not None:
-            old.close()
+            try:
+                old.close()
+            except OSError:
+                pass
             try:
                 old.unlink()
-            except FileNotFoundError:
+            except (FileNotFoundError, OSError):
                 pass
 
     def write(self, array: np.ndarray) -> ArraySlot:
@@ -258,15 +284,24 @@ class ArrayChannel:
         return np.array(view)  # copy: the segment is reused next call
 
     def unlink(self) -> None:
-        """Free the segment (idempotent; owner side only)."""
-        if self._segment is None:
+        """Free the segment (idempotent; owner side only).
+
+        Cleanup boundary: double-close and atexit races surface as
+        ``FileNotFoundError``/``EBADF`` here and are swallowed — the
+        segment is gone either way.  Hot-path reads and writes never
+        mask those errors.
+        """
+        segment, self._segment = self._segment, None
+        if segment is None:
             return
-        self._segment.close()
         try:
-            self._segment.unlink()
-        except FileNotFoundError:
+            segment.close()
+        except OSError:
             pass
-        self._segment = None
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -302,6 +337,17 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 #: Array offsets inside a state segment are rounded up to this boundary
 #: so every view handed to numpy is safely aligned for any dtype.
 _STATE_ALIGN = 64
+
+
+class StateVerifyError(RuntimeError):
+    """A state payload's content fingerprint failed verification.
+
+    Transport-level corruption (torn write, segment reuse mid-flight,
+    an injected ``corrupt_fingerprint`` fault) — as opposed to the
+    registration-drift fingerprint mismatch ``folded_replica`` raises.
+    The distinction matters for recovery: a transport failure is fixed
+    by re-shipping the same state, a drift failure never is.
+    """
 
 
 class StateCapacityError(RuntimeError):
@@ -409,7 +455,7 @@ def _unpack_state(buf, slot: StateSlot,
     if verify:
         actual = state_fingerprint(state)
         if actual != slot.fingerprint:
-            raise RuntimeError(
+            raise StateVerifyError(
                 f"state payload in segment {slot.name!r} hashes to "
                 f"{actual[:12]}, expected {slot.fingerprint[:12]} — torn "
                 f"write or segment reuse mid-flight?")
@@ -469,7 +515,16 @@ class StateChannel(ArrayChannel):
         for state in states:
             needed += packed_nbytes(state, base=needed)
         self.ensure(needed)
-        return _pack_states_into(self._segment, states)
+        slots = _pack_states_into(self._segment, states)
+        if _faults.ACTIVE is not None:
+            fault = _faults.ACTIVE.check("state.write")
+            if fault is not None and fault.kind == "corrupt_fingerprint":
+                # Advertise a wrong content hash: the reader's verify
+                # must catch it (StateVerifyError), as it would a torn
+                # write racing a segment reuse.
+                slots = tuple(replace(slot, fingerprint="0" * 40)
+                              for slot in slots)
+        return slots
 
     def read_state(self, slot: StateSlot,
                    verify: bool = True) -> Dict[str, np.ndarray]:

@@ -21,7 +21,8 @@ from ..models.registry import build_model
 from ..nn.serialization import restore, snapshot
 from ..train import TrainConfig, train_model
 from .shm import (SharedDatasetHandle, StateCapacityError, StateChannel,
-                  StateSlot, packed_nbytes, write_states_to)
+                  StateSlot, StateVerifyError, packed_nbytes,
+                  write_states_to)
 
 #: A task's dataset is either inline (serial path) or a shm handle.
 DatasetRef = Union[ArrayDataset, SharedDatasetHandle]
@@ -105,7 +106,14 @@ def resolve_shard_result(result: ShardTrainResult,
         raise RuntimeError(
             f"shard {result.shard_index} returned state via shared memory "
             f"but no return lane was provisioned for it")
-    states = lane.read_states(result.state_slots)
+    try:
+        states = lane.read_states(result.state_slots)
+    except StateVerifyError as exc:
+        # Re-raise with the shard named: the caller decides whether to
+        # retrain the shard or fail the run, and needs to know which.
+        raise StateVerifyError(
+            f"shard {result.shard_index} state-return lane failed "
+            f"fingerprint verification: {exc}") from exc
     return ShardTrainResult(shard_index=result.shard_index,
                             final_state=states[0],
                             checkpoints=tuple(states[1:]))

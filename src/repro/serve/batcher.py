@@ -290,7 +290,6 @@ class MicroBatcher:
 
     def _worker(self) -> None:
         delay = self.policy.max_delay_ms / 1000.0
-        max_inflight = max(1, getattr(self.backend, "max_inflight", 1))
         while True:
             with self._cond:
                 while not self._queue and not self._closed:
@@ -303,7 +302,11 @@ class MicroBatcher:
                 # unbounded pile of pending batches and 429 backpressure
                 # would never fire.  Draining on close still dispatches
                 # the remaining queue — completions wake us up.
-                while self._inflight >= max_inflight:
+                # Re-read every pass: a supervised backend shrinks
+                # max_inflight when workers are ejected and restores it
+                # on re-promotion.
+                while self._inflight >= max(
+                        1, getattr(self.backend, "max_inflight", 1)):
                     self._cond.wait()
                 head = self._queue[0]
                 deadline = head.submitted_at + delay

@@ -38,22 +38,48 @@ class ServingClient:
     trivially thread-safe.
     """
 
-    def __init__(self, url: str, timeout: float = 60.0):
+    def __init__(self, url: str, timeout: float = 60.0,
+                 retry_resets: int = 1):
         parsed = urlparse(url)
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"only http:// endpoints are supported, got {url}")
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 80
+        #: Per-request socket timeout: a stalled server fails the call
+        #: instead of hanging a closed-loop worker (and the whole load
+        #: run behind it) forever.
         self.timeout = timeout
+        #: Extra attempts after a connection reset / server-side hangup.
+        #: Serving is deterministic, so the retry returns the same bits
+        #: the aborted attempt would have.
+        self.retry_resets = max(0, int(retry_resets))
 
     # -- transport -----------------------------------------------------
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> dict:
-        """One round-trip.  Protocol-level trouble (malformed HTTP,
-        non-JSON bodies from proxies or dying servers) is normalized
-        into :class:`ServingError` with status 0, so callers — the load
-        generator's worker threads in particular — only ever see
-        ``ServingError`` or ``OSError``."""
+        """One logical round-trip, retrying connection resets.
+
+        A server restarting a worker (or an OS reclaiming sockets under
+        pressure) shows up client-side as a reset or mid-response
+        hangup; those retry up to ``retry_resets`` times.  Anything
+        still failing is normalized into :class:`ServingError` /
+        ``OSError`` so callers — the load generator's worker threads in
+        particular — only ever see those two."""
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retry_resets + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except (ConnectionResetError, BrokenPipeError,
+                    http.client.RemoteDisconnected) as exc:
+                last_exc = exc
+                if attempt < self.retry_resets:
+                    time.sleep(0.05 * (attempt + 1))
+        raise ServingError(
+            0, f"connection reset after {self.retry_resets + 1} attempts: "
+               f"{last_exc}") from last_exc
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> dict:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -66,6 +92,9 @@ class ServingClient:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
+            except (ConnectionResetError, BrokenPipeError,
+                    http.client.RemoteDisconnected):
+                raise       # retried by _request
             except http.client.HTTPException as exc:
                 raise ServingError(
                     0, f"malformed HTTP response: {exc}") from exc
@@ -95,6 +124,19 @@ class ServingClient:
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness report; never raises on 503 (that IS the answer).
+
+        Returns the server's health payload with ``ready`` False when
+        the endpoint answered 503 (degraded pool).
+        """
+        try:
+            return self._request("GET", "/readyz")
+        except ServingError as exc:
+            if exc.status == 503:
+                return {"ready": False, "status": "degraded"}
+            raise
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")

@@ -7,7 +7,13 @@ Endpoints (all JSON):
   served version and (when screening is on) per-input STRIP flags.
   ``429`` with ``Retry-After`` under backpressure, ``404`` for unknown
   models/versions, ``400`` for malformed payloads.
-- ``GET /healthz`` — liveness + registered model names.
+- ``GET /healthz`` — liveness + registered model names.  Always ``200``
+  while the process answers; ``status`` reads ``"degraded"`` (with
+  worker-pool detail) when every serving worker is ejected and requests
+  run through the inline fallback.
+- ``GET /readyz`` — load-balancer readiness: ``200`` at full capacity,
+  ``503`` while degraded, so traffic drains to healthier hosts without
+  killing a process that is still (slowly) serving.
 - ``GET /metrics`` — scheduler counters (occupancy, latency
   percentiles, queue depth), request outcomes, per-version screening
   flag rates.
@@ -96,8 +102,14 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
-            self._send_json(200, {"status": "ok",
-                                  "models": self.inference.store.names()})
+            # Liveness: 200 as long as the process answers, with the
+            # health detail inline — a degraded pool is alive.
+            self._send_json(200, self.inference.health())
+        elif self.path == "/readyz":
+            # Readiness: 503 while degraded so load balancers route
+            # around this host until the pool re-promotes.
+            health = self.inference.health()
+            self._send_json(200 if health["ready"] else 503, health)
         elif self.path == "/metrics":
             self._send_json(200, self.inference.metrics())
         elif self.path == "/models":

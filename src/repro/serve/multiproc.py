@@ -68,9 +68,10 @@ import functools
 import os
 import queue
 import threading
+import time
 import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Hashable, List, Optional
+from typing import Callable, Dict, Hashable, List, Optional
 
 import numpy as np
 
@@ -81,6 +82,7 @@ from ..parallel.pool import WorkerError, resolve_workers
 from ..parallel.session import WorkerSession
 from ..parallel.shm import (ArrayChannel, ArraySlot, ChannelPeer,
                             StateChannel, StateSlot)
+from ..reliability import ReliabilityConfig
 from . import batcher as _batcher
 
 
@@ -165,7 +167,13 @@ class ReplicaWorker:
 
 
 class _WorkerHandle:
-    """One session plus its two single-flight array lanes."""
+    """One session plus its two single-flight array lanes.
+
+    ``supervisor`` (attached by the backend) tracks this slot's failure
+    history and breaker state; ``ejected`` marks a slot the breaker has
+    taken out of rotation — its lanes stay allocated (parent-owned) so
+    a re-promoted worker re-attaches them by name.
+    """
 
     def __init__(self, index: int, intra_op_threads: int,
                  context: Optional[str], input_bytes: int, output_bytes: int):
@@ -178,6 +186,8 @@ class _WorkerHandle:
         self.session = WorkerSession(
             functools.partial(ReplicaWorker, intra_op_threads),
             context=context, name=f"repro-serve-worker-{index}")
+        self.supervisor = None
+        self.ejected = False
 
     def respawn(self, timeout: float = 10.0) -> None:
         """Replace a dead worker process; the parent-owned lanes survive.
@@ -232,20 +242,42 @@ class MultiprocBackend:
         Starting capacity of the per-worker shm lanes (they grow on
         demand; the defaults fit a 32x(3,32,32) float32 batch and its
         logits without a single resize).
+    reliability:
+        :class:`~repro.reliability.ReliabilityConfig` — retry policy,
+        per-worker failure threshold / respawn budget / breaker
+        cooldown, and whether an all-workers-dead backend degrades to
+        inline serving.  Defaults to the stock config.
+    fallback_fn:
+        ``fallback_fn(key, batch) -> logits`` run in the parent when
+        every worker is ejected (the serving layer passes its own
+        inline forward, which is bit-identical to a worker replica by
+        the fingerprint contract).  Without one, an all-dead backend
+        fails batches instead of degrading.
     """
 
     def __init__(self, workers: int = 2, intra_op_threads: int = 1,
                  context: Optional[str] = None, call_timeout: float = 120.0,
                  initial_input_bytes: int = 32 * 3 * 32 * 32 * 4,
-                 initial_output_bytes: int = 32 * 256 * 4):
+                 initial_output_bytes: int = 32 * 256 * 4,
+                 reliability: Optional[ReliabilityConfig] = None,
+                 fallback_fn: Optional[Callable[[Hashable, np.ndarray],
+                                                np.ndarray]] = None):
         self.workers = max(1, resolve_workers(workers))
-        self.max_inflight = self.workers
-        self.call_timeout = call_timeout
+        self.reliability = reliability or ReliabilityConfig()
+        self._fallback_fn = fallback_fn
+        # Per-call budget: the retry policy's deadline (when set) wins —
+        # a stalled worker should trip supervision, not sit out the
+        # generous transport timeout.
+        deadline = self.reliability.retry.deadline_s
+        self.call_timeout = (call_timeout if deadline is None
+                             else min(call_timeout, deadline))
         self._handles: List[_WorkerHandle] = [
             _WorkerHandle(index, intra_op_threads, context,
                           initial_input_bytes, initial_output_bytes)
             for index in range(self.workers)
         ]
+        for handle in self._handles:
+            handle.supervisor = self.reliability.supervisor()
         self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
         for handle in self._handles:
             self._idle.put(handle)
@@ -257,6 +289,17 @@ class MultiprocBackend:
         # so two concurrent sweeps would deadlock holding one handle
         # each while waiting for the other's.
         self._warm_lock = threading.Lock()
+        # Guards pool membership: active count, per-handle ejected flags
+        # and supervisor transitions.  Leaf lock — nothing else is
+        # acquired while holding it.
+        self._pool_lock = threading.Lock()
+        self._active_workers = self.workers
+        # One probe at a time; non-blocking acquire so request threads
+        # never queue up behind a re-promotion attempt.
+        self._probe_lock = threading.Lock()
+        # Serializes degraded-mode inline forwards (the parent is one
+        # compute, and the folded copies are not thread-safe).
+        self._degraded_lock = threading.Lock()
         self._shipped: Dict[Hashable, str] = {}     # key -> fingerprint
         self._entries: Dict[Hashable, object] = {}  # key -> store entry
         # One backend-wide state lane: the parent parks a version's
@@ -272,11 +315,33 @@ class MultiprocBackend:
         self._state_shm_ships = 0
         self._state_pipe_ships = 0
         self._respawns = 0
+        self._retries = 0
+        self._ship_retries = 0
+        self._ejections = 0
+        self._repromotions = 0
+        self._degraded_batches = 0
         self._infer_counts = [0] * self.workers
         self._warmup_counts = [0] * self.workers
         self._warmed: set = set()                   # (key, batch shape)
         self._closed = False
         _LIVE.add(self)
+
+    @property
+    def max_inflight(self) -> int:
+        """Concurrent-batch bound, shrunk to the *active* worker count.
+
+        A property (re-read by the scheduler every loop) so an ejection
+        immediately throttles dispatch to the surviving pool, and full
+        degradation serializes batches through the inline fallback.
+        """
+        with self._pool_lock:
+            return max(1, self._active_workers)
+
+    @property
+    def degraded(self) -> bool:
+        """True while every worker is ejected (serving falls back inline)."""
+        with self._pool_lock:
+            return self._active_workers == 0
 
     # -- replica shipping ----------------------------------------------
     def ensure_loaded(self, key: Hashable, entry) -> None:
@@ -304,10 +369,24 @@ class MultiprocBackend:
                     f"version and hot-swap instead")
             payload = self._prepare_payload(entry)
             for handle in self._handles:
+                if handle.ejected:
+                    continue    # re-shipped at re-promotion time
                 try:
                     self._ship_to_handle(handle, key, payload)
-                except WorkerError:
-                    if handle.session.alive:
+                except (WorkerError, TimeoutError) as exc:
+                    if (handle.session.alive and not handle.session.poisoned
+                            and getattr(exc, "error_type", "")
+                            == "StateVerifyError"):
+                        # Transport corruption, not drift: the parked
+                        # payload went bad in flight.  Re-park the same
+                        # state and ship again — the fingerprint proves
+                        # the retry is the same bits.
+                        with self._stats_lock:
+                            self._ship_retries += 1
+                        payload = self._prepare_payload(entry)
+                        self._ship_to_handle(handle, key, payload)
+                        continue
+                    if handle.session.alive and not handle.session.poisoned:
                         raise       # handler-side failure, not a crash
                     self._recover_handle_locked(handle)
                     # Recovery re-parked the dead worker's prior
@@ -364,9 +443,22 @@ class MultiprocBackend:
         handle.respawn()
         with self._stats_lock:
             self._respawns += 1
+        with self._pool_lock:
+            handle.supervisor.record_respawn()
         for shipped_key, shipped_entry in self._entries.items():
-            self._ship_to_handle(handle, shipped_key,
-                                 self._prepare_payload(shipped_entry))
+            try:
+                self._ship_to_handle(handle, shipped_key,
+                                     self._prepare_payload(shipped_entry))
+            except WorkerError as exc:
+                if (handle.session.alive and not handle.session.poisoned
+                        and exc.error_type == "StateVerifyError"):
+                    # Same transport-corruption retry as ensure_loaded.
+                    with self._stats_lock:
+                        self._ship_retries += 1
+                    self._ship_to_handle(handle, shipped_key,
+                                         self._prepare_payload(shipped_entry))
+                else:
+                    raise
         for warmed_key, batch_shape in sorted(self._warmed):
             if warmed_key in self._entries:
                 handle.session.call("warm", warmed_key, batch_shape,
@@ -398,21 +490,33 @@ class MultiprocBackend:
         # One sweep at a time (_warm_lock): a sweep drains the whole
         # idle queue, so concurrent sweeps would each hold part of the
         # pool while waiting for the rest.  In-flight batches simply
-        # delay their handle's turn.
+        # delay their handle's turn.  Only *active* handles are swept —
+        # ejected ones are out of the queue entirely (they re-warm at
+        # re-promotion time), and the bounded get below keeps a
+        # mid-sweep ejection from wedging the sweep forever.
         held: List[_WorkerHandle] = []
         with self._warm_lock:
             try:
-                for _ in range(len(self._handles)):
-                    handle = self._idle.get()
+                with self._pool_lock:
+                    target = self._active_workers
+                for _ in range(target):
+                    try:
+                        handle = self._idle.get(timeout=self.call_timeout)
+                    except queue.Empty:
+                        break
                     held.append(handle)
                     try:
                         self._infer_on(handle, key, batch)
-                    except WorkerError:
+                    except (WorkerError, TimeoutError) as exc:
                         # Same recovery as _run: never hand a corpse
-                        # back to the idle queue — respawn, re-ship,
-                        # and retry this worker's warm-up once.
-                        if handle.session.alive:
+                        # (or a desynchronized pipe) back to the idle
+                        # queue — respawn, re-ship, and retry this
+                        # worker's warm-up once.
+                        if (handle.session.alive
+                                and not handle.session.poisoned
+                                and isinstance(exc, WorkerError)):
                             raise
+                        handle.session.kill()
                         with self._ship_lock:
                             if not handle.session.alive:
                                 self._recover_handle_locked(handle)
@@ -475,26 +579,181 @@ class MultiprocBackend:
         return logits
 
     def _run(self, key: Hashable, batch: np.ndarray) -> np.ndarray:
+        """Serve one fixed-width batch, retrying through worker failures.
+
+        Fixed-width batches are idempotent and bit-identical on replay
+        (the determinism contract), so an infrastructure failure —
+        crashed worker, blown deadline, broken pipe — burns a retry
+        attempt instead of a client response.  Handler-level errors
+        from a healthy worker (missing replica, bad key) are
+        deterministic and re-raise immediately.  When every worker is
+        ejected, the batch runs inline through ``fallback_fn`` instead
+        of failing.
+        """
         if key not in self._shipped:
             raise KeyError(
                 f"no replica shipped for {key!r}; call ensure_loaded() "
                 f"before submitting batches for it")
-        handle = self._idle.get()
-        try:
-            with self._stats_lock:
-                self._infer_counts[handle.index] += 1
-            return self._infer_on(handle, key, batch, record=True)
-        except WorkerError:
-            # Fail this batch (its future sees the error) but leave the
-            # pool healthy: a crashed worker is respawned and re-shipped
-            # so the *next* batch dispatched to it serves normally.
-            if not handle.session.alive:
-                with self._ship_lock:
-                    if not handle.session.alive:
-                        self._recover_handle_locked(handle)
-            raise
-        finally:
+        retry = self.reliability.retry
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, retry.max_attempts + 1):
+            self._maybe_repromote()
+            handle = self._lease()
+            if handle is None:
+                return self._run_degraded(key, batch)
+            try:
+                with self._stats_lock:
+                    self._infer_counts[handle.index] += 1
+                logits = self._infer_on(handle, key, batch, record=True)
+            except (WorkerError, TimeoutError) as exc:
+                if self._after_failure(handle, exc) == "app":
+                    raise   # deterministic handler error — don't retry
+                last_exc = exc
+                if attempt < retry.max_attempts:
+                    with self._stats_lock:
+                        self._retries += 1
+                    time.sleep(retry.backoff(
+                        attempt, token=f"worker-{handle.index}"))
+                continue
+            with self._pool_lock:
+                handle.supervisor.record_success()
             self._idle.put(handle)
+            return logits
+        if self.degraded:
+            return self._run_degraded(key, batch)
+        raise last_exc      # attempts exhausted with workers still up
+
+    def _lease(self) -> Optional[_WorkerHandle]:
+        """Take an idle active worker; ``None`` once the pool is empty.
+
+        Bounded waits re-check the active count so a thread blocked on
+        the queue notices when the last worker is ejected underneath it
+        (nothing will ever be re-queued until a probe succeeds).
+        """
+        while True:
+            with self._pool_lock:
+                if self._active_workers == 0:
+                    return None
+            try:
+                handle = self._idle.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if handle.ejected:
+                continue    # stale entry; drop it
+            return handle
+
+    def _after_failure(self, handle: _WorkerHandle,
+                       exc: BaseException) -> str:
+        """Classify a failed call and put the pool back in order.
+
+        Returns ``"app"`` for a deterministic handler error (worker
+        healthy, handle re-queued — the caller re-raises).  For
+        infrastructure failures the worker is killed if needed, the
+        failure recorded, and the slot either ejected (breaker open) or
+        recovered (respawn + re-ship + re-warm) and re-queued.
+        """
+        session = handle.session
+        if (isinstance(exc, WorkerError) and session.alive
+                and not session.poisoned):
+            self._idle.put(handle)
+            return "app"
+        # A poisoned session's pipe holds a stale reply; a dead one
+        # holds nothing.  Either way the process is done for.
+        session.kill()
+        with self._pool_lock:
+            handle.supervisor.record_failure()
+            if handle.supervisor.should_eject():
+                self._eject_locked(handle)
+                return "ejected"
+        # Recover in place.  Recovery itself can fail (the respawned
+        # worker can die during re-ship); each failure burns breaker
+        # budget, so this loop is bounded by the respawn budget.
+        while True:
+            try:
+                with self._ship_lock:
+                    if not handle.session.alive or handle.session.poisoned:
+                        self._recover_handle_locked(handle)
+                break
+            except (WorkerError, TimeoutError):
+                handle.session.kill()
+                with self._pool_lock:
+                    handle.supervisor.record_failure()
+                    if handle.supervisor.should_eject():
+                        self._eject_locked(handle)
+                        return "ejected"
+        self._idle.put(handle)
+        return "recovered"
+
+    def _eject_locked(self, handle: _WorkerHandle) -> None:
+        """Open the breaker on a slot (caller holds ``_pool_lock``)."""
+        if handle.ejected:
+            return
+        handle.ejected = True
+        handle.supervisor.eject()
+        self._active_workers -= 1
+        self._ejections += 1
+
+    def _run_degraded(self, key: Hashable, batch: np.ndarray) -> np.ndarray:
+        """Inline fallback: every worker is gone, serve from the parent.
+
+        Slower (one serialized compute) but never down — and
+        bit-identical to worker serving, because the parent's folded
+        copy is built from the same fingerprinted state the replicas
+        were.
+        """
+        if self._fallback_fn is None or not self.reliability.degrade_to_inline:
+            raise WorkerError(
+                "<backend>", "NoWorkersError",
+                f"all {self.workers} workers are ejected and no inline "
+                f"fallback is configured")
+        with self._stats_lock:
+            self._degraded_batches += 1
+        with self._degraded_lock:
+            return np.asarray(self._fallback_fn(key, batch))
+
+    def _maybe_repromote(self) -> None:
+        """Probe ejected slots whose breaker cooldown has elapsed.
+
+        Opportunistic and non-blocking: at most one probe sweep runs at
+        a time, and request threads that lose the race just carry on
+        with the pool they have.  A probe is a full recovery — respawn,
+        re-ship every entry, replay every warm-up — so a slot rejoins
+        the pool fully warm or not at all.
+        """
+        if self._closed:
+            return
+        with self._pool_lock:
+            due = [handle for handle in self._handles
+                   if handle.ejected and handle.supervisor.probe_due()]
+        if not due:
+            return
+        if not self._probe_lock.acquire(blocking=False):
+            return
+        try:
+            for handle in due:
+                self._probe(handle)
+        finally:
+            self._probe_lock.release()
+
+    def _probe(self, handle: _WorkerHandle) -> None:
+        with self._pool_lock:
+            if not handle.ejected or not handle.supervisor.probe_due():
+                return
+            handle.supervisor.begin_probe()
+        try:
+            with self._ship_lock:
+                self._recover_handle_locked(handle)
+        except (WorkerError, TimeoutError):
+            handle.session.kill()
+            with self._pool_lock:
+                handle.supervisor.probe_failed()
+            return
+        with self._pool_lock:
+            handle.supervisor.close_breaker()
+            handle.ejected = False
+            self._active_workers += 1
+            self._repromotions += 1
+        self._idle.put(handle)
 
     # -- introspection / lifecycle -------------------------------------
     def stats(self) -> dict:
@@ -504,11 +763,20 @@ class MultiprocBackend:
             state_shm, state_pipe = (self._state_shm_ships,
                                      self._state_pipe_ships)
             respawns = self._respawns
+            retries, ship_retries = self._retries, self._ship_retries
+            ejections, repromotions = self._ejections, self._repromotions
+            degraded_batches = self._degraded_batches
             infers = list(self._infer_counts)
             warmups = list(self._warmup_counts)
+        with self._pool_lock:
+            active = self._active_workers
+            supervisors = [handle.supervisor.snapshot()
+                           for handle in self._handles]
         return {
             "kind": "multiproc",
             "workers": self.workers,
+            "active_workers": active,
+            "degraded": active == 0,
             "pids": self.worker_pids(),
             "shipped": ["/".join(map(str, key))
                         for key in self.shipped_keys()],
@@ -520,6 +788,16 @@ class MultiprocBackend:
             "state_shm_ships": state_shm,
             "state_pipe_ships": state_pipe,
             "respawns": respawns,
+            # Supervision: batch replays after infrastructure failures,
+            # re-parked state ships after fingerprint-verify failures,
+            # breaker opens, probe re-admissions, and batches the
+            # parent served inline while the pool was empty.
+            "retries": retries,
+            "ship_retries": ship_retries,
+            "ejections": ejections,
+            "repromotions": repromotions,
+            "degraded_batches": degraded_batches,
+            "breakers": supervisors,
             # Inference dispatches only — session.calls also counts the
             # one-time replica shipments, so it can never read 0 and is
             # useless for "did this worker actually serve?" checks.

@@ -29,6 +29,7 @@ from ..data.dataset import ArrayDataset
 from ..data.registry import get_profile
 from ..eval.harness import PipelineConfig, PipelineResult, run_pipeline
 from ..parallel.tasks import ModelSpec
+from ..reliability import ReliabilityConfig
 from .batcher import BatchPolicy
 from .screening import OnlineStrip, ScreenConfig
 from .server import InferenceServer
@@ -106,7 +107,9 @@ def build_reveil_serving(cfg: PipelineConfig,
                          overlay_count: int = 32,
                          serve_workers: int = 1,
                          response_cache: int = 0,
-                         prefetch_replicas: bool = True) -> ReVeilServing:
+                         prefetch_replicas: bool = True,
+                         reliability: Optional[ReliabilityConfig] = None,
+                         ) -> ReVeilServing:
     """Train the scenario and assemble the serving stack around it.
 
     ``screen=None`` disables online screening.  The overlay/calibration
@@ -114,7 +117,8 @@ def build_reveil_serving(cfg: PipelineConfig,
     data in the paper's setting).  ``serve_workers`` >= 2 serves through
     per-process folded replicas; ``response_cache`` > 0 enables the
     exact-response LRU; ``prefetch_replicas`` ships and warms every
-    version before the first request (all per :class:`InferenceServer`).
+    version before the first request; ``reliability`` tunes worker
+    retry/respawn supervision (all per :class:`InferenceServer`).
     """
     result = run_pipeline(cfg, stages=("camouflage", "unlearn"))
     store = serving_store(result)
@@ -126,7 +130,8 @@ def build_reveil_serving(cfg: PipelineConfig,
     server = InferenceServer(store, policy=policy, screening=screening,
                              workers=serve_workers,
                              response_cache=response_cache,
-                             prefetch_replicas=prefetch_replicas)
+                             prefetch_replicas=prefetch_replicas,
+                             reliability=reliability)
     return ReVeilServing(server=server, store=store, model_name=cfg.model,
                          result=result, clean_test=result.clean_test,
                          attack_test=result.attack_test,

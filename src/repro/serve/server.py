@@ -26,6 +26,8 @@ import numpy as np
 
 from ..nn.tensor import Tensor
 from ..parallel.pool import resolve_workers
+from ..reliability import ReliabilityConfig
+from ..reliability import faults as _faults
 from .batcher import BatchPolicy, MicroBatcher, QueueFullError
 from .cache import ResponseCache, input_digest
 from .screening import OnlineStrip
@@ -120,6 +122,14 @@ class InferenceServer:
         per worker (or inline), so the first real batch pays no
         cold-start spike.  The lazy path stays as a safety net either
         way.
+    reliability:
+        :class:`~repro.reliability.ReliabilityConfig` for the
+        multi-process backend: per-batch retry policy, worker failure
+        thresholds / respawn budgets / breaker cooldowns, and the
+        degrade-to-inline switch.  The server always passes its own
+        inline forward as the degradation fallback, so an all-workers
+        -dead backend keeps answering (slower, never down,
+        bit-identical by the fingerprint contract).
     """
 
     def __init__(self, store: ModelStore,
@@ -128,16 +138,20 @@ class InferenceServer:
                  workers: int = 1,
                  response_cache: int = 0,
                  mp_context: Optional[str] = None,
-                 prefetch_replicas: bool = True):
+                 prefetch_replicas: bool = True,
+                 reliability: Optional[ReliabilityConfig] = None):
         self.store = store
         self.policy = policy
         self.screening = screening
         self.stats = ServerStats()
         self.workers = resolve_workers(workers)
+        self.reliability = reliability or ReliabilityConfig()
         self.backend = None
         if self.workers > 1:
             from .multiproc import MultiprocBackend
-            self.backend = MultiprocBackend(self.workers, context=mp_context)
+            self.backend = MultiprocBackend(self.workers, context=mp_context,
+                                            reliability=self.reliability,
+                                            fallback_fn=self._infer)
         self.cache = (ResponseCache(response_cache)
                       if response_cache else None)
         self.batcher = MicroBatcher(self._infer, policy,
@@ -269,6 +283,33 @@ class InferenceServer:
             self.cache.put((key, digest), result.clone())
         return result
 
+    def health(self) -> dict:
+        """Liveness + readiness report (drives ``/healthz`` and ``/readyz``).
+
+        ``status`` is ``"ok"`` at full capacity and ``"degraded"`` while
+        the multi-process pool has every worker ejected and requests are
+        served through the inline fallback.  Liveness holds either way
+        — degraded serving still answers, bit-identically — but
+        ``ready`` goes false so a load balancer can drain traffic until
+        a probe respawn re-promotes the pool.
+        """
+        degraded = bool(self.backend is not None
+                        and getattr(self.backend, "degraded", False))
+        report = {
+            "status": "degraded" if degraded else "ok",
+            "ready": not degraded,
+            "models": self.store.names(),
+        }
+        if self.backend is not None:
+            backend_stats = self.backend.stats()
+            report["workers"] = {
+                "total": backend_stats.get("workers", self.workers),
+                "active": backend_stats.get("active_workers", self.workers),
+                "ejections": backend_stats.get("ejections", 0),
+                "repromotions": backend_stats.get("repromotions", 0),
+            }
+        return report
+
     def metrics(self) -> dict:
         """JSON-ready metrics for ``/metrics``."""
         payload = {
@@ -287,6 +328,19 @@ class InferenceServer:
                 "warmed_inline": len(self._warmed_inline),
             },
         }
+        payload["reliability"] = {
+            "degraded": bool(self.backend is not None
+                             and getattr(self.backend, "degraded", False)),
+            "retry_max_attempts": self.reliability.retry.max_attempts,
+            "call_deadline_s": self.reliability.retry.deadline_s,
+            "failure_threshold": self.reliability.failure_threshold,
+            "respawn_budget": self.reliability.respawn_budget,
+            "breaker_cooldown_s": self.reliability.breaker_cooldown_s,
+            "degrade_to_inline": self.reliability.degrade_to_inline,
+        }
+        injector = _faults.active_injector()
+        if injector is not None:
+            payload["fault_injection"] = injector.stats()
         if self.cache is not None:
             payload["response_cache"] = self.cache.stats()
         if self.screening is not None:

@@ -24,11 +24,21 @@ fires a small concurrent load through the stdlib client, and asserts:
 - every shared-memory segment the run created is gone after close —
   the serving stack leaks nothing.
 
+``--chaos`` switches to the reliability gate instead: a deterministic
+fault schedule (worker SIGKILL mid-batch, a stall past the call
+deadline, one corrupted state-ship fingerprint) is injected into a
+4-worker server under load, then every worker is killed repeatedly to
+force inline degradation, and the run asserts zero errored client
+responses throughout, full fault-schedule coverage, ``degraded``
+health + 503 readiness while the pool is empty, breaker-probed
+re-promotion back to full capacity, bit-identical logits after every
+recovery, and no leaked shared memory.
+
 Run::
 
     PYTHONPATH=src python -m repro.serve.smoke [--timeout 120] \
         [--p50-ms 2000] [--serve-workers 2] [--response-cache 64] \
-        [--no-prefetch-replicas]
+        [--no-prefetch-replicas] [--chaos]
 
 Exit code 0 on success, 1 on any violation.
 """
@@ -47,6 +57,9 @@ from ..models.registry import build_model
 from ..nn.tensor import Tensor
 from ..parallel.shm import leaked_segments, shm_segment_names
 from ..parallel.tasks import ModelSpec
+from ..reliability import (ANY_CALL, Fault, FaultInjector, FaultPlan,
+                           ReliabilityConfig, RetryPolicy, install,
+                           uninstall)
 from .batcher import BatchPolicy
 from .client import ServingClient, run_load
 from .http import start_http_server, stop_http_server
@@ -72,11 +85,19 @@ def main(argv=None) -> int:
                         action=argparse.BooleanOptionalAction, default=True,
                         help="ship + warm replicas before the first request "
                              "(the serving default)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the reliability gate instead: inject a "
+                             "deterministic fault schedule (crash, stall, "
+                             "corrupt fingerprint), then kill every worker "
+                             "and assert degraded serving + re-promotion, "
+                             "with zero errored client responses throughout")
     args = parser.parse_args(argv)
     if args.serve_workers < 0:
         parser.error("--serve-workers must be >= 0 (0 = one per core)")
     if args.response_cache < 0:
         parser.error("--response-cache must be >= 0 (0 = disabled)")
+    if args.chaos:
+        return run_chaos(args)
 
     start = time.perf_counter()
     shm_before = shm_segment_names()
@@ -234,6 +255,242 @@ def main(argv=None) -> int:
         return 1
     print(f"serving smoke ok: {args.requests} requests, 0 dropped, "
           f"p50 {report.p50_ms:.1f}ms, bit-identical logits "
+          f"({elapsed:.1f}s, budget {args.timeout:.0f}s)")
+    return 0
+
+
+def run_chaos(args) -> int:
+    """Reliability gate: deterministic fault schedule + degradation drill.
+
+    Phase 1 — supervised recovery.  A 4-worker server takes a concurrent
+    load while the injector (a) corrupts the first replica state-ship
+    fingerprint (exercising the verify-and-re-ship path), (b) SIGKILLs
+    worker 0 mid-batch (request delivered, reply never comes), and
+    (c) stalls worker 1 past its call deadline (poisoning the session so
+    it must be respawned, not reused).  The gate demands zero errored or
+    rejected client responses, the full schedule fired, the respawn/
+    retry counters moved, no ejections, and post-recovery logits
+    bit-identical to a direct fixed-width forward.
+
+    Phase 2 — graceful degradation.  Every worker call is made to crash
+    until the breakers eject the whole pool; traffic must keep
+    succeeding through the inline fallback (bit-identically — same
+    folded weights, same fixed compute width), ``/healthz`` must report
+    ``degraded`` while ``/readyz`` turns 503, and once the faults are
+    lifted the cooldown probes must re-promote every worker back to a
+    ready pool that still serves identical bits.
+    """
+    start = time.perf_counter()
+    shm_before = shm_segment_names()
+    workers = args.serve_workers if args.serve_workers >= 2 else 4
+    requests = max(args.requests, 64)
+    concurrency = max(args.concurrency, 8)
+
+    _, test, profile = load_dataset("unit", seed=0)
+    nn.manual_seed(0)
+    model = build_model("small_cnn", profile.num_classes, scale="tiny")
+    model.eval()
+    store = ModelStore()
+    store.register("smoke", model, version="v1",
+                   spec=ModelSpec("small_cnn", profile.num_classes,
+                                  scale="tiny"),
+                   input_shape=test.images.shape[1:])
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    # Tight budgets so phase 2 ejects quickly (2 consecutive failures or
+    # 2 respawns in one incident open the breaker), with enough retry
+    # attempts for one batch to outlive the whole pool collapsing under
+    # it and still land on the inline fallback.
+    reliability = ReliabilityConfig(
+        retry=RetryPolicy(max_attempts=workers + 2, base_delay_s=0.01,
+                          max_delay_s=0.1),
+        failure_threshold=2, respawn_budget=1, breaker_cooldown_s=1.0)
+
+    # The call indices are deterministic because prefetch serializes the
+    # per-worker traffic: worker 0 sees load_state (fails verify on the
+    # corrupted park), load_state (clean re-park), warm-up, then traffic
+    # from call 4; every other worker sees load_state, warm-up, traffic
+    # from call 3.
+    plan = FaultPlan([
+        Fault("state.write", 1, "corrupt_fingerprint"),
+        Fault("session.call:repro-serve-worker-0", 4, "crash_mid"),
+        Fault("session.call:repro-serve-worker-1", 3, "stall"),
+    ])
+    injector = FaultInjector(plan)
+    install(injector)
+    print(f"chaos smoke: workers={workers}, requests={requests}, "
+          f"schedule={len(plan)} faults")
+    for fault in plan.faults():
+        print(f"  plan: {fault.kind} at {fault.site} "
+              f"call {fault.call if fault.call else 'any'}")
+
+    httpd = None
+    inference = None
+    try:
+        inference = InferenceServer(store, policy=policy, workers=workers,
+                                    response_cache=0,
+                                    prefetch_replicas=True,
+                                    reliability=reliability)
+        httpd = start_http_server(inference)
+        client = ServingClient(httpd.url)
+
+        # -- phase 1: faults under load, supervised recovery ------------
+        report = run_load(client, "smoke", test.images[:requests],
+                          requests=requests, concurrency=concurrency)
+        print(f"chaos load: {report.summary()}")
+        stats = injector.stats()
+        for event in stats["events"]:
+            print(f"  fired: {event['kind']} at {event['site']} "
+                  f"call {event['call']}")
+        if report.rejected or report.errors or report.ok != requests:
+            print(f"CHAOS FAIL: client saw failures under faults "
+                  f"({report.ok}/{requests} ok, {report.rejected} rejected, "
+                  f"{report.errors} errors; want all ok)", file=sys.stderr)
+            return 1
+        if stats["fired"] < len(plan):
+            print(f"CHAOS FAIL: only {stats['fired']}/{len(plan)} planned "
+                  f"faults fired — the schedule no longer lines up with "
+                  f"the serving call pattern", file=sys.stderr)
+            return 1
+        backend = inference.backend.stats()
+        if backend["ship_retries"] < 1:
+            print("CHAOS FAIL: corrupted state ship was not re-shipped "
+                  f"(ship_retries={backend['ship_retries']})",
+                  file=sys.stderr)
+            return 1
+        if backend["respawns"] < 2 or backend["retries"] < 2:
+            print(f"CHAOS FAIL: expected >= 2 respawns and >= 2 batch "
+                  f"retries (respawns={backend['respawns']}, "
+                  f"retries={backend['retries']})", file=sys.stderr)
+            return 1
+        if backend["ejections"] or backend["active_workers"] != workers:
+            print(f"CHAOS FAIL: transient faults must not eject workers "
+                  f"(ejections={backend['ejections']}, active="
+                  f"{backend['active_workers']}/{workers})", file=sys.stderr)
+            return 1
+        metrics = client.metrics()
+        if metrics.get("fault_injection", {}).get("fired") != stats["fired"]:
+            print("CHAOS FAIL: /metrics does not surface the injector "
+                  "counters", file=sys.stderr)
+            return 1
+        if client.healthz().get("status") != "ok":
+            print("CHAOS FAIL: /healthz not ok after recovery",
+                  file=sys.stderr)
+            return 1
+
+        # Post-recovery determinism: respawned replicas must serve the
+        # same bits as a direct fixed-width forward of the folded model.
+        image = test.images[0]
+        batch = np.zeros((policy.max_batch_size,) + image.shape,
+                         dtype=np.float32)
+        batch[0] = image
+        direct = store.folded("smoke")(Tensor(batch)).data[0] \
+            .astype(np.float32)
+        served = np.array(client.predict("smoke", image)["logits"][0],
+                          dtype=np.float32)
+        if not np.array_equal(served, direct):
+            print("CHAOS FAIL: post-recovery logits diverged from direct "
+                  "fixed-width forward", file=sys.stderr)
+            return 1
+        print(f"phase 1 ok: {backend['respawns']} respawns, "
+              f"{backend['retries']} batch retries, "
+              f"{backend['ship_retries']} state re-ships, "
+              f"bit-identical logits")
+
+        # -- phase 2: total pool loss, degradation, re-promotion --------
+        uninstall()
+        kill_all = FaultPlan([
+            Fault(f"session.call:repro-serve-worker-{index}", ANY_CALL,
+                  "crash")
+            for index in range(workers)])
+        install(FaultInjector(kill_all))
+        print(f"phase 2: crashing every call on all {workers} workers")
+        report2 = run_load(client, "smoke", test.images[:16], requests=16,
+                           concurrency=4)
+        print(f"degraded load: {report2.summary()}")
+        if report2.rejected or report2.errors or report2.ok != 16:
+            print(f"CHAOS FAIL: client saw failures during degradation "
+                  f"({report2.ok}/16 ok, {report2.rejected} rejected, "
+                  f"{report2.errors} errors)", file=sys.stderr)
+            return 1
+        backend = inference.backend.stats()
+        if not backend["degraded"] or backend["active_workers"] != 0:
+            print(f"CHAOS FAIL: pool did not fully degrade (active="
+                  f"{backend['active_workers']}, ejections="
+                  f"{backend['ejections']})", file=sys.stderr)
+            return 1
+        if backend["ejections"] < workers or backend["degraded_batches"] < 1:
+            print(f"CHAOS FAIL: degradation accounting off (ejections="
+                  f"{backend['ejections']}, degraded_batches="
+                  f"{backend['degraded_batches']})", file=sys.stderr)
+            return 1
+        health = client.healthz()
+        if health.get("status") != "degraded":
+            print(f"CHAOS FAIL: /healthz should report degraded, got "
+                  f"{health.get('status')!r}", file=sys.stderr)
+            return 1
+        if client.readyz().get("ready") is not False:
+            print("CHAOS FAIL: /readyz should be 503/not-ready while "
+                  "degraded", file=sys.stderr)
+            return 1
+        degraded_served = np.array(
+            client.predict("smoke", image)["logits"][0], dtype=np.float32)
+        if not np.array_equal(degraded_served, direct):
+            print("CHAOS FAIL: inline-fallback logits diverged from "
+                  "direct fixed-width forward", file=sys.stderr)
+            return 1
+        print(f"phase 2 ok: {backend['ejections']} ejections, "
+              f"{backend['degraded_batches']} inline batches, "
+              f"degraded health + 503 readiness, bit-identical fallback")
+
+        # -- phase 3: lift the faults, wait for re-promotion ------------
+        uninstall()
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            client.predict("smoke", image)
+            health = client.healthz()
+            if health.get("workers", {}).get("active") == workers:
+                break
+            time.sleep(0.25)
+        else:
+            print("CHAOS FAIL: pool did not re-promote within 60s of the "
+                  "faults lifting", file=sys.stderr)
+            return 1
+        if not client.readyz().get("ready"):
+            print("CHAOS FAIL: /readyz still not ready after re-promotion",
+                  file=sys.stderr)
+            return 1
+        backend = inference.backend.stats()
+        if backend["repromotions"] < workers:
+            print(f"CHAOS FAIL: expected {workers} probe re-admissions, "
+                  f"got {backend['repromotions']}", file=sys.stderr)
+            return 1
+        served = np.array(client.predict("smoke", image)["logits"][0],
+                          dtype=np.float32)
+        if not np.array_equal(served, direct):
+            print("CHAOS FAIL: re-promoted pool serves different bits",
+                  file=sys.stderr)
+            return 1
+        print(f"phase 3 ok: {backend['repromotions']} workers re-promoted, "
+              f"ready again, bit-identical logits")
+    finally:
+        uninstall()
+        if httpd is not None:
+            stop_http_server(httpd)
+        if inference is not None:
+            inference.close()
+
+    leaked = leaked_segments(shm_before)
+    if leaked:
+        print(f"CHAOS FAIL: {len(leaked)} shared-memory segments leaked "
+              f"after close: {leaked[:8]}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    if elapsed > args.timeout:
+        print(f"CHAOS FAIL: took {elapsed:.1f}s > budget "
+              f"{args.timeout:.0f}s", file=sys.stderr)
+        return 1
+    print(f"chaos smoke ok: crash/stall/corruption recovered, degradation "
+          f"+ re-promotion clean, 0 errored responses "
           f"({elapsed:.1f}s, budget {args.timeout:.0f}s)")
     return 0
 

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.parallel import ArrayChannel, ChannelPeer, WorkerError, WorkerSession
+from repro.reliability import Fault, FaultPlan, injected
 
 pytestmark = pytest.mark.parallel
 
@@ -117,6 +118,92 @@ class TestWorkerSession:
             session.call("pid")
         with pytest.raises(OSError):
             os.kill(pid, 0)
+
+    def test_timeout_poisons_session_until_respawn(self):
+        session = WorkerSession(Echo)
+        try:
+            with pytest.raises(TimeoutError, match="timed out"):
+                session.call("nap", 30, timeout=0.1)
+            assert session.poisoned
+            # The pipe may hold the worker's late reply: reusing the
+            # session would desynchronize request/reply, so it refuses.
+            with pytest.raises(WorkerError, match="StalledWorker"):
+                session.call("pid")
+            session.kill()
+            fresh = session.respawn()
+            try:
+                assert not fresh.poisoned
+                assert fresh.call("add", 1, 2) == 3
+            finally:
+                fresh.close()
+        finally:
+            session.close(timeout=1.0)
+
+    def test_kill_then_close_never_hangs(self):
+        session = WorkerSession(Echo)
+        session.kill()
+        assert not session.alive
+        session.close(timeout=1.0)
+
+
+class TestFaultInjection:
+    """Injected faults must be indistinguishable from the real failures."""
+
+    def test_injected_crash_reads_as_dead_worker(self):
+        plan = FaultPlan([Fault("session.call:faulty", 2, "crash")])
+        with injected(plan) as injector:
+            with WorkerSession(Echo, name="faulty") as session:
+                assert session.call("add", 1, 1) == 2
+                with pytest.raises(WorkerError, match="died|pipe closed|gone"):
+                    session.call("add", 2, 2)
+                assert not session.alive
+            assert injector.stats()["events"] == [
+                {"site": "session.call:faulty", "call": 2, "kind": "crash"}]
+
+    def test_injected_crash_mid_call_loses_the_reply(self):
+        plan = FaultPlan([Fault("session.call:faulty", 1, "crash_mid")])
+        with injected(plan):
+            session = WorkerSession(Echo, name="faulty")
+            try:
+                with pytest.raises(WorkerError,
+                                   match="died|pipe closed|gone"):
+                    session.call("add", 1, 1)
+                assert not session.alive
+                fresh = session.respawn()
+                try:
+                    assert fresh.call("add", 1, 1) == 2
+                finally:
+                    fresh.close()
+            finally:
+                session.close(timeout=1.0)
+
+    def test_injected_stall_poisons_like_a_real_timeout(self):
+        plan = FaultPlan([Fault("session.call:faulty", 2, "stall")])
+        with injected(plan):
+            session = WorkerSession(Echo, name="faulty")
+            try:
+                assert session.call("add", 1, 1) == 2
+                with pytest.raises(TimeoutError, match="injected stall"):
+                    session.call("add", 2, 2)
+                assert session.poisoned
+                with pytest.raises(WorkerError, match="StalledWorker"):
+                    session.call("counter")
+            finally:
+                session.close(timeout=1.0)
+
+    def test_injected_send_error(self):
+        plan = FaultPlan([Fault("session.call:faulty", 1, "send_error")])
+        with injected(plan):
+            with WorkerSession(Echo, name="faulty") as session:
+                with pytest.raises(WorkerError, match="pipe"):
+                    session.call("add", 1, 1)
+
+    def test_unnamed_sessions_do_not_match_foreign_sites(self):
+        plan = FaultPlan([Fault("session.call:faulty", 1, "crash")])
+        with injected(plan) as injector:
+            with WorkerSession(Echo) as session:
+                assert session.call("add", 1, 2) == 3
+            assert injector.stats()["fired"] == 0
 
 
 class TestArrayChannel:

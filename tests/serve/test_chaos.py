@@ -1,0 +1,281 @@
+"""Chaos tests: injected faults against the supervised serving backend.
+
+Every schedule here is deterministic (explicit site/call triples), so
+these are ordinary tests, not flaky soak runs: the same fault fires at
+the same call on every run, and the acceptance bar is always the same
+— the caller sees no error and the post-recovery logits are
+bit-identical to a direct fixed-width forward of the folded model.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.nn.tensor import Tensor
+from repro.parallel import ModelSpec, WorkerError
+from repro.reliability import (ANY_CALL, Fault, FaultPlan, ReliabilityConfig,
+                               RetryPolicy, injected, uninstall)
+from repro.serve import (BatchPolicy, InferenceServer, ModelStore,
+                         MultiprocBackend)
+
+pytestmark = [pytest.mark.parallel, pytest.mark.chaos]
+
+SPEC = ModelSpec("small_cnn", 4, scale="tiny")
+POLICY = BatchPolicy(max_batch_size=8, max_delay_ms=1.0)
+SHAPE = (3, 12, 12)
+
+#: Test-speed supervision: small backoffs, quick breaker cooldown.
+FAST = ReliabilityConfig(
+    retry=RetryPolicy(max_attempts=4, base_delay_s=0.001, max_delay_s=0.005),
+    failure_threshold=2, respawn_budget=2, breaker_cooldown_s=0.2)
+
+
+def make_store(seed: int = 11) -> ModelStore:
+    nn.manual_seed(seed)
+    model = build_model("small_cnn", num_classes=4, scale="tiny")
+    model.eval()
+    store = ModelStore()
+    store.register("m", model, version="v1", spec=SPEC, input_shape=SHAPE)
+    return store
+
+
+def folded_forward(store: ModelStore, batch: np.ndarray,
+                   version=None) -> np.ndarray:
+    return store.folded("m", version=version)(Tensor(batch)).data
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    uninstall()
+
+
+@pytest.fixture(scope="module")
+def batch(rng) -> np.ndarray:
+    return rng.random((8,) + SHAPE).astype(np.float32)
+
+
+class TestSupervisedRecovery:
+    def test_crash_mid_batch_retried_bit_identical(self, batch):
+        # Worker 0's first infer (call 2: call 1 was the state ship) is
+        # killed after the request lands; the batch must replay on a
+        # healthy worker and return the exact same bits.
+        store = make_store()
+        plan = FaultPlan([
+            Fault("session.call:repro-serve-worker-0", 2, "crash_mid")])
+        with injected(plan) as injector:
+            backend = MultiprocBackend(workers=2, reliability=FAST)
+            try:
+                backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+                out = backend.submit(("m", "v1"), batch).result(timeout=60)
+                stats = backend.stats()
+            finally:
+                backend.close()
+        assert injector.stats()["fired"] == 1
+        assert np.array_equal(out, folded_forward(store, batch))
+        assert stats["retries"] == 1
+        assert stats["respawns"] == 1
+        assert stats["ejections"] == 0
+        assert stats["active_workers"] == 2
+
+    def test_stall_poisons_worker_and_respawn_recovers(self, batch):
+        # A stalled call leaves a stale reply in the pipe: the session
+        # must be respawned (never reused) and the batch retried.
+        store = make_store()
+        plan = FaultPlan([
+            Fault("session.call:repro-serve-worker-0", 2, "stall")])
+        with injected(plan):
+            backend = MultiprocBackend(workers=1, reliability=FAST)
+            try:
+                backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+                out = backend.submit(("m", "v1"), batch).result(timeout=60)
+                stats = backend.stats()
+            finally:
+                backend.close()
+        assert np.array_equal(out, folded_forward(store, batch))
+        assert stats["respawns"] == 1
+        assert stats["retries"] == 1
+
+    def test_corrupt_state_ship_verified_and_reshipped(self, batch):
+        # The first fingerprint the state lane advertises is garbage;
+        # the worker-side verify must reject it and the parent re-ship —
+        # without burning a respawn (the worker never held bad weights).
+        store = make_store()
+        plan = FaultPlan([Fault("state.write", 1, "corrupt_fingerprint")])
+        with injected(plan) as injector:
+            backend = MultiprocBackend(workers=1, reliability=FAST)
+            try:
+                backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+                out = backend.submit(("m", "v1"), batch).result(timeout=60)
+                stats = backend.stats()
+            finally:
+                backend.close()
+        assert injector.stats()["fired"] == 1
+        assert np.array_equal(out, folded_forward(store, batch))
+        assert stats["ship_retries"] == 1
+        assert stats["respawns"] == 0
+
+    def test_crash_during_hot_swap_ship_recovers_both_versions(self, batch):
+        # Worker 0 dies mid-ship of a freshly registered version (the
+        # hot-swap path).  Recovery must re-ship *everything* it held —
+        # both versions then serve bit-identically.
+        store = make_store()
+        backend = MultiprocBackend(workers=2, reliability=FAST)
+        try:
+            backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+            nn.manual_seed(99)
+            v2 = build_model("small_cnn", num_classes=4, scale="tiny")
+            v2.eval()
+            store.register("m", v2, version="v2", spec=SPEC,
+                           input_shape=SHAPE, activate=False)
+            # Call indices are per-injector: this injector sees only the
+            # v2 ship, so worker 0's first counted call IS that ship.
+            plan = FaultPlan([
+                Fault("session.call:repro-serve-worker-0", 1, "crash_mid")])
+            with injected(plan) as injector:
+                backend.ensure_loaded(("m", "v2"), store.entry("m", "v2"))
+                assert injector.stats()["fired"] == 1
+            out_v2 = backend.submit(("m", "v2"), batch).result(timeout=60)
+            out_v1 = backend.submit(("m", "v1"), batch).result(timeout=60)
+            stats = backend.stats()
+        finally:
+            backend.close()
+        assert np.array_equal(out_v1, folded_forward(store, batch,
+                                                     version="v1"))
+        assert np.array_equal(out_v2, folded_forward(store, batch,
+                                                     version="v2"))
+        assert not np.array_equal(out_v1, out_v2)
+        assert stats["respawns"] == 1
+        assert sorted(stats["shipped"]) == ["m/v1", "m/v2"]
+
+    def test_crash_during_warm_up_recovers_before_traffic(self, batch):
+        # Worker 0 dies mid-warm-up (call 2, right after the prefetch
+        # ship).  Server construction must survive, re-warm the respawn,
+        # and serve bit-identical logits from the first request on.
+        store = make_store()
+        plan = FaultPlan([
+            Fault("session.call:repro-serve-worker-0", 2, "crash_mid")])
+        with injected(plan) as injector:
+            server = InferenceServer(store, policy=POLICY, workers=2,
+                                     reliability=FAST)
+            try:
+                assert injector.stats()["fired"] == 1
+                stats = server.backend.stats()
+                assert stats["respawns"] == 1
+                assert all(count >= 1
+                           for count in stats["warmups_per_worker"])
+                served = server.predict("m", batch[0]).logits[0]
+            finally:
+                server.close()
+        padded = np.zeros((POLICY.max_batch_size,) + SHAPE, np.float32)
+        padded[0] = batch[0]
+        assert np.array_equal(served, folded_forward(store, padded)[0])
+
+
+class TestGracefulDegradation:
+    def test_total_worker_loss_degrades_then_repromotes(self, batch):
+        store = make_store()
+        fallback_calls = []
+
+        def fallback(key, arr):
+            fallback_calls.append(key)
+            return folded_forward(store, arr, version=key[1])
+
+        config = ReliabilityConfig(
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.001,
+                              max_delay_s=0.005),
+            failure_threshold=1, respawn_budget=0, breaker_cooldown_s=0.2)
+        expected = folded_forward(store, batch)
+        kill_all = FaultPlan([
+            Fault(f"session.call:repro-serve-worker-{index}", ANY_CALL,
+                  "crash")
+            for index in range(2)])
+        backend = MultiprocBackend(workers=2, reliability=config,
+                                   fallback_fn=fallback)
+        try:
+            backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+            with injected(kill_all):
+                out = backend.submit(("m", "v1"), batch).result(timeout=60)
+                stats = backend.stats()
+                assert stats["degraded"]
+                assert stats["active_workers"] == 0
+                assert stats["ejections"] == 2
+                assert stats["degraded_batches"] == 1
+                assert backend.max_inflight == 1
+            assert np.array_equal(out, expected)
+            assert fallback_calls == [("m", "v1")]
+            # Faults lifted: past the cooldown the next dispatch probes,
+            # re-warms and re-admits both workers.
+            time.sleep(config.breaker_cooldown_s + 0.1)
+            out2 = backend.submit(("m", "v1"), batch).result(timeout=60)
+            stats = backend.stats()
+            assert np.array_equal(out2, expected)
+            assert not stats["degraded"]
+            assert stats["active_workers"] == 2
+            assert stats["repromotions"] == 2
+            assert len(fallback_calls) == 1     # served by a worker again
+            assert backend.max_inflight == 2
+        finally:
+            backend.close()
+
+    def test_no_fallback_surfaces_no_workers_error(self, batch):
+        store = make_store()
+        config = ReliabilityConfig(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                              max_delay_s=0.005),
+            failure_threshold=1, respawn_budget=0, breaker_cooldown_s=30.0)
+        kill_all = FaultPlan([
+            Fault(f"session.call:repro-serve-worker-{index}", ANY_CALL,
+                  "crash")
+            for index in range(2)])
+        backend = MultiprocBackend(workers=2, reliability=config)
+        try:
+            backend.ensure_loaded(("m", "v1"), store.entry("m", "v1"))
+            with injected(kill_all):
+                with pytest.raises(WorkerError, match="NoWorkers"):
+                    backend.submit(("m", "v1"), batch).result(timeout=60)
+                assert backend.stats()["degraded"]
+        finally:
+            backend.close()
+
+    def test_server_health_reflects_degradation(self, batch):
+        # InferenceServer wires its own inline forward as the fallback,
+        # so degradation is invisible to clients except through health.
+        store = make_store()
+        config = ReliabilityConfig(
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.001,
+                              max_delay_s=0.005),
+            failure_threshold=1, respawn_budget=0, breaker_cooldown_s=0.2)
+        server = InferenceServer(store, policy=POLICY, workers=2,
+                                 reliability=config)
+        try:
+            health = server.health()
+            assert health["status"] == "ok" and health["ready"]
+            kill_all = FaultPlan([
+                Fault(f"session.call:repro-serve-worker-{index}", ANY_CALL,
+                      "crash")
+                for index in range(2)])
+            with injected(kill_all):
+                served = server.predict("m", batch[0]).logits[0]
+                health = server.health()
+                assert health["status"] == "degraded"
+                assert not health["ready"]
+                assert health["workers"]["active"] == 0
+                assert server.metrics()["reliability"]["degraded"]
+            padded = np.zeros((POLICY.max_batch_size,) + SHAPE, np.float32)
+            padded[0] = batch[0]
+            assert np.array_equal(served, folded_forward(store, padded)[0])
+            # Recovery: once the faults lift, health returns to ok.
+            time.sleep(config.breaker_cooldown_s + 0.1)
+            server.predict("m", batch[0])
+            health = server.health()
+            assert health["status"] == "ok" and health["ready"]
+            assert health["workers"]["active"] == 2
+            assert health["workers"]["repromotions"] == 2
+        finally:
+            server.close()

@@ -96,14 +96,19 @@ def _check_unused_locals(path: Path, tree: ast.Module) -> Iterator[Violation]:
         if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         loaded = _names_loaded(func)
+        escaped = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                escaped.update(node.names)
         assigned = {}
         for node in ast.walk(func):
-            # Only plain single-name assignments: tuple unpacking and
-            # augmented assignment are exempt (matching ruff's F841).
+            # Only plain single-name assignments: tuple unpacking,
+            # augmented assignment, and names declared global/nonlocal
+            # are exempt (matching ruff's F841).
             if (isinstance(node, ast.Assign) and len(node.targets) == 1
                     and isinstance(node.targets[0], ast.Name)):
                 name = node.targets[0].id
-                if not name.startswith("_"):
+                if not name.startswith("_") and name not in escaped:
                     assigned.setdefault(name, node.lineno)
         for name, lineno in assigned.items():
             if name not in loaded:
