@@ -21,6 +21,13 @@ p50, i.e. the cold-start spike stays dead.  On a single-core runner the
 multiproc comparison is physically meaningless and is reported as
 skipped.
 
+The cluster lane extends the same posture to the multi-host tier: the
+routed load must drop zero responses, router-served logits must equal
+the direct fixed-width forward bit-for-bit (delta exactly 0.0), and —
+with >= 4 usable cores — 2 host processes must deliver at least
+``REVEIL_CLUSTER_SCALE_FACTOR`` (default 1.6) times the 1-host
+aggregate throughput on the same machine.
+
 Modes
 -----
 - default: gate — regressions exit 1;
@@ -62,6 +69,11 @@ Environment knobs::
                                 absolute seconds the first batch may
                                 exceed the factor bound — fresh-server
                                 scheduling noise, not a cold start
+    REVEIL_CLUSTER_SCALE_FACTOR=1.6
+                                2-host aggregate throughput must be >=
+                                1-host times this (near-linear scaling;
+                                compared measured-vs-measured, skipped
+                                below 4 usable cores)
 
 Refresh the baselines after intentional perf changes with::
 
@@ -94,7 +106,8 @@ ATOL_CELL = "folding_max_abs_delta"
 SERVING_TIMING_CELLS = ("serving_p50_seconds", "serving_single_p50_seconds",
                         "serving_multiproc_p50_seconds",
                         "serving_cache_hit_p50_seconds",
-                        "serving_first_batch_seconds")
+                        "serving_first_batch_seconds",
+                        "serving_cluster_p50_seconds")
 
 
 class GateReport:
@@ -277,6 +290,29 @@ def main(argv=None) -> int:
              f"{fb_factor:g}x + {fb_slack:g}s", regressed)
     gate.add("serving_cold_first_batch_seconds", f"{cold * 1e3:.1f}ms",
              "—", "informational", None)
+
+    # -- cluster lane --------------------------------------------------
+    gate.add("serving_cluster_dropped",
+             str(serving["serving_cluster_dropped"]), "—", "0",
+             serving["serving_cluster_dropped"] != 0, correctness=True)
+    cluster_delta = serving["serving_cluster_vs_single_max_delta"]
+    gate.add("serving_cluster_vs_single_max_delta", f"{cluster_delta:.2e}",
+             "—", "exactly 0", cluster_delta != 0.0, correctness=True)
+    one_rps = serving["serving_cluster_1host_rps"]
+    two_rps = serving["serving_cluster_2host_rps"]
+    scale = serving["serving_cluster_scale_2v1"]
+    scale_floor = float(os.environ.get("REVEIL_CLUSTER_SCALE_FACTOR", "1.6"))
+    if cores >= 4:
+        # Two host processes (each one worker) plus the router and the
+        # load generator: below ~4 cores the hosts time-share and the
+        # near-linear expectation is physically meaningless.
+        gate.add("cluster_scale_2v1", f"{scale:.2f}x ({two_rps:.1f} rps)",
+                 f"{one_rps:.1f} rps (1 host)", f">= {scale_floor:g}x",
+                 scale < scale_floor)
+    else:
+        gate.add("cluster_scale_2v1", f"{scale:.2f}x ({two_rps:.1f} rps)",
+                 f"{one_rps:.1f} rps (1 host)",
+                 f"skipped: {cores} cores", None, note="skipped")
 
     # -- response cache ------------------------------------------------
     gate.add("serving_cache_hit_rate",

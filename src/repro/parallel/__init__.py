@@ -53,6 +53,7 @@ from .shm import (ArrayChannel, ArraySlot, ChannelPeer, SharedDataset,
                   StateSlot, StateVerifyError, leaked_segments,
                   share_dataset, shm_segment_names, state_fingerprint,
                   write_states_to)
+from .netstate import NetstateError, StateStreamServer, ship_state
 from .tasks import ModelSpec, ShardTrainResult, ShardTrainTask, StageSpec
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "ArrayChannel", "ArraySlot", "ChannelPeer",
     "StateChannel", "StateSlot", "StateCapacityError", "StateVerifyError",
     "state_fingerprint", "write_states_to",
+    "NetstateError", "StateStreamServer", "ship_state",
     "shm_segment_names", "leaked_segments",
     "SharedDataset", "SharedDatasetHandle", "share_dataset",
     "ModelSpec", "ShardTrainResult", "ShardTrainTask", "StageSpec",

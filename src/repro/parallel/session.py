@@ -66,8 +66,20 @@ def _session_main(factory: Callable[[], Any], conn) -> None:
         import traceback
         build_error = _Outcome(ok=False, error_type="HandlerBuildError",
                                traceback=traceback.format_exc())
+    parent_pid = os.getppid()
+    orphaned = False
     while True:
         try:
+            if not conn.poll(1.0):
+                # Daemonic workers are only reaped when the parent exits
+                # *normally*; a SIGKILLed parent runs no atexit, and
+                # fork-inherited copies of this pipe's ends (in sibling
+                # workers spawned later) keep EOF from ever firing — so
+                # watch for the orphan reparenting too.
+                if os.getppid() != parent_pid:
+                    orphaned = True
+                    break
+                continue
             method, args = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
@@ -88,7 +100,12 @@ def _session_main(factory: Callable[[], Any], conn) -> None:
             conn.send(outcome)
         except (BrokenPipeError, OSError):
             break
-    closer = getattr(handler, "close", None)
+    # On the orphan path the parent can never run its cleanup, so the
+    # handler gets a chance at a stronger teardown (e.g. unlinking the
+    # shared-memory lanes the dead parent created for this worker).
+    closer = getattr(handler, "close_orphaned", None) if orphaned else None
+    if not callable(closer):
+        closer = getattr(handler, "close", None)
     if callable(closer):
         try:
             closer()

@@ -663,3 +663,23 @@ class ChannelPeer:
             except OSError:
                 pass
         self._segments = {}
+
+    def unlink_all(self) -> None:
+        """Unlink every cached attachment — orphan recovery only.
+
+        Segment lifecycle belongs to the creating (parent) process; a
+        worker orphaned by a SIGKILLed parent is the last process
+        standing, so the unlink duty falls to it.  Sibling orphans may
+        race over a shared segment — losing that race is ENOENT, which
+        is fine.
+        """
+        for segment in self._segments.values():
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            try:
+                segment.close()
+            except OSError:
+                pass
+        self._segments = {}

@@ -9,18 +9,27 @@ processes holding per-process folded replicas with a shared-memory
 logits return path — an exact-response LRU (:class:`ResponseCache`,
 provably bit-identical replays), a stdlib HTTP front end with explicit
 429 backpressure, an online STRIP screen (:class:`OnlineStrip`) and a
-closed-loop load generator.  ``repro serve`` / ``repro client`` are the
-CLI entry points; :func:`build_reveil_serving` assembles the paper's
-camouflage → unlearn → hot-swap timeline as a live serving workload.
+closed-loop load generator.  One level up, :class:`ServingCluster`
+runs N such stacks as separate host processes behind a router that
+hashes ``(model, version)`` onto replica groups, ships states over the
+network state channel, and survives host death (re-route, re-ship,
+re-warm) with cluster-wide hot-swap under a bounded version skew.
+``repro serve`` / ``repro client`` are the CLI entry points;
+:func:`build_reveil_serving` / :func:`build_reveil_cluster` assemble
+the paper's camouflage → unlearn → hot-swap timeline as a live serving
+workload, single-host or clustered.
 """
 
 from .batcher import (BatchOutput, BatchPolicy, InlineBackend, MicroBatcher,
                       QueueFullError)
 from .cache import ResponseCache, input_digest
 from .client import LoadReport, ServingClient, ServingError, run_load
+from .cluster import (GroupMap, HostHandle, RouterHTTPServer, ServingCluster,
+                      VersionSkewError)
 from .http import ServingHTTPServer, start_http_server, stop_http_server
 from .multiproc import MultiprocBackend, ReplicaWorker
-from .scenario import ReVeilServing, build_reveil_serving, serving_store
+from .scenario import (ReVeilCluster, ReVeilServing, build_reveil_cluster,
+                       build_reveil_serving, serving_store)
 from .screening import OnlineStrip, ScreenConfig
 from .server import InferenceServer, PredictResult
 from .store import ModelEntry, ModelKey, ModelStore
@@ -33,6 +42,9 @@ __all__ = [
     "InferenceServer", "PredictResult",
     "OnlineStrip", "ScreenConfig",
     "ServingHTTPServer", "start_http_server", "stop_http_server",
+    "ServingCluster", "GroupMap", "HostHandle", "RouterHTTPServer",
+    "VersionSkewError",
     "ServingClient", "ServingError", "LoadReport", "run_load",
     "ReVeilServing", "build_reveil_serving", "serving_store",
+    "ReVeilCluster", "build_reveil_cluster",
 ]

@@ -45,7 +45,13 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer bound to an :class:`InferenceServer`."""
+    """ThreadingHTTPServer bound to an :class:`InferenceServer`.
+
+    ``inference`` is duck-typed: anything with ``predict`` / ``health``
+    / ``metrics`` and a ``store`` can sit behind the handler — the
+    cluster router front end (:mod:`repro.serve.cluster`) reuses this
+    exact server with its own handler subclass via ``handler_cls``.
+    """
 
     daemon_threads = True
     # Ephemeral-port reuse in quick test cycles.
@@ -57,8 +63,11 @@ class ServingHTTPServer(ThreadingHTTPServer):
     # spurious "errored responses" that have nothing to do with serving.
     request_queue_size = 128
 
+    #: Handler class; subclasses override to reroute individual verbs.
+    handler_cls = None  # filled in after _Handler is defined
+
     def __init__(self, address: Tuple[str, int], inference: InferenceServer):
-        super().__init__(address, _Handler)
+        super().__init__(address, type(self).handler_cls)
         self.inference = inference
 
     @property
@@ -134,7 +143,10 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - surfaced as 500
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            # Exceptions carrying an ``http_status`` pick their own code
+            # (the cluster router's version-skew refusal answers 409).
+            self._send_json(getattr(exc, "http_status", 500),
+                            {"error": f"{type(exc).__name__}: {exc}"})
 
     def _predict(self) -> None:
         payload = self._read_json()
@@ -163,8 +175,13 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, {"model": model, "active": version})
 
 
+ServingHTTPServer.handler_cls = _Handler
+
+
 def start_http_server(inference: InferenceServer, host: str = "127.0.0.1",
-                      port: int = 0, retries: int = 3) -> ServingHTTPServer:
+                      port: int = 0, retries: int = 3,
+                      server_factory: type = ServingHTTPServer,
+                      ) -> ServingHTTPServer:
     """Bind (``port=0`` = ephemeral) and serve on a background thread.
 
     A requested port that turns out to be taken (``EADDRINUSE`` — CI
@@ -180,7 +197,7 @@ def start_http_server(inference: InferenceServer, host: str = "127.0.0.1",
     attempt = 0
     while True:
         try:
-            httpd = ServingHTTPServer((host, port), inference)
+            httpd = server_factory((host, port), inference)
             break
         except OSError as exc:
             if exc.errno != errno.EADDRINUSE or attempt >= retries:

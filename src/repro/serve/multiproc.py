@@ -165,6 +165,17 @@ class ReplicaWorker:
         self._peer.close()
         self._replicas.clear()
 
+    def close_orphaned(self) -> None:
+        """Teardown after the parent died without cleanup (SIGKILL).
+
+        The session loop calls this instead of :meth:`close` when it
+        detects reparenting: the dead parent can never unlink the lanes
+        it created for this worker, so the last process mapping them
+        does it on the way out.
+        """
+        self._peer.unlink_all()
+        self._replicas.clear()
+
 
 class _WorkerHandle:
     """One session plus its two single-flight array lanes.

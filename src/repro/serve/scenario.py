@@ -65,7 +65,10 @@ def serving_store(result: PipelineResult, name: Optional[str] = None,
     ``unlearned``), for whichever stages the run produced single-model
     artifacts.  ``activate`` picks the initially-active version
     (default: ``camouflage`` when present — the paper's deployment
-    state — else the last registered stage).
+    state — else the last registered stage).  ``store`` may be any
+    object with ``register``/``activate`` in the :class:`ModelStore`
+    shape — passing a :class:`~repro.serve.cluster.ServingCluster`
+    replicates every stage model across its host groups.
     """
     cfg = result.config
     name = name or cfg.model
@@ -133,6 +136,59 @@ def build_reveil_serving(cfg: PipelineConfig,
                              prefetch_replicas=prefetch_replicas,
                              reliability=reliability)
     return ReVeilServing(server=server, store=store, model_name=cfg.model,
+                         result=result, clean_test=result.clean_test,
+                         attack_test=result.attack_test,
+                         target_label=result.target_label)
+
+
+@dataclass
+class ReVeilCluster:
+    """The deployment scenario behind the multi-host serving tier."""
+
+    cluster: "ServingCluster"
+    model_name: str
+    result: PipelineResult
+    clean_test: ArrayDataset
+    attack_test: ArrayDataset
+    target_label: int
+
+    def hot_swap_to_unlearned(self) -> None:
+        """The post-unlearning deployment step — now cluster-wide."""
+        self.cluster.activate(self.model_name, "unlearned")
+
+    def close(self) -> None:
+        self.cluster.close()
+
+
+def build_reveil_cluster(cfg: PipelineConfig, hosts: int = 2,
+                         group_size: Optional[int] = None,
+                         workers_per_host: int = 1,
+                         policy: BatchPolicy = BatchPolicy(),
+                         response_cache: int = 0,
+                         reliability: Optional[ReliabilityConfig] = None,
+                         ) -> ReVeilCluster:
+    """Train the scenario and stand it up on a multi-host cluster.
+
+    The same pipeline run as :func:`build_reveil_serving`, but the
+    stage models register into a :class:`~repro.serve.cluster.
+    ServingCluster` — ``serving_store`` duck-types onto it, so every
+    version ships to its replica group and the camouflage → unlearn
+    hot-swap propagates cluster-wide through the skew-bounded
+    ``activate``.  Call ``cluster.serve()`` on the result for the
+    router's HTTP front end.
+    """
+    from .cluster import ServingCluster
+    result = run_pipeline(cfg, stages=("camouflage", "unlearn"))
+    cluster = ServingCluster(hosts=hosts, group_size=group_size,
+                             workers_per_host=workers_per_host,
+                             policy=policy, response_cache=response_cache,
+                             reliability=reliability)
+    try:
+        serving_store(result, store=cluster)
+    except BaseException:
+        cluster.close()
+        raise
+    return ReVeilCluster(cluster=cluster, model_name=cfg.model,
                          result=result, clean_test=result.clean_test,
                          attack_test=result.attack_test,
                          target_label=result.target_label)

@@ -1,0 +1,139 @@
+"""Network state transport: framing, resume, verify, rejection.
+
+The contract under test: one :func:`ship_state` call either lands a
+fingerprint-verified payload on the receiver or raises
+:class:`NetstateError` — a dropped connection resumes from the
+receiver's high-water mark instead of restarting, transport corruption
+is caught by the receiver's re-verify and fixed by a re-ship, and a
+deterministic handler rejection fails fast without burning retries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import NetstateError, StateStreamServer, ship_state
+from repro.parallel.netstate import request
+from repro.parallel.shm import state_fingerprint
+from repro.reliability import Fault, FaultPlan, injected, uninstall
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    uninstall()
+
+
+def make_state(seed: int = 7) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "conv.weight": rng.normal(size=(8, 3, 3, 3)).astype(np.float32),
+        "conv.bias": rng.normal(size=(8,)).astype(np.float32),
+        "head.weight": rng.normal(size=(4, 200)).astype(np.float32),
+    }
+
+
+class Sink:
+    """Handler recording every (message, state) pair it receives."""
+
+    def __init__(self):
+        self.received = []
+
+    def __call__(self, message, state):
+        self.received.append((message, state))
+        return {"echo": message.get("tag")}
+
+
+@pytest.fixture()
+def server():
+    sink = Sink()
+    srv = StateStreamServer(sink)
+    try:
+        yield srv, sink
+    finally:
+        srv.close()
+
+
+def assert_states_equal(got: dict, want: dict) -> None:
+    assert sorted(got) == sorted(want)
+    for name in want:
+        assert got[name].dtype == want[name].dtype
+        assert np.array_equal(got[name], want[name])
+
+
+def test_round_trip_ships_verified_state(server):
+    srv, sink = server
+    state = make_state()
+    reply = ship_state(srv.address, {"kind": "reg", "tag": "t1"}, state,
+                       transfer_id="m@v1#t")
+    assert reply["ok"] and reply["echo"] == "t1"
+    assert reply["attempts"] == 1 and reply["resumed_from"] == 0
+    message, received = sink.received[0]
+    assert message["kind"] == "reg" and "slot" not in message
+    assert_states_equal(received, state)
+    assert state_fingerprint(received) == state_fingerprint(state)
+    assert srv.stats["state_receives"] == 1
+    assert srv.stats["verify_failures"] == 0
+
+
+def test_control_request_without_payload(server):
+    srv, sink = server
+    reply = request(srv.address, {"kind": "ping", "tag": "p"})
+    assert reply["ok"] and reply["echo"] == "p"
+    assert sink.received[0] == ({"kind": "ping", "tag": "p"}, None)
+    assert srv.stats["state_receives"] == 0
+
+
+def test_dropped_connection_resumes_not_restarts(server):
+    srv, sink = server
+    state = make_state()
+    with injected(FaultPlan([Fault("netstate.send", 1, "send_error")])):
+        reply = ship_state(srv.address, {"kind": "reg", "tag": "t"}, state,
+                           transfer_id="m@v1#r", backoff_s=0.001)
+    assert reply["ok"] and reply["attempts"] == 2
+    # The second attempt started from the first attempt's high-water
+    # mark — the torn prefix was retained, not thrown away.
+    assert reply["resumed_from"] > 0
+    assert srv.stats["resumed_bytes"] == reply["resumed_from"]
+    assert_states_equal(sink.received[0][1], state)
+
+
+def test_corrupt_fingerprint_caught_and_reshipped(server):
+    srv, sink = server
+    state = make_state()
+    with injected(FaultPlan([Fault("netstate.send", 1,
+                                   "corrupt_fingerprint")])):
+        reply = ship_state(srv.address, {"kind": "reg", "tag": "t"}, state,
+                           transfer_id="m@v1#c", backoff_s=0.001)
+    assert reply["ok"] and reply["attempts"] == 2
+    assert srv.stats["verify_failures"] == 1
+    # Only the clean re-ship reached the handler, bit-exact.
+    assert len(sink.received) == 1
+    assert_states_equal(sink.received[0][1], state)
+
+
+def test_exhausted_attempts_raise(server):
+    srv, _ = server
+    with injected(FaultPlan([Fault("netstate.send", 0, "send_error")])):
+        with pytest.raises(NetstateError, match="after 2 attempts"):
+            ship_state(srv.address, {"kind": "reg"}, make_state(),
+                       transfer_id="m@v1#x", attempts=2, backoff_s=0.001)
+
+
+def test_handler_rejection_is_not_retried():
+    calls = []
+
+    def reject(message, state):
+        calls.append(message)
+        raise RuntimeError("registered with different weights")
+
+    srv = StateStreamServer(reject)
+    try:
+        with pytest.raises(NetstateError, match="rejected by the receiver"):
+            ship_state(srv.address, {"kind": "reg"}, make_state(),
+                       transfer_id="m@v1#n", attempts=4, backoff_s=0.001)
+        # Deterministic rejections fail fast: one delivery, no retries.
+        assert len(calls) == 1
+    finally:
+        srv.close()
