@@ -190,6 +190,27 @@ def time_multirun(dataset_name: str, epochs: int, workers: int) -> dict:
     return {"seconds": seconds, "metrics": metrics}
 
 
+def training_phase_breakdown(dataset_name: str = "unit",
+                             epochs: int = 1) -> dict:
+    """Per-phase wall/CPU split of one training epoch, hooks enabled.
+
+    The conv-kernel block layer is instrumented with the zero-cost
+    profiling idiom (:mod:`repro.obs.profile`); enabling it for one
+    short run shows where a training step's time actually goes —
+    ``conv.forward`` vs ``conv.backward`` wall/CPU seconds and call
+    counts — without perturbing any timed cell (hooks are off, and
+    cost nothing, everywhere else).
+    """
+    from repro.obs import profiled
+    train, _, profile = load_dataset(dataset_name, seed=0)
+    nn.manual_seed(21)
+    model = build_model("small_cnn", profile.num_classes, scale="bench")
+    with profiled() as profiler:
+        train_model(model, train,
+                    TrainConfig(epochs=epochs, lr=3e-3, seed=13))
+    return profiler.snapshot()
+
+
 def run_quick_gate() -> dict:
     """Smoke-scale perf cells; baselines for benchmarks/check_regression.py."""
     cells = {}
@@ -345,6 +366,12 @@ def run_full(report: dict) -> bool:
             print("  ERROR: folded logits diverged beyond atol=1e-5",
                   file=sys.stderr)
             return False
+
+    print("per-phase training breakdown (profiling hooks on)")
+    report["phases"] = training_phase_breakdown()
+    for name, bucket in report["phases"].items():
+        print(f"  {name}: {bucket['calls']} calls, "
+              f"wall {bucket['wall_s']:.2f}s, cpu {bucket['cpu_s']:.2f}s")
     return True
 
 

@@ -51,6 +51,7 @@ from repro.data.registry import load_dataset  # noqa: E402
 from repro.models.registry import build_model  # noqa: E402
 from repro.nn.tensor import Tensor  # noqa: E402
 from repro.nn.threading import available_cpu_count  # noqa: E402
+from repro.obs import profiled, set_tracing  # noqa: E402
 from repro.parallel import ModelSpec  # noqa: E402
 from repro.serve import (BatchPolicy, InferenceServer, ModelStore,  # noqa: E402
                          ServingClient, ServingCluster, run_load,
@@ -333,6 +334,66 @@ def cached_vs_fresh_delta(dataset: str = "unit") -> float:
         server.close()
 
 
+def obs_overhead_cells(requests: int = 96, concurrency: int = 8,
+                       repeats: int = 3) -> dict:
+    """Tracing + metrics at defaults vs tracing off, same load.
+
+    Measured-vs-measured on this machine, so the cells answer the only
+    question that matters: what does leaving the observability plane on
+    cost?  ``check_regression.py`` gates the ratio via
+    ``REVEIL_OBS_OVERHEAD_FACTOR`` (default 1.05 — the obs plane may
+    cost at most ~5% of steady p50).
+
+    A single p50 pair on a shared/1-CPU runner swings ±40% from
+    scheduler noise, so each mode takes the best of ``repeats`` runs —
+    the standard noise-robust estimator for a floor-cost comparison
+    (systematic overhead survives a min; time-slice hiccups don't).
+    Modes alternate so slow machine phases hit both equally.
+    """
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    p50 = {"off": float("inf"), "on": float("inf")}
+    for _ in range(repeats):
+        for mode in ("off", "on"):
+            server, test = _build_server(policy, dataset="unit",
+                                         model_name="small_cnn",
+                                         scale="tiny")
+            previous = set_tracing(mode == "on")
+            try:
+                cell = _run_cell(server, test, requests, concurrency,
+                                 distinct_images=16)
+            finally:
+                set_tracing(previous)
+                server.close()
+            p50[mode] = min(p50[mode], cell["p50_ms"] / 1e3)
+    return {
+        "serving_obs_on_p50_seconds": p50["on"],
+        "serving_obs_off_p50_seconds": p50["off"],
+        "serving_obs_overhead_factor": p50["on"] / max(p50["off"], 1e-9),
+    }
+
+
+def phase_breakdown(requests: int = 64, concurrency: int = 8) -> dict:
+    """Per-phase wall/CPU breakdown of one inline serving run.
+
+    Enables the zero-cost profiling hooks (:func:`repro.obs.profiled`)
+    for the duration of a short load: the snapshot splits the serving
+    path into its instrumented phases — ``serve.dispatch`` (pad +
+    submit), ``conv.forward`` (the kernel block layer; visible inline,
+    where the forward runs in-process) and, with worker processes,
+    ``session.call`` / ``netstate.ship``.
+    """
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    server, test = _build_server(policy, dataset="unit",
+                                 model_name="small_cnn", scale="tiny")
+    try:
+        with profiled() as profiler:
+            _run_cell(server, test, requests, concurrency,
+                      distinct_images=16)
+        return profiler.snapshot()
+    finally:
+        server.close()
+
+
 def run_quick_gate() -> dict:
     """Smoke-scale serving cells for the CI perf gate.
 
@@ -395,6 +456,9 @@ def run_quick_gate() -> dict:
                                     + two_hosts["rejected"]
                                     + two_hosts["errors"]),
         "serving_cluster_vs_single_max_delta": cluster_vs_single_delta(),
+        # Observability overhead pair: tracing + metrics at defaults vs
+        # tracing off, same machine, same load.
+        **obs_overhead_cells(),
     }
 
 
@@ -472,6 +536,13 @@ def run_full() -> dict:
                   f"{'prefetch' if prefetch else 'lazy'}: first "
                   f"{cell['first_batch_p99_seconds'] * 1e3:.1f}ms, steady "
                   f"p50 {cell['steady_p50_seconds'] * 1e3:.1f}ms")
+    print("per-phase breakdown (profiling hooks on, inline backend)")
+    phases = phase_breakdown()
+    section["phases"] = phases
+    for name, bucket in phases.items():
+        print(f"  {name}: {bucket['calls']} calls, "
+              f"wall {bucket['wall_s'] * 1e3:.1f}ms, "
+              f"cpu {bucket['cpu_s'] * 1e3:.1f}ms")
     return section
 
 

@@ -74,6 +74,15 @@ Environment knobs::
                                 1-host times this (near-linear scaling;
                                 compared measured-vs-measured, skipped
                                 below 4 usable cores)
+    REVEIL_OBS_OVERHEAD_FACTOR=1.05
+                                steady p50 with tracing + metrics at
+                                defaults must be <= the tracing-off p50
+                                times this — the observability plane
+                                may cost at most ~5%
+    REVEIL_OBS_MIN_SLACK=0.005  absolute seconds the tracing-on p50 may
+                                exceed the tracing-off p50 before the
+                                ratio check fails (millisecond-cell
+                                jitter guard)
 
 Refresh the baselines after intentional perf changes with::
 
@@ -321,6 +330,22 @@ def main(argv=None) -> int:
     cache_delta = serving["serving_cached_vs_fresh_max_delta"]
     gate.add("serving_cached_vs_fresh_max_delta", f"{cache_delta:.2e}",
              "—", "exactly 0", cache_delta != 0.0, correctness=True)
+
+    # -- observability overhead ----------------------------------------
+    # Tracing + metrics at their defaults may cost at most ~5% of the
+    # steady p50, compared measured-vs-measured against the same load
+    # with tracing off on this machine; the absolute slack keeps
+    # millisecond-scale p50 jitter from flaking the ratio.
+    obs_factor = float(os.environ.get("REVEIL_OBS_OVERHEAD_FACTOR", "1.05"))
+    obs_slack = float(os.environ.get("REVEIL_OBS_MIN_SLACK", "0.005"))
+    obs_on = serving["serving_obs_on_p50_seconds"]
+    obs_off = serving["serving_obs_off_p50_seconds"]
+    regressed = (obs_on > obs_off * obs_factor
+                 and (obs_on - obs_off) > obs_slack)
+    gate.add("obs_overhead_factor",
+             f"{obs_on / max(obs_off, 1e-9):.3f}x ({obs_on * 1e3:.1f}ms)",
+             f"{obs_off * 1e3:.1f}ms (tracing off)",
+             f"<= {obs_factor:g}x + {obs_slack:g}s", regressed)
 
     gate.write_step_summary()
     if gate.failed:

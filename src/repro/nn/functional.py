@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 from scipy import sparse
 
+from ..obs import profile as _profile
 from .tensor import Tensor, ensure_tensor
 from .threading import batch_blocks, map_blocks
 
@@ -130,6 +131,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     # Batched BLAS, blocked over the batch: (1, G, O/G, K) @ (B, G, K, L)
     # -> (B, G, O/G, L) per row-block.  Output rows are disjoint, so the
     # blocks run concurrently on the intra-op pool without any reduction.
+    _prof = _profile.ACTIVE
+    prof_token = _prof.start("conv.forward") if _prof is not None else None
     blocks = batch_blocks(n)
     if len(blocks) == 1:
         out = np.matmul(w_g[None], cols_g)
@@ -141,6 +144,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             np.matmul(w_g[None], cols_g[sl], out=out[sl])
 
         map_blocks(_forward_block, blocks)
+    if _prof is not None:
+        _prof.stop(prof_token)
     out = out.reshape(n, o, out_h, out_w)
     if bias is not None:
         out = out + bias.data.reshape(1, o, 1, 1)
@@ -149,6 +154,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     hp, wp = h + 2 * ph, w + 2 * pw
 
     def backward(g):
+        _prof = _profile.ACTIVE
+        prof_token = (_prof.start("conv.backward") if _prof is not None
+                      else None)
         g_r = g.reshape(n, groups, o // groups, loc)
         bwd_blocks = batch_blocks(n)
         gx = gw = gb = None
@@ -189,6 +197,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             gx = gx_padded[:, :, ph:ph + h, pw:pw + w].astype(x.dtype, copy=False)
         if bias is not None and bias.requires_grad:
             gb = g.sum(axis=(0, 2, 3)).astype(bias.dtype, copy=False)
+        if _prof is not None:
+            _prof.stop(prof_token)
         if bias is None:
             return (gx, gw)
         return (gx, gw, gb)

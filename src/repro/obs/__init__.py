@@ -1,0 +1,42 @@
+"""``repro.obs`` — the unified observability plane.
+
+One substrate for everything the serving, cluster, and training layers
+report about themselves:
+
+- :mod:`repro.obs.metrics` — typed :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments behind per-component
+  :class:`Registry` objects, with deterministic log-spaced histogram
+  buckets so snapshots merge across worker/host processes, and a
+  Prometheus text renderer for ``/metrics.prom``;
+- :mod:`repro.obs.trace` — 64-bit request trace ids propagated router
+  → host → batcher → worker, span records collected into the bounded
+  process-local :data:`~repro.obs.trace.RECORDER` flight recorder,
+  dumpable via ``GET /debug/traces``;
+- :mod:`repro.obs.profile` — per-phase wall/CPU timers (batcher,
+  session call, netstate ship, conv kernels), off by default and
+  zero-cost when off (module-attr ``None`` check, same idiom as
+  :mod:`repro.reliability.faults`);
+- :mod:`repro.obs.backoff` — the one shared deterministic sha1-jitter
+  backoff used by every retry loop in the tree.
+
+Dependency-free by design (stdlib only): any layer may import it
+without cycles.
+"""
+
+from .backoff import backoff_delay, jitter_unit
+from .metrics import (DEFAULT_BUCKET_BOUNDS, Counter, Gauge, Histogram,
+                      Registry, render_prometheus)
+from .profile import PhaseProfiler, profiled
+from .trace import (RECORDER, TRACE_HEADER, FlightRecorder, coerce_trace_id,
+                    mint_trace_id, record_span, set_tracing, span,
+                    tracing_enabled, valid_trace_id)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Registry", "render_prometheus",
+    "DEFAULT_BUCKET_BOUNDS",
+    "FlightRecorder", "RECORDER", "TRACE_HEADER", "span", "record_span",
+    "mint_trace_id", "coerce_trace_id", "valid_trace_id",
+    "set_tracing", "tracing_enabled",
+    "PhaseProfiler", "profiled",
+    "backoff_delay", "jitter_unit",
+]

@@ -45,6 +45,9 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs import profile as _profile
+from ..obs.backoff import backoff_delay
+from ..obs.metrics import Registry
 from ..reliability import faults as _faults
 from .shm import (StateSlot, StateVerifyError, _pack_state, _unpack_state,
                   packed_nbytes)
@@ -142,8 +145,11 @@ class StateStreamServer:
         self.handler = handler
         self._partial: Dict[str, bytearray] = {}
         self._lock = threading.Lock()
-        self.stats = {"messages": 0, "state_receives": 0,
-                      "resumed_bytes": 0, "verify_failures": 0}
+        self.registry = Registry()
+        self._messages = self.registry.counter("messages")
+        self._state_receives = self.registry.counter("state_receives")
+        self._resumed_bytes = self.registry.counter("resumed_bytes")
+        self._verify_failures = self.registry.counter("verify_failures")
         outer = self
 
         class _Connection(socketserver.BaseRequestHandler):
@@ -159,6 +165,14 @@ class StateStreamServer:
     def address(self) -> Tuple[str, int]:
         host, port = self._server.server_address[:2]
         return host, port
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Receiver counters (registry-backed; read-only snapshot)."""
+        return {"messages": self._messages.value,
+                "state_receives": self._state_receives.value,
+                "resumed_bytes": self._resumed_bytes.value,
+                "verify_failures": self._verify_failures.value}
 
     def close(self) -> None:
         self._server.shutdown()
@@ -180,8 +194,7 @@ class StateStreamServer:
             return
 
     def _handle_message(self, sock: socket.socket, message: dict) -> dict:
-        with self._lock:
-            self.stats["messages"] += 1
+        self._messages.inc()
         slot: Optional[StateSlot] = message.pop("slot", None)
         state: Optional[dict] = None
         if slot is not None:
@@ -197,25 +210,27 @@ class StateStreamServer:
             # deterministic — re-shipping the same bytes cannot fix it.
             return {"ok": False, "error": type(exc).__name__,
                     "detail": str(exc), "retryable": False}
-        return {"ok": True, **extra}
+        # Piggyback the receiver's metric snapshot on every ok reply so
+        # the sender (the cluster router) observes remote-host counters
+        # without a separate scrape round-trip.
+        return {"ok": True, "obs": self.registry.snapshot(), **extra}
 
     def _receive_payload(self, sock: socket.socket,
                          slot: StateSlot) -> Optional[dict]:
         with self._lock:
             buf = self._partial.setdefault(slot.name, bytearray())
             have = len(buf)
-            if have:
-                self.stats["resumed_bytes"] += have
+        if have:
+            self._resumed_bytes.inc(have)
         _send_frame(sock, pickle.dumps({"have": have}))
         _recv_exact(sock, slot.nbytes - have, sink=buf)
         with self._lock:
             self._partial.pop(slot.name, None)
-            self.stats["state_receives"] += 1
+        self._state_receives.inc()
         try:
             return _unpack_state(buf, slot, verify=True)
         except StateVerifyError:
-            with self._lock:
-                self.stats["verify_failures"] += 1
+            self._verify_failures.inc()
             return None
 
 
@@ -258,6 +273,8 @@ def ship_state(address: Tuple[str, int], message: dict,
         if fault is not None and fault.kind == "corrupt_fingerprint":
             advertised = StateSlot(name=slot.name, entries=slot.entries,
                                    nbytes=slot.nbytes, fingerprint="0" * 40)
+        _prof = _profile.ACTIVE
+        prof_token = _prof.start("netstate.ship") if _prof is not None else None
         try:
             with socket.create_connection(address, timeout=timeout) as sock:
                 _send_frame(sock, pickle.dumps({**message,
@@ -283,7 +300,11 @@ def ship_state(address: Tuple[str, int], message: dict,
             last = reply
         except (ConnectionError, OSError, EOFError) as exc:
             last = exc
+        finally:
+            if _prof is not None:
+                _prof.stop(prof_token)
         if attempt + 1 < attempts:
-            time.sleep(backoff_s * (attempt + 1))
+            time.sleep(backoff_delay(attempt + 1, base_delay_s=backoff_s,
+                                     max_delay_s=1.0, token=transfer_id))
     raise NetstateError(f"state ship {transfer_id!r} to {address} failed "
                         f"after {attempts} attempts: {last}")

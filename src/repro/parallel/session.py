@@ -40,6 +40,7 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+from ..obs import profile as _profile
 from ..reliability import faults as _faults
 from .pool import WorkerError, _Outcome, default_context
 
@@ -96,6 +97,17 @@ def _session_main(factory: Callable[[], Any], conn) -> None:
             import traceback
             outcome = _Outcome(ok=False, error_type=type(exc).__name__,
                                traceback=traceback.format_exc())
+        # Drain the handler's metric delta into the reply envelope: the
+        # parent merges it into its worker registry, so worker counters
+        # ship back piggybacked instead of via a separate scrape call.
+        registry = getattr(handler, "obs_registry", None)
+        if registry is not None:
+            try:
+                delta = registry.drain()
+                if delta:
+                    outcome.obs = delta
+            except Exception:
+                pass
         try:
             conn.send(outcome)
         except (BrokenPipeError, OSError):
@@ -152,6 +164,9 @@ class WorkerSession:
         self._closed = False
         self._poisoned = False
         self.calls = 0
+        #: Optional :class:`repro.obs.metrics.Registry` the parent sets;
+        #: worker-side metric deltas riding reply envelopes merge here.
+        self.obs_sink = None
 
     @property
     def pid(self) -> Optional[int]:
@@ -226,12 +241,24 @@ class WorkerSession:
                 raise TimeoutError(
                     f"session {self.name!r} call {method!r} injected stall "
                     f"past deadline")
+            _prof = _profile.ACTIVE
+            prof_token = (_prof.start("session.call")
+                          if _prof is not None else None)
             try:
                 outcome = self._recv(method, timeout)
             except TimeoutError:
                 self._poisoned = True
                 raise
+            finally:
+                if _prof is not None:
+                    _prof.stop(prof_token)
             self.calls += 1
+            obs = getattr(outcome, "obs", None)
+            if obs and self.obs_sink is not None:
+                try:
+                    self.obs_sink.merge(obs)
+                except ValueError:
+                    pass    # bounds drift across versions: drop, don't raise
         if not outcome.ok:
             raise WorkerError(f"{self.name}:{method}", outcome.error_type,
                               outcome.traceback)
@@ -279,8 +306,10 @@ class WorkerSession:
         re-shipped by the caller.
         """
         self.close(timeout=timeout)
-        return WorkerSession(self._factory, context=self._context,
-                             name=self.name)
+        fresh = WorkerSession(self._factory, context=self._context,
+                              name=self.name)
+        fresh.obs_sink = self.obs_sink
+        return fresh
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop the worker (graceful, then ``terminate()``).  Idempotent.

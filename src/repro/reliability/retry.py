@@ -20,10 +20,11 @@ supplies the knobs:
 
 from __future__ import annotations
 
-import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Optional
+
+from ..obs.backoff import backoff_delay
 
 
 @dataclass(frozen=True)
@@ -54,17 +55,13 @@ class RetryPolicy:
 
         Deterministic: the jitter factor is derived from a hash of
         ``(token, attempt)``, so a given (worker, attempt) pair always
-        waits the same amount while distinct workers still de-correlate.
+        waits the same amount while distinct workers still de-correlate
+        (:func:`repro.obs.backoff.backoff_delay` — the one shared copy
+        every retry loop in the tree backs off through).
         """
-        if attempt < 1:
-            raise ValueError("attempt is 1-based")
-        delay = min(self.max_delay_s,
-                    self.base_delay_s * (2.0 ** (attempt - 1)))
-        if self.jitter == 0.0:
-            return delay
-        digest = hashlib.sha1(f"{token}:{attempt}".encode()).digest()
-        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
-        return delay * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+        return backoff_delay(attempt, base_delay_s=self.base_delay_s,
+                             max_delay_s=self.max_delay_s,
+                             jitter=self.jitter, token=token)
 
 
 class WorkerSupervisor:

@@ -51,6 +51,9 @@ from typing import Callable, Dict, Hashable, List, Optional
 import numpy as np
 
 from ..nn.threading import MIN_BLOCK_BATCH, NUM_BLOCKS, batch_blocks
+from ..obs import profile as _profile
+from ..obs import trace as _trace
+from ..obs.metrics import Registry
 
 
 class QueueFullError(RuntimeError):
@@ -117,13 +120,15 @@ def _format_key(key: Hashable) -> str:
 
 
 class _Request:
-    __slots__ = ("key", "images", "future", "submitted_at")
+    __slots__ = ("key", "images", "future", "submitted_at", "trace")
 
-    def __init__(self, key: Hashable, images: np.ndarray):
+    def __init__(self, key: Hashable, images: np.ndarray,
+                 trace: Optional[str] = None):
         self.key = key
         self.images = images
         self.future: Future = Future()
         self.submitted_at = time.perf_counter()
+        self.trace = trace
 
 
 class InlineBackend:
@@ -145,7 +150,8 @@ class InlineBackend:
     def __init__(self, infer_fn: Callable[[Hashable, np.ndarray], np.ndarray]):
         self.infer_fn = infer_fn
 
-    def submit(self, key: Hashable, batch: np.ndarray) -> Future:
+    def submit(self, key: Hashable, batch: np.ndarray,
+               traces: tuple = ()) -> Future:
         future: Future = Future()
         try:
             future.set_result(np.asarray(self.infer_fn(key, batch)))
@@ -215,14 +221,19 @@ class MicroBatcher:
         self._cond = threading.Condition()
         self._queue: "deque[_Request]" = deque()
         self._closed = False
-        # Counters (guarded by _cond's lock).
-        self._requests = 0
-        self._rejected = 0
-        self._errors = 0
-        self._batches = 0
+        # Scheduler counters live in a typed registry (thread-safe on
+        # their own); ``_inflight`` stays a plain int because the
+        # dispatch loop *waits* on it under ``_cond`` — it is flow
+        # control, not just a metric.
+        self.registry = Registry()
+        self._requests = self.registry.counter("requests")
+        self._rejected = self.registry.counter("rejected")
+        self._errors = self.registry.counter("errors")
+        self._batches = self.registry.counter("batches")
+        self._real_rows = self.registry.counter("real_rows")
+        self._padded_rows = self.registry.counter("padded_rows")
+        self._latency_hist = self.registry.histogram("request_latency_s")
         self._inflight = 0
-        self._real_rows = 0
-        self._padded_rows = 0
         self._per_key_requests: Dict[Hashable, int] = {}
         self._latencies: "deque[float]" = deque(maxlen=4096)
         self._thread = threading.Thread(target=self._worker, name=name,
@@ -231,8 +242,13 @@ class MicroBatcher:
         _LIVE.add(self)
 
     # -- submission ----------------------------------------------------
-    def submit(self, key: Hashable, images: np.ndarray) -> Future:
+    def submit(self, key: Hashable, images: np.ndarray,
+               trace: Optional[str] = None) -> Future:
         """Enqueue ``images`` (``(C,H,W)`` or ``(k,C,H,W)``) for ``key``.
+
+        ``trace`` tags the queued request with its trace id so the
+        queue-wait / coalesce / dispatch spans it produces join the
+        caller's trace.
 
         Returns a future resolving to a :class:`BatchOutput`.  Raises
         :class:`QueueFullError` under backpressure and ``ValueError``
@@ -250,16 +266,16 @@ class MicroBatcher:
             raise ValueError(
                 f"request of {len(images)} images exceeds max_batch_size="
                 f"{self.policy.max_batch_size}; split it client-side")
-        request = _Request(key, images)
+        request = _Request(key, images, trace=trace)
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             if len(self._queue) >= self.policy.max_queue:
-                self._rejected += 1
+                self._rejected.inc()
                 raise QueueFullError(
                     f"queue depth {self.policy.max_queue} reached")
             self._queue.append(request)
-            self._requests += 1
+            self._requests.inc()
             self._per_key_requests[key] = self._per_key_requests.get(key, 0) + 1
             self._cond.notify_all()
         return request.future
@@ -331,6 +347,26 @@ class MicroBatcher:
         in the backend's collector thread while this scheduler thread
         coalesces the next group.
         """
+        dispatched_at = time.perf_counter()
+        if _trace.tracing_enabled():
+            # Queue-wait span per request (submission → group take), and
+            # one coalesce span for the group under the head's trace.
+            for request in group:
+                if request.trace is not None:
+                    _trace.record_span(
+                        "queue.wait", request.trace,
+                        dispatched_at - request.submitted_at,
+                        start_s=request.submitted_at)
+            head = group[0]
+            if head.trace is not None:
+                _trace.record_span(
+                    "batch.coalesce", head.trace,
+                    dispatched_at - head.submitted_at,
+                    start_s=head.submitted_at,
+                    tags={"key": _format_key(key), "rows": len(group)})
+        _prof = _profile.ACTIVE
+        prof_token = (_prof.start("serve.dispatch")
+                      if _prof is not None else None)
         images = np.concatenate([request.images for request in group])
         real = len(images)
         width = self.policy.max_batch_size if self.policy.pad_to_full else real
@@ -341,17 +377,24 @@ class MicroBatcher:
             batch = np.concatenate([images, pad])
         with self._cond:
             self._inflight += 1
+        traces = tuple(request.trace for request in group
+                       if request.trace is not None)
         try:
-            batch_future = self.backend.submit(key, batch)
+            batch_future = self.backend.submit(key, batch, traces=traces)
         except BaseException as exc:    # noqa: BLE001 — relayed to callers
             self._fail_group(group, exc)
+            if _prof is not None:
+                _prof.stop(prof_token)
             return
+        if _prof is not None:
+            _prof.stop(prof_token)
         batch_future.add_done_callback(
-            lambda f: self._finish_group(key, group, images, real, width, f))
+            lambda f: self._finish_group(key, group, images, real, width, f,
+                                         dispatched_at))
 
     def _fail_group(self, group: List[_Request], exc: BaseException) -> None:
+        self._errors.inc(len(group))
         with self._cond:
-            self._errors += len(group)
             self._inflight -= 1
             self._cond.notify_all()
         for request in group:
@@ -361,7 +404,8 @@ class MicroBatcher:
 
     def _finish_group(self, key: Hashable, group: List[_Request],
                       images: np.ndarray, real: int, width: int,
-                      batch_future: Future) -> None:
+                      batch_future: Future,
+                      dispatched_at: float) -> None:
         try:
             logits = np.asarray(batch_future.result())[:real]
             extra: Dict[str, np.ndarray] = {}
@@ -371,13 +415,23 @@ class MicroBatcher:
             self._fail_group(group, exc)
             return
         now = time.perf_counter()
+        self._batches.inc()
+        self._real_rows.inc(real)
+        self._padded_rows.inc(width - real)
+        if _trace.tracing_enabled():
+            head = group[0]
+            if head.trace is not None:
+                _trace.record_span(
+                    "batch.dispatch", head.trace, now - dispatched_at,
+                    start_s=dispatched_at,
+                    tags={"key": _format_key(key), "real": real,
+                          "width": width})
         with self._cond:
-            self._batches += 1
             self._inflight -= 1
-            self._real_rows += real
-            self._padded_rows += width - real
             for request in group:
-                self._latencies.append(now - request.submitted_at)
+                latency = now - request.submitted_at
+                self._latencies.append(latency)
+                self._latency_hist.observe(latency)
             self._cond.notify_all()
         start = 0
         for request in group:
@@ -395,28 +449,32 @@ class MicroBatcher:
         """Counters + latency percentiles (seconds) since construction."""
         with self._cond:
             latencies = np.array(self._latencies, dtype=np.float64)
-            compute_rows = self._real_rows + self._padded_rows
-            return {
-                "requests": self._requests,
-                "rejected": self._rejected,
-                "errors": self._errors,
-                "batches": self._batches,
-                "queued": len(self._queue),
-                "inflight": self._inflight,
-                "real_rows": self._real_rows,
-                "padded_rows": self._padded_rows,
-                "occupancy": (self._real_rows / compute_rows
-                              if compute_rows else 1.0),
-                "mean_batch_width": (self._real_rows / self._batches
-                                     if self._batches else 0.0),
-                "latency_p50_s": (float(np.quantile(latencies, 0.5))
-                                  if len(latencies) else 0.0),
-                "latency_p95_s": (float(np.quantile(latencies, 0.95))
-                                  if len(latencies) else 0.0),
-                "per_key_requests": {_format_key(key): count
-                                     for key, count in
-                                     sorted(self._per_key_requests.items())},
-            }
+            queued = len(self._queue)
+            inflight = self._inflight
+            per_key = {_format_key(key): count for key, count in
+                       sorted(self._per_key_requests.items())}
+        real_rows = self._real_rows.value
+        padded_rows = self._padded_rows.value
+        batches = self._batches.value
+        compute_rows = real_rows + padded_rows
+        return {
+            "requests": self._requests.value,
+            "rejected": self._rejected.value,
+            "errors": self._errors.value,
+            "batches": batches,
+            "queued": queued,
+            "inflight": inflight,
+            "real_rows": real_rows,
+            "padded_rows": padded_rows,
+            "occupancy": (real_rows / compute_rows
+                          if compute_rows else 1.0),
+            "mean_batch_width": (real_rows / batches if batches else 0.0),
+            "latency_p50_s": (float(np.quantile(latencies, 0.5))
+                              if len(latencies) else 0.0),
+            "latency_p95_s": (float(np.quantile(latencies, 0.95))
+                              if len(latencies) else 0.0),
+            "per_key_requests": per_key,
+        }
 
     def close(self, timeout: float = 30.0) -> None:
         """Stop accepting requests, drain the queue, join the worker.

@@ -21,6 +21,8 @@ from urllib.parse import urlparse
 
 import numpy as np
 
+from ..obs.backoff import backoff_delay
+
 
 class ServingError(RuntimeError):
     """Non-2xx response from the serving front end."""
@@ -73,7 +75,13 @@ class ServingClient:
                     http.client.RemoteDisconnected) as exc:
                 last_exc = exc
                 if attempt < self.retry_resets:
-                    time.sleep(0.05 * (attempt + 1))
+                    # Same deterministic sha1-jitter curve as the worker
+                    # and netstate retries (repro.obs.backoff); keyed by
+                    # path so concurrent workers don't thundering-herd.
+                    time.sleep(backoff_delay(attempt + 1,
+                                             base_delay_s=0.05,
+                                             max_delay_s=1.0,
+                                             token=path))
         raise ServingError(
             0, f"connection reset after {self.retry_resets + 1} attempts: "
                f"{last_exc}") from last_exc

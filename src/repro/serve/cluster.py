@@ -59,6 +59,8 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs import trace as _trace
+from ..obs.metrics import Registry, render_prometheus
 from ..parallel.netstate import (NetstateError, StateStreamServer, request,
                                  ship_state)
 from ..parallel.pool import default_context
@@ -152,7 +154,8 @@ def _host_register(store: ModelStore, message: dict,
                 f"with different weights")
         if message.get("activate"):
             store.activate(name, version)
-        return {"registered": f"{name}/{version}", "duplicate": True}
+        return {"registered": f"{name}/{version}", "duplicate": True,
+                "warmed": message.get("input_shape") is not None}
     if state is None:
         raise ValueError("register message carried no state payload")
     factory = message["factory"]
@@ -170,7 +173,11 @@ def _host_register(store: ModelStore, message: dict,
                    activate=bool(message.get("activate", True)),
                    spec=factory,
                    input_shape=message.get("input_shape"))
-    return {"registered": f"{name}/{version}"}
+    # Registration on a prefetching host triggers replica ship + warm-up
+    # before this reply is sent (the store subscription runs inline), so
+    # "warmed" in the ship reply is the router's re-warm evidence.
+    return {"registered": f"{name}/{version}",
+            "warmed": message.get("input_shape") is not None}
 
 
 def _host_main(conn, index: int, options: dict) -> None:
@@ -391,7 +398,7 @@ class _RouterHandler(_Handler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _predict(self) -> None:
+    def _predict(self, trace: Optional[str] = None) -> None:
         payload = self._read_json()
         model = payload.get("model")
         if not isinstance(model, str) or not model:
@@ -402,8 +409,8 @@ class _RouterHandler(_Handler):
         if "inputs" not in payload:
             raise ValueError("missing 'inputs'")
         status, body, headers = self.server.cluster.route_predict(
-            model, payload, version=version)
-        self._send_raw(status, body, headers)
+            model, payload, version=version, trace=trace)
+        self._send_raw(status, body, self._trace_headers(trace, headers))
 
     def _activate(self) -> None:
         payload = self._read_json()
@@ -493,11 +500,44 @@ class ServingCluster:
         self._respawning: Set[int] = set()
         self._respawn_threads: List[threading.Thread] = []
         self._closed = False
-        self.counters = {
-            "routed": 0, "routed_per_host": [0] * hosts, "reroutes": 0,
-            "degraded_routes": 0, "inline_batches": 0, "ships": 0,
-            "ship_retries": 0, "reships": 0, "host_respawns": 0,
-            "activations": 0, "last_activation_acks": 0, "skew_refusals": 0,
+        # Router counters live in a typed registry; the ``counters``
+        # property rebuilds the historical dict shape from it.
+        self.registry = Registry()
+        self._routed = self.registry.counter("routed")
+        self._routed_per_host = [self.registry.counter(f"routed_host_{i}")
+                                 for i in range(hosts)]
+        self._reroutes = self.registry.counter("reroutes")
+        self._degraded_routes = self.registry.counter("degraded_routes")
+        self._inline_batches = self.registry.counter("inline_batches")
+        self._ships = self.registry.counter("ships")
+        self._ship_retries = self.registry.counter("ship_retries")
+        self._reships = self.registry.counter("reships")
+        self._host_respawns = self.registry.counter("host_respawns")
+        self._activations = self.registry.counter("activations")
+        self._last_activation_acks = self.registry.gauge(
+            "last_activation_acks")
+        self._skew_refusals = self.registry.counter("skew_refusals")
+        # Latest per-host receiver metric snapshot, piggybacked on the
+        # netstate control/ship replies (no separate scrape round-trip).
+        self._host_obs: Dict[int, dict] = {}
+
+    @property
+    def counters(self) -> dict:
+        """Router counters in their historical dict shape (read-only)."""
+        return {
+            "routed": self._routed.value,
+            "routed_per_host": [counter.value
+                                for counter in self._routed_per_host],
+            "reroutes": self._reroutes.value,
+            "degraded_routes": self._degraded_routes.value,
+            "inline_batches": self._inline_batches.value,
+            "ships": self._ships.value,
+            "ship_retries": self._ship_retries.value,
+            "reships": self._reships.value,
+            "host_respawns": self._host_respawns.value,
+            "activations": self._activations.value,
+            "last_activation_acks": int(self._last_activation_acks.value),
+            "skew_refusals": self._skew_refusals.value,
         }
 
     # -- registration / activation -------------------------------------
@@ -543,8 +583,7 @@ class ServingCluster:
         with self._lock:
             lock = self._activation_locks.setdefault(name, threading.Lock())
         if not lock.acquire(blocking=False):
-            with self._lock:
-                self.counters["skew_refusals"] += 1
+            self._skew_refusals.inc()
             raise VersionSkewError(
                 f"an activation of {name!r} is already propagating; the "
                 f"version-skew bound admits one in-flight activation per "
@@ -567,21 +606,27 @@ class ServingCluster:
                             raise NetstateError(
                                 f"host {host_index} refused activation: "
                                 f"{reply.get('detail')}")
+                        self._note_host_obs(host_index, reply)
                     else:
                         self._ship_to_host(host_index, key, activate=True)
                     acked += 1
                 except (NetstateError, OSError) as exc:
                     self._host_failed(host_index, exc)
             self.store.activate(name, version)
-            with self._lock:
-                self.counters["activations"] += 1
-                self.counters["last_activation_acks"] = acked
+            self._activations.inc()
+            self._last_activation_acks.set(acked)
             return acked
         finally:
             lock.release()
 
+    def _note_host_obs(self, host_index: int, reply: dict) -> None:
+        obs = reply.get("obs")
+        if isinstance(obs, dict):
+            with self._lock:
+                self._host_obs[host_index] = obs
+
     def _ship_to_host(self, host_index: int, key: Tuple[str, str],
-                      activate: bool) -> None:
+                      activate: bool, trace: Optional[str] = None) -> None:
         host = self.hosts[host_index]
         entry = self.store.entry(*key)
         payload = entry.replica_payload()
@@ -594,33 +639,42 @@ class ServingCluster:
                    "input_shape": entry.input_shape,
                    "metadata": entry.metadata, "activate": activate}
         transfer_id = f"{key[0]}@{key[1]}#h{host_index}.g{host.generation}"
-        reply = ship_state(host.state_address, message, payload["state"],
-                           transfer_id=transfer_id)
+        with _trace.span("state.ship", trace=trace, host=host_index,
+                         key=f"{key[0]}/{key[1]}") as tags:
+            reply = ship_state(host.state_address, message, payload["state"],
+                               transfer_id=transfer_id)
+            if tags is not None:
+                tags["attempts"] = reply["attempts"]
+                tags["warmed"] = bool(reply.get("warmed"))
+        self._note_host_obs(host_index, reply)
         with self._lock:
             first = key not in self._shipped[host_index]
             self._shipped[host_index].add(key)
-            self.counters["ships"] += 1
-            self.counters["ship_retries"] += reply["attempts"] - 1
-            if not first or host.generation > 1:
-                self.counters["reships"] += 1
+        self._ships.inc()
+        self._ship_retries.inc(reply["attempts"] - 1)
+        if not first or host.generation > 1:
+            self._reships.inc()
 
-    def _ensure_shipped(self, host_index: int, key: Tuple[str, str]) -> bool:
+    def _ensure_shipped(self, host_index: int, key: Tuple[str, str],
+                        trace: Optional[str] = None) -> bool:
         with self._lock:
             if key in self._shipped[host_index]:
                 return True
             activate = self.store.active_version(key[0]) == key[1]
         try:
-            self._ship_to_host(host_index, key, activate=activate)
+            self._ship_to_host(host_index, key, activate=activate,
+                               trace=trace)
             return True
         except (NetstateError, OSError, ValueError) as exc:
             if isinstance(exc, ValueError):
                 raise
-            self._host_failed(host_index, exc)
+            self._host_failed(host_index, exc, trace=trace)
             return False
 
     # -- routing -------------------------------------------------------
     def route_predict(self, model: str, payload: dict,
                       version: Optional[str] = None, timeout: float = 60.0,
+                      trace: Optional[str] = None,
                       ) -> Tuple[int, bytes, Optional[dict]]:
         """Route one predict payload; returns ``(status, body, headers)``.
 
@@ -629,7 +683,14 @@ class ServingCluster:
         re-route, inline fallback — carries the same explicit version,
         so one request batch is never split across versions and every
         retry returns the same bits the first attempt would have.
+
+        ``trace`` is the request's trace id (minted here when absent);
+        every hop — each forward attempt, any on-demand re-ship, the
+        respawns those failures schedule, the degraded re-route, the
+        inline fallback — records spans under it, so a failover arc is
+        reconstructible afterwards from one ``/debug/traces`` query.
         """
+        trace = _trace.coerce_trace_id(trace)
         _, pinned = self.store.resolve(model, version)
         key = (model, pinned)
         payload = dict(payload)
@@ -644,10 +705,10 @@ class ServingCluster:
         for host_index in ordered:
             if not self._usable(host_index):
                 continue
-            if not self._ensure_shipped(host_index, key):
+            if not self._ensure_shipped(host_index, key, trace=trace):
                 failovers += 1
                 continue
-            result = self._forward(host_index, body, timeout)
+            result = self._forward(host_index, body, timeout, trace=trace)
             if result is None:
                 failovers += 1
                 continue
@@ -657,8 +718,9 @@ class ServingCluster:
                 # re-ship once and retry it before failing over.
                 with self._lock:
                     self._shipped[host_index].discard(key)
-                if self._ensure_shipped(host_index, key):
-                    result = self._forward(host_index, body, timeout)
+                if self._ensure_shipped(host_index, key, trace=trace):
+                    result = self._forward(host_index, body, timeout,
+                                           trace=trace)
                 if result is None or result[0] == 404:
                     failovers += 1
                     continue
@@ -675,14 +737,17 @@ class ServingCluster:
         for host_index in range(len(self.hosts)):
             if host_index in members or not self._usable(host_index):
                 continue
-            if not self._ensure_shipped(host_index, key):
+            if not self._ensure_shipped(host_index, key, trace=trace):
                 continue
-            result = self._forward(host_index, body, timeout)
+            result = self._forward(host_index, body, timeout, trace=trace)
             if result is None or result[0] == 404 or result[0] >= 500:
                 continue
             status, data = result
-            with self._lock:
-                self.counters["degraded_routes"] += 1
+            self._degraded_routes.inc()
+            if _trace.tracing_enabled():
+                _trace.record_span("route.degraded", trace, 0.0,
+                                   tags={"host": host_index,
+                                         "key": f"{key[0]}/{key[1]}"})
             self._record_served(host_index, failovers, status)
             headers = {"Retry-After": "1"} if status == 429 else None
             return status, data, headers
@@ -691,10 +756,10 @@ class ServingCluster:
         # folded copy — slower, never down, bit-identical (same fixed
         # compute width).  QueueFullError propagates as 429.
         images = np.asarray(payload["inputs"], dtype=np.float32)
-        result = self._fallback.predict(model, images, version=pinned,
-                                        timeout=timeout)
-        with self._lock:
-            self.counters["inline_batches"] += 1
+        with _trace.span("route.inline", trace=trace, model=model):
+            result = self._fallback.predict(model, images, version=pinned,
+                                            timeout=timeout, trace=trace)
+        self._inline_batches.inc()
         return 200, json.dumps(result.to_json()).encode(), None
 
     def predict(self, model: str, images: np.ndarray,
@@ -717,28 +782,41 @@ class ServingCluster:
 
     def _record_served(self, host_index: int, failovers: int,
                        status: int) -> None:
-        with self._lock:
-            if status == 200:
-                self.counters["routed"] += 1
-                self.counters["routed_per_host"][host_index] += 1
-            self.counters["reroutes"] += failovers
+        if status == 200:
+            self._routed.inc()
+            self._routed_per_host[host_index].inc()
+        if failovers:
+            self._reroutes.inc(failovers)
 
     def _forward(self, host_index: int, body: bytes, timeout: float,
+                 trace: Optional[str] = None,
                  ) -> Optional[Tuple[int, bytes]]:
         host = self.hosts[host_index]
-        try:
-            conn = http.client.HTTPConnection(host.host, host.http_port,
-                                              timeout=timeout)
+        headers = {"Content-Type": "application/json"}
+        if trace is not None:
+            # Propagate the router's trace id so the host's own spans
+            # (queue wait, dispatch, worker hops) land under the same
+            # trace in *its* flight recorder.
+            headers[_trace.TRACE_HEADER] = trace
+        with _trace.span("route.forward", trace=trace,
+                         host=host_index) as tags:
             try:
-                conn.request("POST", "/predict", body=body,
-                             headers={"Content-Type": "application/json"})
-                response = conn.getresponse()
-                status, data = response.status, response.read()
-            finally:
-                conn.close()
-        except (OSError, http.client.HTTPException) as exc:
-            self._host_failed(host_index, exc)
-            return None
+                conn = http.client.HTTPConnection(host.host, host.http_port,
+                                                  timeout=timeout)
+                try:
+                    conn.request("POST", "/predict", body=body,
+                                 headers=headers)
+                    response = conn.getresponse()
+                    status, data = response.status, response.read()
+                finally:
+                    conn.close()
+            except (OSError, http.client.HTTPException) as exc:
+                if tags is not None:
+                    tags["error"] = type(exc).__name__
+                self._host_failed(host_index, exc, trace=trace)
+                return None
+            if tags is not None:
+                tags["status"] = status
         with self._lock:
             supervisor = self._supervisors[host_index]
             if status < 500:
@@ -770,7 +848,8 @@ class ServingCluster:
             self._schedule_respawn(host_index)
         return usable
 
-    def _host_failed(self, host_index: int, exc: BaseException) -> None:
+    def _host_failed(self, host_index: int, exc: BaseException,
+                     trace: Optional[str] = None) -> None:
         with self._lock:
             host = self.hosts[host_index]
             supervisor = self._supervisors[host_index]
@@ -779,9 +858,10 @@ class ServingCluster:
                 host.mark_dead()
             if supervisor.should_eject() and not supervisor.ejected:
                 supervisor.eject()
-        self._schedule_respawn(host_index)
+        self._schedule_respawn(host_index, trace=trace)
 
-    def _schedule_respawn(self, host_index: int) -> None:
+    def _schedule_respawn(self, host_index: int,
+                          trace: Optional[str] = None) -> None:
         with self._lock:
             if self._closed or host_index in self._respawning:
                 return
@@ -795,12 +875,13 @@ class ServingCluster:
                 supervisor.begin_probe()
             self._respawning.add(host_index)
             thread = threading.Thread(
-                target=self._respawn, args=(host_index,),
+                target=self._respawn, args=(host_index, trace),
                 name=f"repro-host-respawn-{host_index}", daemon=True)
             self._respawn_threads.append(thread)
         thread.start()
 
-    def _respawn(self, host_index: int) -> None:
+    def _respawn(self, host_index: int,
+                 trace: Optional[str] = None) -> None:
         """Full host recovery: respawn, re-ship, re-warm, re-admit.
 
         Runs on a background thread so live traffic keeps re-routing
@@ -817,19 +898,30 @@ class ServingCluster:
                     return
                 previous = sorted(self._shipped[host_index])
                 self._shipped[host_index] = set()
-            host.respawn()
-            with self._lock:
-                supervisor.record_respawn()
-            for key in previous:
+            # The span carries the trace of the request that observed
+            # the failure, so one /debug/traces?trace=... query shows
+            # the full arc: route.forward error → host.respawn →
+            # state.ship (warmed) for every key the dead host held.
+            with _trace.span("host.respawn", trace=trace,
+                             host=host_index) as tags:
+                host.respawn()
+                if tags is not None:
+                    tags["generation"] = host.generation
+                    tags["keys"] = len(previous)
                 with self._lock:
-                    activate = self.store.active_version(key[0]) == key[1]
-                self._ship_to_host(host_index, key, activate=activate)
+                    supervisor.record_respawn()
+                for key in previous:
+                    with self._lock:
+                        activate = (self.store.active_version(key[0])
+                                    == key[1])
+                    self._ship_to_host(host_index, key, activate=activate,
+                                       trace=trace)
             with self._lock:
                 if supervisor.state == "half-open":
                     supervisor.close_breaker()
                 else:
                     supervisor.record_success()
-                self.counters["host_respawns"] += 1
+            self._host_respawns.inc()
         except Exception:  # noqa: BLE001 - breaker handles the verdict
             with self._lock:
                 host.mark_dead()
@@ -876,18 +968,29 @@ class ServingCluster:
         }
 
     def metrics(self) -> dict:
+        counters = self.counters     # property: fresh dict, lock-free
         with self._lock:
-            counters = {k: (list(v) if isinstance(v, list) else v)
-                        for k, v in self.counters.items()}
             hosts = {f"host-{i}": self._supervisors[i].snapshot()
                      for i in range(len(self.hosts))}
             shipped = {f"host-{i}": sorted(f"{n}/{v}" for n, v in keys)
                        for i, keys in self._shipped.items()}
+            host_obs = {f"host-{i}": obs
+                        for i, obs in sorted(self._host_obs.items())}
         active = {name: self.store.active_version(name)
                   for name in sorted(self.store.describe())}
         return {"router": counters, "hosts": hosts, "shipped": shipped,
                 "active_versions": active,
-                "groups": {str(g): list(m) for g, m in self.groups.items()}}
+                "groups": {str(g): list(m) for g, m in self.groups.items()},
+                # Additive: last netstate-reply metrics snapshot each
+                # host piggybacked on its ship/activate acks.
+                "host_obs": host_obs}
+
+    def prometheus(self) -> str:
+        """Router counters in Prometheus text exposition format."""
+        return render_prometheus([
+            ("reveil_router", self.registry),
+            ("reveil_recorder", _trace.RECORDER.stats()),
+        ])
 
     def serve(self, host: str = "127.0.0.1", port: int = 0,
               retries: int = 3):

@@ -17,9 +17,19 @@ Endpoints (all JSON):
 - ``GET /metrics`` — scheduler counters (occupancy, latency
   percentiles, queue depth), request outcomes, per-version screening
   flag rates.
+- ``GET /metrics.prom`` — the same counters in Prometheus text
+  exposition format (``text/plain; version=0.0.4``), composed from the
+  typed registries in :mod:`repro.obs.metrics`.
+- ``GET /debug/traces`` — the process-local flight recorder dump
+  (``?trace=<id>`` filters to one request's spans); the CI smoke lanes
+  write this into the failure artifact when an assertion trips.
 - ``GET /models`` — the store listing (versions, active flags).
 - ``POST /activate`` — ``{"model": str, "version": str}`` hot-swaps the
   active version; subsequent unversioned requests hit the new one.
+
+Every ``/predict`` response echoes the request's trace id on the
+``X-Trace-Id`` header — minted here when the client did not send one —
+so a client can pull exactly its own spans from ``/debug/traces``.
 
 Built on ``http.server.ThreadingHTTPServer`` (one thread per
 connection) so concurrent requests genuinely queue up in the batcher —
@@ -34,9 +44,11 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from ..obs import trace as _trace
 from .batcher import QueueFullError
 from .server import InferenceServer
 
@@ -97,6 +109,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    @staticmethod
+    def _trace_headers(trace: Optional[str],
+                       headers: Optional[dict] = None) -> dict:
+        merged = dict(headers or {})
+        if trace is not None:
+            merged[_trace.TRACE_HEADER] = trace
+        return merged
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
@@ -121,34 +150,61 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200 if health["ready"] else 503, health)
         elif self.path == "/metrics":
             self._send_json(200, self.inference.metrics())
+        elif self.path == "/metrics.prom":
+            renderer = getattr(self.inference, "prometheus", None)
+            if not callable(renderer):
+                self._send_json(404, {"error": "no prometheus exposition "
+                                               "for this server"})
+                return
+            self._send_text(
+                200, renderer(),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
+        elif self.path.split("?", 1)[0] == "/debug/traces":
+            query = parse_qs(urlsplit(self.path).query)
+            wanted = query.get("trace", [None])[0]
+            self._send_json(200, {
+                "spans": _trace.RECORDER.dump(trace=wanted),
+                "stats": _trace.RECORDER.stats(),
+                "tracing": _trace.tracing_enabled(),
+            })
         elif self.path == "/models":
             self._send_json(200, self.inference.store.describe())
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        trace = None
         try:
             if self.path == "/predict":
-                self._predict()
+                # The front end is where trace ids are born: accept the
+                # client's (normalized), mint one otherwise, and echo it
+                # back on every response — success or error.
+                trace = _trace.coerce_trace_id(
+                    self.headers.get(_trace.TRACE_HEADER))
+                self._predict(trace)
             elif self.path == "/activate":
                 self._activate()
             else:
                 self._send_json(404, {"error": f"unknown path {self.path}"})
         except QueueFullError as exc:
             self._send_json(429, {"error": str(exc)},
-                            headers={"Retry-After": "1"})
+                            headers=self._trace_headers(
+                                trace, {"Retry-After": "1"}))
         except KeyError as exc:
             self._send_json(404, {"error": str(exc.args[0] if exc.args
-                                               else exc)})
+                                               else exc)},
+                            headers=self._trace_headers(trace))
         except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_json(400, {"error": str(exc)},
+                            headers=self._trace_headers(trace))
         except Exception as exc:  # noqa: BLE001 - surfaced as 500
             # Exceptions carrying an ``http_status`` pick their own code
             # (the cluster router's version-skew refusal answers 409).
             self._send_json(getattr(exc, "http_status", 500),
-                            {"error": f"{type(exc).__name__}: {exc}"})
+                            {"error": f"{type(exc).__name__}: {exc}"},
+                            headers=self._trace_headers(trace))
 
-    def _predict(self) -> None:
+    def _predict(self, trace: Optional[str] = None) -> None:
         payload = self._read_json()
         model = payload.get("model")
         if not isinstance(model, str) or not model:
@@ -163,8 +219,10 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError):
             raise ValueError("'inputs' must be a numeric (C,H,W) or "
                              "(N,C,H,W) nested list") from None
-        result = self.inference.predict(model, images, version=version)
-        self._send_json(200, result.to_json())
+        result = self.inference.predict(model, images, version=version,
+                                        trace=trace)
+        self._send_json(200, result.to_json(),
+                        headers=self._trace_headers(trace))
 
     def _activate(self) -> None:
         payload = self._read_json()

@@ -78,6 +78,8 @@ import numpy as np
 from ..nn.fold import folded_replica, inference_copy
 from ..nn.tensor import Tensor
 from ..nn.threading import set_intra_op_threads
+from ..obs import trace as _trace
+from ..obs.metrics import Registry
 from ..parallel.pool import WorkerError, resolve_workers
 from ..parallel.session import WorkerSession
 from ..parallel.shm import (ArrayChannel, ArraySlot, ChannelPeer,
@@ -100,6 +102,11 @@ class ReplicaWorker:
         set_intra_op_threads(intra_op_threads)
         self._replicas: Dict[Hashable, object] = {}
         self._peer = ChannelPeer()
+        # Worker-side metrics: drained into each reply envelope by the
+        # session loop and merged into the parent's worker registry.
+        self.obs_registry = Registry()
+        self._infers = self.obs_registry.counter("infers")
+        self._kernel_seconds = self.obs_registry.histogram("kernel_s")
 
     def ping(self) -> int:
         return os.getpid()
@@ -154,12 +161,16 @@ class ReplicaWorker:
                 f"no replica for {key!r} in worker {os.getpid()}; "
                 f"loaded: {sorted(self._replicas)}")
         batch = self._peer.read(slot)
+        kernel_started = time.perf_counter()
         logits = np.ascontiguousarray(replica(Tensor(batch)).data)
+        kernel_s = time.perf_counter() - kernel_started
+        self._infers.inc()
+        self._kernel_seconds.observe(kernel_s)
         if out_name is not None and logits.nbytes <= out_capacity:
             out_slot = self._peer.write(out_name, logits)
-            return {"via": "shm", "slot": out_slot}
+            return {"via": "shm", "slot": out_slot, "kernel_s": kernel_s}
         return {"via": "pipe", "logits": logits,
-                "needed_bytes": logits.nbytes}
+                "needed_bytes": logits.nbytes, "kernel_s": kernel_s}
 
     def close(self) -> None:
         self._peer.close()
@@ -319,20 +330,30 @@ class MultiprocBackend:
         # memory turns out to be unavailable, each ship falls back to
         # the pipe in _prepare_payload.
         self._state_lane: Optional[StateChannel] = StateChannel()
-        self._stats_lock = threading.Lock()
-        self._batches = 0
-        self._shm_returns = 0
-        self._pipe_returns = 0
-        self._state_shm_ships = 0
-        self._state_pipe_ships = 0
-        self._respawns = 0
-        self._retries = 0
-        self._ship_retries = 0
-        self._ejections = 0
-        self._repromotions = 0
-        self._degraded_batches = 0
-        self._infer_counts = [0] * self.workers
-        self._warmup_counts = [0] * self.workers
+        # Backend counters live in a typed registry (each increment is
+        # individually thread-safe, no backend-wide stats lock); the
+        # per-worker tallies are counter lists indexed by slot.
+        self.registry = Registry()
+        self._batches = self.registry.counter("batches")
+        self._shm_returns = self.registry.counter("shm_returns")
+        self._pipe_returns = self.registry.counter("pipe_returns")
+        self._state_shm_ships = self.registry.counter("state_shm_ships")
+        self._state_pipe_ships = self.registry.counter("state_pipe_ships")
+        self._respawns = self.registry.counter("respawns")
+        self._retries = self.registry.counter("retries")
+        self._ship_retries = self.registry.counter("ship_retries")
+        self._ejections = self.registry.counter("ejections")
+        self._repromotions = self.registry.counter("repromotions")
+        self._degraded_batches = self.registry.counter("degraded_batches")
+        self._infer_counts = [self.registry.counter(f"infers_worker_{index}")
+                              for index in range(self.workers)]
+        self._warmup_counts = [self.registry.counter(f"warmups_worker_{index}")
+                               for index in range(self.workers)]
+        # Worker-process metrics (kernel timings, per-replica infer
+        # counts) merge here from the deltas riding session replies.
+        self.worker_registry = Registry()
+        for handle in self._handles:
+            handle.session.obs_sink = self.worker_registry
         self._warmed: set = set()                   # (key, batch shape)
         self._closed = False
         _LIVE.add(self)
@@ -392,8 +413,7 @@ class MultiprocBackend:
                         # payload went bad in flight.  Re-park the same
                         # state and ship again — the fingerprint proves
                         # the retry is the same bits.
-                        with self._stats_lock:
-                            self._ship_retries += 1
+                        self._ship_retries.inc()
                         payload = self._prepare_payload(entry)
                         self._ship_to_handle(handle, key, payload)
                         continue
@@ -431,14 +451,12 @@ class MultiprocBackend:
             handle.session.call("load_state", key, payload["factory"],
                                 slot, payload["fingerprint"],
                                 timeout=self.call_timeout)
-            with self._stats_lock:
-                self._state_shm_ships += 1
+            self._state_shm_ships.inc()
         else:
             handle.session.call("load", key, payload["factory"],
                                 payload["state"], payload["fingerprint"],
                                 timeout=self.call_timeout)
-            with self._stats_lock:
-                self._state_pipe_ships += 1
+            self._state_pipe_ships.inc()
 
     def _recover_handle_locked(self, handle: _WorkerHandle) -> None:
         """Respawn a dead worker and re-ship everything it held.
@@ -452,8 +470,7 @@ class MultiprocBackend:
         rejoins the pool fully warm, not just fully loaded.
         """
         handle.respawn()
-        with self._stats_lock:
-            self._respawns += 1
+        self._respawns.inc()
         with self._pool_lock:
             handle.supervisor.record_respawn()
         for shipped_key, shipped_entry in self._entries.items():
@@ -464,8 +481,7 @@ class MultiprocBackend:
                 if (handle.session.alive and not handle.session.poisoned
                         and exc.error_type == "StateVerifyError"):
                     # Same transport-corruption retry as ensure_loaded.
-                    with self._stats_lock:
-                        self._ship_retries += 1
+                    self._ship_retries.inc()
                     self._ship_to_handle(handle, shipped_key,
                                          self._prepare_payload(shipped_entry))
                 else:
@@ -474,8 +490,7 @@ class MultiprocBackend:
             if warmed_key in self._entries:
                 handle.session.call("warm", warmed_key, batch_shape,
                                     timeout=self.call_timeout)
-                with self._stats_lock:
-                    self._warmup_counts[handle.index] += 1
+                self._warmup_counts[handle.index].inc()
 
     # -- warm-up -------------------------------------------------------
     def warm_up(self, key: Hashable, input_shape, width: int) -> int:
@@ -532,8 +547,7 @@ class MultiprocBackend:
                             if not handle.session.alive:
                                 self._recover_handle_locked(handle)
                         self._infer_on(handle, key, batch)
-                    with self._stats_lock:
-                        self._warmup_counts[handle.index] += 1
+                    self._warmup_counts[handle.index].inc()
                     warmed += 1
             finally:
                 for handle in held:
@@ -554,8 +568,13 @@ class MultiprocBackend:
         return [handle.session.pid for handle in self._handles]
 
     # -- batch execution -----------------------------------------------
-    def submit(self, key: Hashable, batch: np.ndarray) -> Future:
+    def submit(self, key: Hashable, batch: np.ndarray,
+               traces: tuple = ()) -> Future:
         """Dispatch one padded batch; resolves to its logits.
+
+        ``traces`` carries the trace ids of the coalesced requests; the
+        worker-side spans (infer round-trip, kernel, shm return, retry
+        hops) are recorded under the head request's id.
 
         Blocks only briefly (executor bookkeeping): the scheduler bounds
         dispatches to ``max_inflight``, so a free executor thread — and
@@ -563,33 +582,53 @@ class MultiprocBackend:
         """
         if self._closed:
             raise RuntimeError("backend is closed")
-        return self._executor.submit(self._run, key, batch)
+        return self._executor.submit(self._run, key, batch, traces)
 
     def _infer_on(self, handle: _WorkerHandle, key: Hashable,
-                  batch: np.ndarray, record: bool = False) -> np.ndarray:
+                  batch: np.ndarray, record: bool = False,
+                  trace: Optional[str] = None) -> np.ndarray:
         """One forward on one leased worker (lanes out, logits back)."""
-        slot = handle.input.write(batch)
-        reply = handle.session.call(
-            "infer", key, slot, handle.output.name,
-            handle.output.capacity, timeout=self.call_timeout)
-        if reply["via"] == "shm":
-            logits = handle.output.read(reply["slot"])
-            if record:
-                with self._stats_lock:
-                    self._batches += 1
-                    self._shm_returns += 1
-        else:
-            logits = reply["logits"]
-            # Grow the return lane so the next batch of this shape
-            # comes back through shared memory.
-            handle.output.ensure(reply["needed_bytes"])
-            if record:
-                with self._stats_lock:
-                    self._batches += 1
-                    self._pipe_returns += 1
+        with _trace.span("worker.infer", trace=trace,
+                         worker=handle.index) as tags:
+            slot = handle.input.write(batch)
+            reply = handle.session.call(
+                "infer", key, slot, handle.output.name,
+                handle.output.capacity, timeout=self.call_timeout)
+            kernel_s = reply.get("kernel_s")
+            if trace is not None and kernel_s is not None:
+                # The worker timed its own forward; graft it into the
+                # request's trace as an externally measured span.
+                _trace.record_span("worker.kernel", trace, kernel_s,
+                                   tags={"worker": handle.index})
+            if reply["via"] == "shm":
+                if tags is not None:
+                    tags["via"] = "shm"
+                read_started = time.perf_counter()
+                logits = handle.output.read(reply["slot"])
+                if trace is not None:
+                    _trace.record_span(
+                        "shm.return", trace,
+                        time.perf_counter() - read_started,
+                        start_s=read_started,
+                        tags={"worker": handle.index,
+                              "nbytes": int(logits.nbytes)})
+                if record:
+                    self._batches.inc()
+                    self._shm_returns.inc()
+            else:
+                if tags is not None:
+                    tags["via"] = "pipe"
+                logits = reply["logits"]
+                # Grow the return lane so the next batch of this shape
+                # comes back through shared memory.
+                handle.output.ensure(reply["needed_bytes"])
+                if record:
+                    self._batches.inc()
+                    self._pipe_returns.inc()
         return logits
 
-    def _run(self, key: Hashable, batch: np.ndarray) -> np.ndarray:
+    def _run(self, key: Hashable, batch: np.ndarray,
+             traces: tuple = ()) -> np.ndarray:
         """Serve one fixed-width batch, retrying through worker failures.
 
         Fixed-width batches are idempotent and bit-identical on replay
@@ -606,23 +645,32 @@ class MultiprocBackend:
                 f"no replica shipped for {key!r}; call ensure_loaded() "
                 f"before submitting batches for it")
         retry = self.reliability.retry
+        trace = traces[0] if traces else None
         last_exc: Optional[BaseException] = None
         for attempt in range(1, retry.max_attempts + 1):
             self._maybe_repromote()
             handle = self._lease()
             if handle is None:
-                return self._run_degraded(key, batch)
+                return self._run_degraded(key, batch, trace=trace)
             try:
-                with self._stats_lock:
-                    self._infer_counts[handle.index] += 1
-                logits = self._infer_on(handle, key, batch, record=True)
+                self._infer_counts[handle.index].inc()
+                logits = self._infer_on(handle, key, batch, record=True,
+                                        trace=trace)
             except (WorkerError, TimeoutError) as exc:
-                if self._after_failure(handle, exc) == "app":
+                hop_outcome = self._after_failure(handle, exc)
+                if trace is not None and hop_outcome != "app":
+                    # A failed attempt on this worker: one retry hop in
+                    # the request's trace (the re-dispatch follows).
+                    _trace.record_span(
+                        "retry.hop", trace, 0.0,
+                        tags={"worker": handle.index, "attempt": attempt,
+                              "error": type(exc).__name__,
+                              "resolution": hop_outcome})
+                if hop_outcome == "app":
                     raise   # deterministic handler error — don't retry
                 last_exc = exc
                 if attempt < retry.max_attempts:
-                    with self._stats_lock:
-                        self._retries += 1
+                    self._retries.inc()
                     time.sleep(retry.backoff(
                         attempt, token=f"worker-{handle.index}"))
                 continue
@@ -631,7 +679,7 @@ class MultiprocBackend:
             self._idle.put(handle)
             return logits
         if self.degraded:
-            return self._run_degraded(key, batch)
+            return self._run_degraded(key, batch, trace=trace)
         raise last_exc      # attempts exhausted with workers still up
 
     def _lease(self) -> Optional[_WorkerHandle]:
@@ -702,9 +750,10 @@ class MultiprocBackend:
         handle.ejected = True
         handle.supervisor.eject()
         self._active_workers -= 1
-        self._ejections += 1
+        self._ejections.inc()
 
-    def _run_degraded(self, key: Hashable, batch: np.ndarray) -> np.ndarray:
+    def _run_degraded(self, key: Hashable, batch: np.ndarray,
+                      trace: Optional[str] = None) -> np.ndarray:
         """Inline fallback: every worker is gone, serve from the parent.
 
         Slower (one serialized compute) but never down — and
@@ -717,10 +766,10 @@ class MultiprocBackend:
                 "<backend>", "NoWorkersError",
                 f"all {self.workers} workers are ejected and no inline "
                 f"fallback is configured")
-        with self._stats_lock:
-            self._degraded_batches += 1
-        with self._degraded_lock:
-            return np.asarray(self._fallback_fn(key, batch))
+        self._degraded_batches.inc()
+        with _trace.span("batch.degraded", trace=trace):
+            with self._degraded_lock:
+                return np.asarray(self._fallback_fn(key, batch))
 
     def _maybe_repromote(self) -> None:
         """Probe ejected slots whose breaker cooldown has elapsed.
@@ -763,22 +812,11 @@ class MultiprocBackend:
             handle.supervisor.close_breaker()
             handle.ejected = False
             self._active_workers += 1
-            self._repromotions += 1
+        self._repromotions.inc()
         self._idle.put(handle)
 
     # -- introspection / lifecycle -------------------------------------
     def stats(self) -> dict:
-        with self._stats_lock:
-            batches, shm, pipe = (self._batches, self._shm_returns,
-                                  self._pipe_returns)
-            state_shm, state_pipe = (self._state_shm_ships,
-                                     self._state_pipe_ships)
-            respawns = self._respawns
-            retries, ship_retries = self._retries, self._ship_retries
-            ejections, repromotions = self._ejections, self._repromotions
-            degraded_batches = self._degraded_batches
-            infers = list(self._infer_counts)
-            warmups = list(self._warmup_counts)
         with self._pool_lock:
             active = self._active_workers
             supervisors = [handle.supervisor.snapshot()
@@ -791,33 +829,37 @@ class MultiprocBackend:
             "pids": self.worker_pids(),
             "shipped": ["/".join(map(str, key))
                         for key in self.shipped_keys()],
-            "batches": batches,
-            "shm_returns": shm,
-            "pipe_returns": pipe,
+            "batches": self._batches.value,
+            "shm_returns": self._shm_returns.value,
+            "pipe_returns": self._pipe_returns.value,
             # Replica state shipments by transport (per worker × key):
             # a healthy shm-enabled backend shows zero pipe ships.
-            "state_shm_ships": state_shm,
-            "state_pipe_ships": state_pipe,
-            "respawns": respawns,
+            "state_shm_ships": self._state_shm_ships.value,
+            "state_pipe_ships": self._state_pipe_ships.value,
+            "respawns": self._respawns.value,
             # Supervision: batch replays after infrastructure failures,
             # re-parked state ships after fingerprint-verify failures,
             # breaker opens, probe re-admissions, and batches the
             # parent served inline while the pool was empty.
-            "retries": retries,
-            "ship_retries": ship_retries,
-            "ejections": ejections,
-            "repromotions": repromotions,
-            "degraded_batches": degraded_batches,
+            "retries": self._retries.value,
+            "ship_retries": self._ship_retries.value,
+            "ejections": self._ejections.value,
+            "repromotions": self._repromotions.value,
+            "degraded_batches": self._degraded_batches.value,
             "breakers": supervisors,
             # Inference dispatches only — session.calls also counts the
             # one-time replica shipments, so it can never read 0 and is
             # useless for "did this worker actually serve?" checks.
-            "infers_per_worker": infers,
+            "infers_per_worker": [counter.value
+                                  for counter in self._infer_counts],
             # Warm-up forwards are counted apart from served batches so
             # "did this worker serve real traffic?" stays answerable.
-            "warmups_per_worker": warmups,
+            "warmups_per_worker": [counter.value
+                                   for counter in self._warmup_counts],
             "calls_per_worker": [handle.session.calls
                                  for handle in self._handles],
+            # Worker-process metrics shipped back on reply envelopes.
+            "worker_metrics": self.worker_registry.snapshot(),
         }
 
     def close(self, timeout: float = 10.0) -> None:

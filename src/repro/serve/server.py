@@ -19,12 +19,15 @@ elsewhere in the process.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..nn.tensor import Tensor
+from ..obs import trace as _trace
+from ..obs.metrics import Registry, render_prometheus
 from ..parallel.pool import resolve_workers
 from ..reliability import ReliabilityConfig
 from ..reliability import faults as _faults
@@ -68,23 +71,40 @@ class PredictResult:
             cached=self.cached if cached is None else cached)
 
 
-@dataclass
 class ServerStats:
-    """Mutable request-outcome counters (guarded by a lock)."""
+    """Request-outcome counters, backed by a typed metrics registry.
 
-    served: int = 0
-    rejected: int = 0
-    failed: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    ``begin()`` counts every arrival before its outcome is known;
+    outcomes are exactly one of ``served`` / ``rejected`` (backpressure)
+    / ``invalid`` (unknown model, malformed payload) / ``failed``
+    (everything else), so ``total == served + rejected + invalid +
+    failed`` is an exit invariant the smoke lanes assert.
+    """
+
+    def __init__(self):
+        self.registry = Registry()
+        self._total = self.registry.counter("total")
+        self._served = self.registry.counter("served")
+        self._rejected = self.registry.counter("rejected")
+        self._invalid = self.registry.counter("invalid")
+        self._failed = self.registry.counter("failed")
+        self.latency = self.registry.histogram("predict_latency_s")
+
+    @property
+    def served(self) -> int:
+        return self._served.value
+
+    def begin(self) -> None:
+        self._total.inc()
 
     def bump(self, outcome: str) -> None:
-        with self._lock:
-            setattr(self, outcome, getattr(self, outcome) + 1)
+        getattr(self, f"_{outcome}").inc()
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {"served": self.served, "rejected": self.rejected,
-                    "failed": self.failed}
+        return {"total": self._total.value, "served": self._served.value,
+                "rejected": self._rejected.value,
+                "invalid": self._invalid.value,
+                "failed": self._failed.value}
 
 
 class InferenceServer:
@@ -221,17 +241,53 @@ class InferenceServer:
     # -- public API ----------------------------------------------------
     def predict(self, model: str, images: np.ndarray,
                 version: Optional[str] = None,
-                timeout: float = 60.0) -> PredictResult:
+                timeout: float = 60.0,
+                trace: Optional[str] = None) -> PredictResult:
         """Serve one request (blocking until its batch is run).
 
         Unversioned requests pin the *currently* active version at
         submission, so a hot-swap never splits a request across models
         and in-flight requests are unaffected by later swaps.
 
+        ``trace`` is the request's 64-bit trace id (minted by the HTTP
+        front end or the cluster router; minted here when absent); every
+        span this request produces — queue wait, coalesce, dispatch,
+        worker call — carries it.
+
         Raises :class:`KeyError` for unknown models/versions,
         ``ValueError`` for malformed payloads and
         :class:`~repro.serve.batcher.QueueFullError` on backpressure.
         """
+        trace = _trace.coerce_trace_id(trace)
+        self.stats.begin()
+        started = time.perf_counter()
+        with _trace.span("server.predict", trace=trace, model=model) as tags:
+            try:
+                result = self._predict(model, images, version, timeout, trace)
+            except QueueFullError:
+                self.stats.bump("rejected")
+                if tags is not None:
+                    tags["outcome"] = "rejected"
+                raise
+            except (KeyError, ValueError):
+                self.stats.bump("invalid")
+                if tags is not None:
+                    tags["outcome"] = "invalid"
+                raise
+            except Exception:
+                self.stats.bump("failed")
+                if tags is not None:
+                    tags["outcome"] = "failed"
+                raise
+            self.stats.bump("served")
+            self.stats.latency.observe(time.perf_counter() - started)
+            if tags is not None:
+                tags["outcome"] = "cached" if result.cached else "served"
+            return result
+
+    def _predict(self, model: str, images: np.ndarray,
+                 version: Optional[str], timeout: float,
+                 trace: str) -> PredictResult:
         key = self.store.resolve(model, version)
         digest = None
         if self.cache is not None:
@@ -246,7 +302,6 @@ class InferenceServer:
                 # Exact by the determinism contract: a fresh forward of
                 # these bytes at this version could not differ.  No
                 # queue slot, no forward, no backpressure exposure.
-                self.stats.bump("served")
                 return hit.clone(cached=True)
         if self.backend is not None:
             # Ship this version's replica to the worker processes on
@@ -257,17 +312,8 @@ class InferenceServer:
             # thread, so the first request after a hot-swap never stalls
             # the batcher worker (and everyone queued behind it).
             self.screening.ensure_bound(key, self.store.folded(*key))
-        try:
-            future = self.batcher.submit(key, images)
-        except QueueFullError:
-            self.stats.bump("rejected")
-            raise
-        try:
-            output = future.result(timeout=timeout)
-        except Exception:
-            self.stats.bump("failed")
-            raise
-        self.stats.bump("served")
+        future = self.batcher.submit(key, images, trace=trace)
+        output = future.result(timeout=timeout)
         screening = None
         if output.extra:
             screening = {
@@ -302,9 +348,13 @@ class InferenceServer:
         }
         if self.backend is not None:
             backend_stats = self.backend.stats()
+            total = backend_stats.get("workers", self.workers)
             report["workers"] = {
-                "total": backend_stats.get("workers", self.workers),
-                "active": backend_stats.get("active_workers", self.workers),
+                "total": total,
+                # Default from the same source as "total": a backend
+                # that reports neither key must not make a pool look
+                # healthier (or sicker) than its own worker count.
+                "active": backend_stats.get("active_workers", total),
                 "ejections": backend_stats.get("ejections", 0),
                 "repromotions": backend_stats.get("repromotions", 0),
             }
@@ -345,7 +395,34 @@ class InferenceServer:
             payload["response_cache"] = self.cache.stats()
         if self.screening is not None:
             payload["screening"] = self.screening.report()
+        payload["obs"] = {
+            "latency": self.stats.registry.snapshot()["histograms"].get(
+                "predict_latency_s", {}),
+            "recorder": _trace.RECORDER.stats(),
+            "tracing": _trace.tracing_enabled(),
+        }
         return payload
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition for ``/metrics.prom``.
+
+        Composes every registry this server owns — request outcomes,
+        batcher, execution backend, worker ship-backs — plus the flight
+        recorder's own counters, under stable name prefixes.
+        """
+        groups = [
+            ("reveil_requests", self.stats.registry),
+            ("reveil_batcher", self.batcher.registry),
+            ("reveil_recorder", _trace.RECORDER.stats()),
+        ]
+        backend_registry = getattr(self.batcher.backend, "registry", None)
+        if backend_registry is not None:
+            groups.append(("reveil_backend", backend_registry))
+        worker_registry = getattr(self.batcher.backend,
+                                  "worker_registry", None)
+        if worker_registry is not None:
+            groups.append(("reveil_worker", worker_registry))
+        return render_prometheus(groups)
 
     def close(self) -> None:
         """Drain the scheduler, then stop the execution backend.

@@ -46,6 +46,8 @@ Exit code 0 on success, 1 on any violation.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import signal
 import sys
 import threading
@@ -57,6 +59,7 @@ from .. import nn
 from ..data.registry import load_dataset
 from ..models.registry import build_model
 from ..nn.tensor import Tensor
+from ..obs import trace as _trace
 from ..parallel.shm import leaked_segments, shm_segment_names
 from ..parallel.tasks import ModelSpec
 from ..reliability import (ANY_CALL, Fault, FaultInjector, FaultPlan,
@@ -68,6 +71,78 @@ from .http import start_http_server, stop_http_server
 from .screening import OnlineStrip, ScreenConfig
 from .server import InferenceServer
 from .store import ModelStore
+
+#: Where a failing lane writes its observability forensics (flight
+#: recorder dump + Prometheus snapshot); the tier-2 CI job uploads this
+#: directory with the rest of the failure diagnostics.
+ARTIFACT_DIR = os.environ.get("REVEIL_SMOKE_OBS_DIR", "smoke-obs")
+
+#: The live lane's ``prometheus()`` renderer, registered by each lane
+#: as soon as its server exists so a failure dump can snapshot the
+#: counters even after ``finally`` tore the server down (the registries
+#: outlive ``close()``).
+_prom_renderer = None
+
+
+def _dump_obs_artifacts() -> None:
+    """Write the flight recorder + metrics exposition for CI to upload."""
+    try:
+        os.makedirs(ARTIFACT_DIR, exist_ok=True)
+        with open(os.path.join(ARTIFACT_DIR, "traces.json"), "w") as fh:
+            json.dump({"spans": _trace.RECORDER.dump(),
+                       "stats": _trace.RECORDER.stats()}, fh, indent=1)
+        if _prom_renderer is not None:
+            with open(os.path.join(ARTIFACT_DIR, "metrics.prom"), "w") as fh:
+                fh.write(_prom_renderer())
+        print(f"observability forensics written to {ARTIFACT_DIR}/",
+              file=sys.stderr)
+    except Exception as exc:  # noqa: BLE001 - must not mask the failure
+        print(f"observability forensics dump failed: {exc}", file=sys.stderr)
+
+
+def _gate(lane, args) -> int:
+    """Run one smoke lane; dump the obs forensics if it fails."""
+    try:
+        code = lane(args)
+    except BaseException:
+        _dump_obs_artifacts()
+        raise
+    if code != 0:
+        _dump_obs_artifacts()
+    return code
+
+
+def _recorder_violation() -> str:
+    """Flight-recorder invariant check; empty string when clean.
+
+    Every span the context manager starts is sealed in ``finally``, so
+    at quiesce ``spans_started == spans_ended``; and the default-load
+    lanes must never wrap the ring (a wrapped dump is a suffix, not the
+    history).
+    """
+    rec = _trace.RECORDER.stats()
+    if rec["spans_started"] != rec["spans_ended"]:
+        return (f"flight recorder unbalanced: {rec['spans_started']} "
+                f"started vs {rec['spans_ended']} ended")
+    if rec["spans_dropped"]:
+        return (f"flight recorder overflowed: {rec['spans_dropped']} "
+                f"spans dropped (capacity {rec['capacity']})")
+    return ""
+
+
+def _ledger_violation(inference: InferenceServer) -> str:
+    """Request-ledger invariant; empty string when it balances.
+
+    Every request the server began must land in exactly one outcome
+    counter — served, rejected, invalid, or failed.
+    """
+    snap = inference.stats.snapshot()
+    accounted = (snap["served"] + snap["rejected"] + snap["invalid"]
+                 + snap["failed"])
+    if snap["total"] != accounted:
+        return (f"request ledger unbalanced: total={snap['total']} but "
+                f"outcomes sum to {accounted} ({snap})")
+    return ""
 
 
 def main(argv=None) -> int:
@@ -116,10 +191,14 @@ def main(argv=None) -> int:
     if threading.current_thread() is threading.main_thread():
         signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(143))
     if args.cluster:
-        return run_cluster(args)
+        return _gate(run_cluster, args)
     if args.chaos:
-        return run_chaos(args)
+        return _gate(run_chaos, args)
+    return _gate(run_basic, args)
 
+
+def run_basic(args) -> int:
+    """Default serving gate: load, determinism, cache, screening, obs."""
     start = time.perf_counter()
     shm_before = shm_segment_names()
     _, test, profile = load_dataset("unit", seed=0)
@@ -148,6 +227,8 @@ def main(argv=None) -> int:
                                     workers=args.serve_workers,
                                     response_cache=args.response_cache,
                                     prefetch_replicas=args.prefetch_replicas)
+        global _prom_renderer
+        _prom_renderer = inference.prometheus
         multiproc = inference.backend is not None
         print(f"serving smoke: workers={inference.workers} "
               f"({'multiproc' if multiproc else 'inline'}), "
@@ -268,6 +349,17 @@ def main(argv=None) -> int:
             return 1
         print(f"screening: flag rate {flag_report['flag_rate']:.3f} over "
               f"{flag_report['screened']} inputs")
+
+        # Observability invariants at quiesce: the request ledger must
+        # balance exactly and the flight recorder must be loss-free.
+        violation = _ledger_violation(inference) or _recorder_violation()
+        if violation:
+            print(f"SMOKE FAIL: {violation}", file=sys.stderr)
+            return 1
+        rec = _trace.RECORDER.stats()
+        print(f"obs: {inference.stats.snapshot()['total']} requests "
+              f"balanced across outcomes, {rec['spans_ended']} spans "
+              f"balanced, 0 dropped")
     finally:
         if httpd is not None:
             stop_http_server(httpd)
@@ -362,6 +454,8 @@ def run_chaos(args) -> int:
                                     response_cache=0,
                                     prefetch_replicas=True,
                                     reliability=reliability)
+        global _prom_renderer
+        _prom_renderer = inference.prometheus
         httpd = start_http_server(inference)
         client = ServingClient(httpd.url)
 
@@ -504,6 +598,18 @@ def run_chaos(args) -> int:
             return 1
         print(f"phase 3 ok: {backend['repromotions']} workers re-promoted, "
               f"ready again, bit-identical logits")
+
+        # Even through crashes, stalls and degradation the obs plane
+        # must stay consistent: every request accounted to exactly one
+        # outcome, every span sealed, no recorder loss.
+        violation = _ledger_violation(inference) or _recorder_violation()
+        if violation:
+            print(f"CHAOS FAIL: {violation}", file=sys.stderr)
+            return 1
+        rec = _trace.RECORDER.stats()
+        print(f"obs: {inference.stats.snapshot()['total']} requests "
+              f"balanced across outcomes, {rec['spans_ended']} spans "
+              f"balanced, 0 dropped")
     finally:
         uninstall()
         if httpd is not None:
@@ -597,6 +703,8 @@ def run_cluster(args) -> int:
         cluster = ServingCluster(hosts=hosts, group_size=hosts,
                                  workers_per_host=workers, policy=policy,
                                  reliability=reliability)
+        global _prom_renderer
+        _prom_renderer = cluster.prometheus
         cluster.register("smoke", model_v1, version="v1", spec=spec,
                          input_shape=test.images.shape[1:])
         router = cluster.metrics()["router"]
@@ -704,6 +812,32 @@ def run_cluster(args) -> int:
             print(f"recovery ok: {counters['host_respawns']} respawn(s), "
                   f"{counters['reroutes']} re-route(s), "
                   f"{counters['reships']} re-ship(s), host 0 serving again")
+
+            # Failover forensics: the whole recovery arc — the forward
+            # that died, the respawn it triggered, and the warmed
+            # re-ship onto the replacement — must be reconstructible
+            # from the spans of a single trace id.
+            spans = _trace.RECORDER.dump()
+            arc = None
+            for tid in {s.get("trace") for s in spans
+                        if s["name"] == "host.respawn"} - {None}:
+                mine = [s for s in spans if s.get("trace") == tid]
+                names = {s["name"] for s in mine}
+                warmed = any(s["name"] == "state.ship"
+                             and s.get("tags", {}).get("warmed")
+                             for s in mine)
+                if ({"route.forward", "host.respawn",
+                     "state.ship"} <= names and warmed):
+                    arc = tid
+                    break
+            if arc is None:
+                print("CLUSTER FAIL: no single trace id reconstructs the "
+                      "failover arc (route.forward error → host.respawn "
+                      "→ warmed state.ship)", file=sys.stderr)
+                return 1
+            hops = [s["name"] for s in spans if s.get("trace") == arc]
+            print(f"failover arc reconstructed from trace {arc}: "
+                  f"{len(hops)} spans (re-route → re-ship → re-warm)")
         else:
             counters = cluster.metrics()["router"]
             idle = [index for index, count
@@ -752,6 +886,14 @@ def run_cluster(args) -> int:
                 return 1
             print(f"hot-swap ok: v2 acked by {swap['hosts_acked']} hosts, "
                   f"unversioned traffic flipped atomically, bit-identical")
+
+        # Router-side flight recorder must be loss-free in both branches.
+        violation = _recorder_violation()
+        if violation:
+            print(f"CLUSTER FAIL: {violation}", file=sys.stderr)
+            return 1
+        rec = _trace.RECORDER.stats()
+        print(f"obs: {rec['spans_ended']} router spans balanced, 0 dropped")
     finally:
         if httpd is not None:
             stop_http_server(httpd)

@@ -1,0 +1,66 @@
+"""The one shared deterministic-jitter backoff curve.
+
+These tests pin the semantics every retry loop in the tree depends on
+(multiproc batch retry, netstate ship retry, serving-client retry):
+reproducible across runs, decorrelated across tokens, and exactly the
+curve :class:`repro.reliability.RetryPolicy` exposes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.backoff import backoff_delay, jitter_unit
+from repro.reliability import RetryPolicy
+
+
+class TestJitterUnit:
+    def test_deterministic_and_in_unit_interval(self):
+        draws = [jitter_unit("worker-0", attempt) for attempt in range(1, 64)]
+        assert draws == [jitter_unit("worker-0", a) for a in range(1, 64)]
+        assert all(0.0 <= unit < 1.0 for unit in draws)
+
+    def test_tokens_decorrelate(self):
+        assert jitter_unit("worker-0", 1) != jitter_unit("worker-1", 1)
+        assert jitter_unit("worker-0", 1) != jitter_unit("worker-0", 2)
+
+
+class TestBackoffDelay:
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0, base_delay_s=0.1)
+
+    def test_jitter_range_validated(self):
+        with pytest.raises(ValueError):
+            backoff_delay(1, base_delay_s=0.1, jitter=1.5)
+
+    def test_exponential_doubling_capped(self):
+        delays = [backoff_delay(attempt, base_delay_s=0.1, max_delay_s=0.5,
+                                jitter=0.0) for attempt in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_scales_within_band(self):
+        for attempt in range(1, 16):
+            delay = backoff_delay(attempt, base_delay_s=0.1, max_delay_s=0.5,
+                                  jitter=0.25, token="t")
+            center = backoff_delay(attempt, base_delay_s=0.1, max_delay_s=0.5,
+                                   jitter=0.0)
+            assert center * 0.75 <= delay < center * 1.25
+
+    def test_reproducible_across_calls(self):
+        first = [backoff_delay(a, base_delay_s=0.02, token="worker-3")
+                 for a in range(1, 8)]
+        second = [backoff_delay(a, base_delay_s=0.02, token="worker-3")
+                  for a in range(1, 8)]
+        assert first == second
+
+
+class TestRetryPolicyUsesSharedCurve:
+    def test_policy_backoff_equals_shared_helper(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.03,
+                             max_delay_s=0.7, jitter=0.2)
+        for attempt in range(1, 6):
+            for token in ("", "worker-0", "transfer:m/v1"):
+                assert policy.backoff(attempt, token=token) == backoff_delay(
+                    attempt, base_delay_s=0.03, max_delay_s=0.7,
+                    jitter=0.2, token=token)

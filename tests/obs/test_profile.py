@@ -1,0 +1,64 @@
+"""Per-phase profiler: accumulation, scoping, and the zero-cost default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import profile as _profile
+from repro.obs.profile import PhaseProfiler, profiled
+
+
+def test_profiling_is_off_by_default():
+    assert _profile.ACTIVE is None
+
+
+def test_start_stop_accumulates_calls_and_time():
+    profiler = PhaseProfiler()
+    for _ in range(3):
+        token = profiler.start("unit.phase")
+        profiler.stop(token)
+    snap = profiler.snapshot()
+    assert set(snap) == {"unit.phase"}
+    assert snap["unit.phase"]["calls"] == 3
+    assert snap["unit.phase"]["wall_s"] >= 0.0
+    assert snap["unit.phase"]["cpu_s"] >= 0.0
+
+
+def test_phase_context_manager_balances_on_exception():
+    profiler = PhaseProfiler()
+    with pytest.raises(RuntimeError):
+        with profiler.phase("unit.boom"):
+            raise RuntimeError("body failed")
+    assert profiler.snapshot()["unit.boom"]["calls"] == 1
+
+
+def test_snapshot_sorted_and_reset_clears():
+    profiler = PhaseProfiler()
+    with profiler.phase("b"):
+        pass
+    with profiler.phase("a"):
+        pass
+    assert list(profiler.snapshot()) == ["a", "b"]
+    profiler.reset()
+    assert profiler.snapshot() == {}
+
+
+def test_profiled_installs_and_restores():
+    assert _profile.ACTIVE is None
+    with profiled() as profiler:
+        assert _profile.ACTIVE is profiler
+        # The instrumented-site idiom: one attribute load + None check.
+        prof = _profile.ACTIVE
+        token = prof.start("serve.dispatch") if prof is not None else None
+        if prof is not None:
+            prof.stop(token)
+    assert _profile.ACTIVE is None
+    assert profiler.snapshot()["serve.dispatch"]["calls"] == 1
+
+
+def test_profiled_nesting_restores_previous():
+    with profiled() as outer:
+        with profiled() as inner:
+            assert _profile.ACTIVE is inner
+        assert _profile.ACTIVE is outer
+    assert _profile.ACTIVE is None

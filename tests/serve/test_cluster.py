@@ -172,3 +172,28 @@ def test_degraded_reroute_serves_identical_bits(cluster, image):
     assert counters["degraded_routes"] >= 1
     assert counters["inline_batches"] == 0
     assert counters["routed_per_host"][other_host] >= 1
+
+
+# -- observability: metrics schema + exposition ------------------------
+
+#: Router counter keys the cluster /metrics payload must keep.
+GOLDEN_ROUTER_KEYS = {"routed", "routed_per_host", "reroutes",
+                      "degraded_routes", "inline_batches", "ships",
+                      "ship_retries", "reships", "host_respawns",
+                      "activations", "last_activation_acks",
+                      "skew_refusals"}
+
+
+@pytest.mark.parallel
+def test_cluster_metrics_golden_keys_and_exposition(cluster, image):
+    cluster.predict("m", image)
+    metrics = cluster.metrics()
+    assert {"router", "hosts", "shipped", "active_versions", "groups",
+            "host_obs"} <= set(metrics)
+    assert GOLDEN_ROUTER_KEYS <= set(metrics["router"])
+    assert metrics["router"]["routed"] >= 1
+    assert len(metrics["router"]["routed_per_host"]) == len(cluster.hosts)
+    # The same counters render as Prometheus exposition.
+    text = cluster.prometheus()
+    assert "# TYPE reveil_router_routed_total counter" in text
+    assert "reveil_recorder_spans_started" in text

@@ -12,6 +12,12 @@ None/True/False), E722 (bare except), F401 (unused imports, module
 scope; ``__all__`` and ``__init__.py`` re-exports count as uses),
 F811 (redefined function/class), F841 (unused local variable).
 
+One repo-specific rule always runs (with or without ruff): REV001
+rejects raw dict-based counters (``self.counters = {...}`` and
+friends) in ``src/repro`` outside ``repro.obs`` — metrics belong in
+the typed registry (:mod:`repro.obs.metrics`), which is what makes
+them mergeable across processes and exportable to Prometheus.
+
 Exit code 0 when clean, 1 when violations are found.
 """
 
@@ -176,15 +182,101 @@ def fallback_lint(paths: List[str]) -> int:
     return 1 if violations else 0
 
 
+#: Names that always signal a hand-rolled metrics dict when dict-valued.
+_COUNTER_NAMES = {"counters", "_counters"}
+
+#: Names that signal one only when assigned a non-empty numeric dict
+#: literal (``stats`` legitimately holds non-counter data elsewhere,
+#: e.g. per-class calibration statistics in the defenses).
+_STATS_NAMES = {"stats", "_stats"}
+
+#: Constructors whose result used as a counter store triggers REV001.
+_DICT_FACTORIES = {"dict", "defaultdict", "Counter", "OrderedDict"}
+
+
+def _is_dict_valued(value: ast.AST) -> bool:
+    if isinstance(value, ast.Dict):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _DICT_FACTORIES
+    return False
+
+
+def _is_numeric_dict_literal(value: ast.AST) -> bool:
+    """A non-empty ``{...}`` whose values are all numeric constants —
+    the classic ad-hoc counter initializer (``{"routed": 0, ...}``)."""
+    return (isinstance(value, ast.Dict) and bool(value.values)
+            and all(isinstance(v, ast.Constant)
+                    and isinstance(v.value, (int, float))
+                    and not isinstance(v.value, bool)
+                    for v in value.values))
+
+
+def check_raw_counters(root: Path = None) -> int:
+    """REV001: raw dict-based counters outside :mod:`repro.obs`.
+
+    Flags ``<name> = {...}`` / ``<name> = dict(...)`` (and
+    ``defaultdict``/``Counter``) where ``<name>`` is an attribute or
+    variable named ``counters``/``stats`` (underscore-prefixed too),
+    anywhere under ``src/repro`` except ``src/repro/obs``.  Those dicts
+    are exactly what the typed metrics registry replaced: they need a
+    lock around every bump, cannot be merged across worker processes,
+    and never show up in the Prometheus exposition.  Build a
+    ``repro.obs.metrics.Registry`` instead (a read-only dict *property*
+    rebuilding a legacy snapshot shape is fine — properties are
+    ``FunctionDef``s, not assignments, and don't trip this).
+    """
+    root = root or (REPO / "src" / "repro")
+    exempt = root / "obs"
+    violations: List[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        if exempt in path.parents:
+            continue
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError:
+            continue                     # E999 is the other checks' job
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                name = target.attr if isinstance(target, ast.Attribute) \
+                    else (target.id if isinstance(target, ast.Name) else None)
+                if (name in _COUNTER_NAMES and _is_dict_valued(value)) or \
+                        (name in _STATS_NAMES
+                         and _is_numeric_dict_literal(value)):
+                    violations.append(
+                        (path, node.lineno, "REV001",
+                         f"raw dict counter {name!r} — use a typed "
+                         f"repro.obs.metrics.Registry instead"))
+    for path, lineno, code, message in violations:
+        rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        print(f"{rel}:{lineno}: {code} {message}")
+    if violations:
+        print(f"counter lint: {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     paths = args or list(DEFAULT_PATHS)
+    # The repo-specific counter rule runs regardless of which general
+    # linter backs the run — ruff has no knowledge of it.
+    counter_status = check_raw_counters()
     if shutil.which("ruff"):
         print("running ruff")
-        return subprocess.call(["ruff", "check", *paths], cwd=REPO)
+        return subprocess.call(["ruff", "check", *paths], cwd=REPO) \
+            or counter_status
     print("ruff not installed; running built-in fallback linter "
           "(subset of the ruff rules in pyproject.toml)")
-    return fallback_lint(paths)
+    return fallback_lint(paths) or counter_status
 
 
 if __name__ == "__main__":
