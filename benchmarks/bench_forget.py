@@ -1,0 +1,330 @@
+"""Unlearning-as-a-service benchmark: the closed forget loop, measured.
+
+Stands up the paper's deployment state — the camouflaged SISA provider
+serving over HTTP — and replays the ReVeil arc as live traffic from
+simulated users: steady predict load, then the adversary's
+camouflage-removal deletions through ``POST /v1/forget`` *while the
+predict load keeps running*, then the operator's poison deletions.
+Measures, per phase:
+
+- **deletion-to-swap latency** — enqueue of a waited ``/forget`` to the
+  retrained version being the store's active version;
+- **serving p99 during retrain** vs steady-state p99 — the zero-
+  downtime claim, quantified (a swap must not bend the latency curve);
+- **dropped predicts** through the retrain → hot-swap window (want 0);
+- **attack success rate over served traffic** at each stage of the arc:
+  camouflaged (deployed, backdoor dormant), after the camouflage
+  deletions are honored (the ReVeil restoration — ASR *rises*; this is
+  the paper's attack and is recorded informationally), and after the
+  poison deletions (ASR falls back — the gated cell: honoring all
+  attacker-data deletions measurably drops ASR from its restored peak);
+- **guard observations** — the camouflage-removal sequence must be
+  flagged (mode ``flag``: audited, still honored) and the coalescing /
+  swap counters of the plane.
+
+Writes the ``forget`` section of ``benchmarks/BENCH_perf_scaling.json``
+(other sections preserved), including the ``forget.quick_gate`` cells
+consumed by ``benchmarks/check_regression.py`` in CI.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_forget.py [--quick]
+
+``--quick`` refreshes only the quick-gate cells (the full run adds a
+coalescing sweep over concurrent deletion counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.harness import PipelineConfig  # noqa: E402
+from repro.serve import (BatchPolicy, ForgetConfig, GuardPolicy,  # noqa: E402
+                         ServingClient, run_load, start_http_server,
+                         stop_http_server)
+from repro.serve.scenario import build_reveil_forget  # noqa: E402
+
+OUT_PATH = Path(__file__).parent / "BENCH_perf_scaling.json"
+
+#: The strong-backdoor recipe (mirrors the end-to-end tier-1 test):
+#: unit profile, BadNets A1 at bench scale, poison ratio 0.1, paper
+#: camouflage defaults, enough epochs for the planted ASR to be strong.
+ARC_CONFIG = PipelineConfig(dataset="unit", attack="A1",
+                            attack_scale="bench", model_scale="bench",
+                            poison_ratio=0.1, epochs=15, lr=3e-3, seed=3)
+
+
+def _served_asr(client: ServingClient, model: str, attack_test,
+                target_label: int, requests: int = 64,
+                concurrency: int = 4):
+    """ASR as the fraction of served triggered traffic answering the
+    attacker's target — measured over HTTP, the way a victim would."""
+    report = run_load(client, model, attack_test.images[:32],
+                      requests=requests, concurrency=concurrency)
+    return report.label_fraction(target_label), report
+
+
+def _load_until(client: ServingClient, model: str, images, done,
+                concurrency: int = 4):
+    """Closed-loop predict load until ``done`` is set; merged report.
+
+    Drives traffic in small bursts so the aggregate covers the whole
+    retrain → swap window no matter how long the round takes on this
+    machine (one fixed-size load could finish before the swap lands).
+    """
+    latencies, ok, rejected, errors, requests = [], 0, 0, 0, 0
+    while not done.is_set():
+        report = run_load(client, model, images, requests=32,
+                          concurrency=concurrency)
+        requests += report.requests
+        ok += report.ok
+        rejected += report.rejected
+        errors += report.errors
+        latencies.extend(report.latencies_s)
+    return {"requests": requests, "ok": ok, "rejected": rejected,
+            "errors": errors, "latencies_s": latencies}
+
+
+def _p99(latencies) -> float:
+    if not latencies:
+        return 0.0
+    return float(np.quantile(np.asarray(latencies), 0.99))
+
+
+def run_arc(requests: int = 96, concurrency: int = 4) -> dict:
+    """The full ReVeil arc as live mixed traffic; one dict of cells."""
+    build = build_reveil_forget(
+        ARC_CONFIG,
+        policy=BatchPolicy(max_batch_size=8, max_delay_ms=2.0),
+        forget=ForgetConfig(max_delay_ms=50.0),
+        guard_policy=GuardPolicy(user_rate=50.0, user_burst=64))
+    httpd = None
+    try:
+        httpd = start_http_server(build.server)
+        client = ServingClient(httpd.url)
+        model = build.model_name
+        bundle = build.result.bundle
+        camouflage_ids = [int(i) for i in bundle.unlearning_request_ids]
+        poison_ids = [int(i) for i in bundle.poison_set.sample_ids]
+
+        # Phase 1 — steady state: the camouflaged model under clean
+        # predict load (latency reference) and triggered traffic (ASR).
+        steady = run_load(client, model, build.clean_test.images[:32],
+                          requests=requests, concurrency=concurrency)
+        asr_camouflaged, _ = _served_asr(client, model, build.attack_test,
+                                         build.target_label)
+
+        # Phase 2 — the adversary's deletion: camouflage-removal through
+        # /v1/forget while the predict load keeps running.  The waited
+        # request returns once its retrained version serves.
+        outcome = {}
+        done = threading.Event()
+
+        def delete_camouflage():
+            try:
+                outcome.update(client.forget("attacker", camouflage_ids,
+                                             timeout=600.0))
+            finally:
+                done.set()
+
+        deleter = threading.Thread(target=delete_camouflage,
+                                   name="camouflage-deleter")
+        deleter.start()
+        during = _load_until(client, model, build.clean_test.images[:32],
+                             done, concurrency=concurrency)
+        deleter.join()
+        asr_restored, _ = _served_asr(client, model, build.attack_test,
+                                      build.target_label)
+
+        # Phase 3 — the response: the poison deletions are honored too;
+        # the backdoor's ammunition is gone and served ASR falls back.
+        final_outcome = client.forget("victim-ops", poison_ids,
+                                      timeout=600.0)
+        asr_final, _ = _served_asr(client, model, build.attack_test,
+                                   build.target_label)
+
+        plane = build.plane.stats()
+        guard = plane["guard"]["counters"]
+        active = build.store.active_version(model)
+        return {
+            "deletion_to_swap_seconds": outcome["deletion_to_swap_s"],
+            "poison_deletion_to_swap_seconds":
+                final_outcome["deletion_to_swap_s"],
+            "steady_p99_seconds": steady.latency_quantile(0.99),
+            "steady_p50_seconds": steady.latency_quantile(0.5),
+            "retrain_p99_seconds": _p99(during["latencies_s"]),
+            "retrain_requests": during["requests"],
+            "dropped": (steady.rejected + steady.errors
+                        + during["rejected"] + during["errors"]),
+            "asr_camouflaged": asr_camouflaged,
+            "asr_restored": asr_restored,
+            "asr_final": asr_final,
+            "asr_drop": asr_restored - asr_final,
+            "swaps": plane["counters"]["swaps"],
+            "rounds": plane["counters"]["rounds"],
+            "samples_removed": plane["counters"]["samples_removed"],
+            "guard_flags_camouflage": guard["flags_camouflage"],
+            "active_version": active,
+            "camouflage_ids": len(camouflage_ids),
+            "poison_ids": len(poison_ids),
+        }
+    finally:
+        if httpd is not None:
+            stop_http_server(httpd)
+        build.close()
+
+
+def time_coalescing(deleters: int) -> dict:
+    """``deleters`` users deleting concurrently: rounds vs requests.
+
+    The per-shard coalescing queue exists so N near-simultaneous
+    deletions cost far fewer than N full retrains; this cell records
+    the measured collapse ratio at the bench scale.
+    """
+    cfg = PipelineConfig(dataset="unit", attack="A1", attack_scale="bench",
+                         model_scale="tiny", poison_ratio=0.1, epochs=2,
+                         seed=0)
+    build = build_reveil_forget(
+        cfg, forget=ForgetConfig(max_delay_ms=300.0),
+        guard_policy=GuardPolicy(user_rate=50.0, user_burst=64))
+    try:
+        attacker = (set(int(i) for i in
+                        build.result.bundle.unlearning_request_ids)
+                    | set(int(i) for i in
+                          build.result.bundle.poison_set.sample_ids))
+        clean = [int(i) for i in
+                 build.result.bundle.train_mixture.sample_ids
+                 if int(i) not in attacker]
+        outcomes = [None] * deleters
+        start = time.perf_counter()
+
+        def worker(slot):
+            outcomes[slot] = build.plane.request(
+                f"user-{slot}", clean[2 * slot:2 * slot + 2], timeout=600.0)
+
+        threads = [threading.Thread(target=worker, args=(slot,))
+                   for slot in range(deleters)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        counters = build.plane.stats()["counters"]
+        return {
+            "deleters": deleters,
+            "rounds": counters["rounds"],
+            "swaps": counters["swaps"],
+            "wall_seconds": elapsed,
+            "mean_deletion_to_swap_seconds": float(np.mean(
+                [o["deletion_to_swap_s"] for o in outcomes])),
+            "collapse_ratio": deleters / max(counters["rounds"], 1),
+        }
+    finally:
+        build.close()
+
+
+def run_quick_gate() -> dict:
+    """The arc cells the CI perf gate consumes (flat, seconds/fractions).
+
+    ``forget_asr_restored`` > ``forget_asr_camouflaged`` is the paper's
+    attack reproducing online; ``forget_asr_drop`` (restored → final
+    after *all* attacker data deletions are honored) is the gated
+    "unlearning measurably removes the backdoor" cell.
+    """
+    arc = run_arc()
+    return {
+        "forget_deletion_to_swap_seconds": arc["deletion_to_swap_seconds"],
+        "forget_steady_p99_seconds": arc["steady_p99_seconds"],
+        "forget_retrain_p99_seconds": arc["retrain_p99_seconds"],
+        "forget_dropped": arc["dropped"],
+        "forget_asr_camouflaged": arc["asr_camouflaged"],
+        "forget_asr_restored": arc["asr_restored"],
+        "forget_asr_final": arc["asr_final"],
+        "forget_asr_drop": arc["asr_drop"],
+        "forget_swaps": arc["swaps"],
+        "forget_guard_flags_camouflage": arc["guard_flags_camouflage"],
+    }
+
+
+def _merge_write(path: Path, forget_updates: dict) -> None:
+    """Merge into the JSON's ``forget`` section, preserving the rest."""
+    report = {}
+    if path.exists():
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    section = report.get("forget")
+    if not isinstance(section, dict):
+        section = {}
+    section.update(forget_updates)
+    report["forget"] = section
+    path.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="refresh only the forget quick-gate cells")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    section = {}
+    if not args.quick:
+        print("coalescing sweep (concurrent deleters -> retrain rounds)")
+        section["coalescing"] = {}
+        for deleters in (1, 4, 8):
+            cell = time_coalescing(deleters)
+            section["coalescing"][f"d{deleters}"] = cell
+            print(f"  deleters={deleters}: {cell['rounds']} rounds, "
+                  f"collapse {cell['collapse_ratio']:.1f}x, mean "
+                  f"deletion-to-swap "
+                  f"{cell['mean_deletion_to_swap_seconds']:.2f}s")
+
+    print("forget quick-gate cells (full ReVeil arc as served traffic)")
+    start = time.perf_counter()
+    quick = run_quick_gate()
+    section["quick_gate"] = quick
+    for name, value in quick.items():
+        print(f"  {name}: {value:.4g}")
+    print(f"  ({time.perf_counter() - start:.1f}s)")
+
+    if quick["forget_dropped"] != 0:
+        print("ERROR: predicts dropped through the retrain → swap window",
+              file=sys.stderr)
+        return 1
+    if quick["forget_swaps"] < 2:
+        print("ERROR: the arc should have hot-swapped at least twice "
+              f"(camouflage + poison rounds), got {quick['forget_swaps']}",
+              file=sys.stderr)
+        return 1
+    if quick["forget_asr_restored"] <= quick["forget_asr_camouflaged"]:
+        print("ERROR: camouflage removal did not restore the backdoor — "
+              "the arc is not reproducing the attack", file=sys.stderr)
+        return 1
+    if quick["forget_asr_drop"] < 0.1:
+        print(f"ERROR: honoring the attacker-data deletions dropped ASR "
+              f"by only {quick['forget_asr_drop']:.3f} (want >= 0.1)",
+              file=sys.stderr)
+        return 1
+    if quick["forget_guard_flags_camouflage"] < 1:
+        print("ERROR: the guard never flagged the camouflage-removal "
+              "sequence", file=sys.stderr)
+        return 1
+
+    _merge_write(args.out, section)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,20 @@ p50, i.e. the cold-start spike stays dead.  On a single-core runner the
 multiproc comparison is physically meaningless and is reported as
 skipped.
 
+The forget lane closes the unlearning-as-a-service loop: the full
+ReVeil arc is replayed as live mixed predict/forget traffic
+(``bench_forget.py``), and the gate holds four absolute contracts —
+zero predicts dropped through the retrain → hot-swap window, the
+camouflage deletions *restoring* the backdoor over served traffic (the
+paper's attack, reproduced online), honoring the remaining
+attacker-data deletions dropping served ASR back down by a measurable
+margin (>= 0.1 absolute), and the guard flagging the
+camouflage-removal sequence — plus two timing bounds: deletion-to-swap
+latency against the committed baseline, and the serving p99 measured
+*during* a shard retrain within ``REVEIL_FORGET_SWAP_FACTOR`` of the
+same run's steady-state p99 (measured-vs-measured, so machine speed
+cancels out).
+
 The cluster lane extends the same posture to the multi-host tier: the
 routed load must drop zero responses, router-served logits must equal
 the direct fixed-width forward bit-for-bit (delta exactly 0.0), and —
@@ -83,11 +97,21 @@ Environment knobs::
                                 exceed the tracing-off p50 before the
                                 ratio check fails (millisecond-cell
                                 jitter guard)
+    REVEIL_FORGET_SWAP_FACTOR=3.0
+                                serving p99 measured during a shard
+                                retrain must be <= the same run's
+                                steady-state p99 times this — the
+                                zero-downtime-swap bound
+    REVEIL_FORGET_MIN_SLACK=0.05
+                                absolute seconds the during-retrain p99
+                                may exceed the factor bound before the
+                                comparison fails
 
 Refresh the baselines after intentional perf changes with::
 
     PYTHONPATH=src python benchmarks/bench_perf_scaling.py --quick
     PYTHONPATH=src python benchmarks/bench_serving.py --quick
+    PYTHONPATH=src python benchmarks/bench_forget.py --quick
 
 Exit code 0 on pass/skip/trend, 1 on regression or missing baseline.
 """
@@ -103,6 +127,7 @@ from typing import List, Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from bench_forget import run_quick_gate as run_forget_quick_gate  # noqa: E402
 from bench_perf_scaling import OUT_PATH, run_quick_gate  # noqa: E402
 from bench_serving import run_quick_gate as run_serving_quick_gate  # noqa: E402
 from repro.nn.threading import available_cpu_count  # noqa: E402
@@ -117,6 +142,8 @@ SERVING_TIMING_CELLS = ("serving_p50_seconds", "serving_single_p50_seconds",
                         "serving_cache_hit_p50_seconds",
                         "serving_first_batch_seconds",
                         "serving_cluster_p50_seconds")
+FORGET_TIMING_CELLS = ("forget_deletion_to_swap_seconds",
+                       "forget_steady_p99_seconds")
 
 
 class GateReport:
@@ -210,6 +237,12 @@ def main(argv=None) -> int:
     if not serving_baseline:
         print(f"perf gate FAIL: {args.baseline} has no serving.quick_gate "
               f"section (run bench_serving.py --quick to create it)",
+              file=sys.stderr)
+        return 1
+    forget_baseline = report.get("forget", {}).get("quick_gate")
+    if not forget_baseline:
+        print(f"perf gate FAIL: {args.baseline} has no forget.quick_gate "
+              f"section (run bench_forget.py --quick to create it)",
               file=sys.stderr)
         return 1
 
@@ -346,6 +379,46 @@ def main(argv=None) -> int:
              f"{obs_on / max(obs_off, 1e-9):.3f}x ({obs_on * 1e3:.1f}ms)",
              f"{obs_off * 1e3:.1f}ms (tracing off)",
              f"<= {obs_factor:g}x + {obs_slack:g}s", regressed)
+
+    # -- forget lane (unlearning as a service) -------------------------
+    print(f"rerunning forget quick-gate cells [{mode}]")
+    forget = run_forget_quick_gate()
+    gate_timing(FORGET_TIMING_CELLS, forget_baseline, forget)
+    gate.add("forget_dropped", str(forget["forget_dropped"]), "—", "0",
+             forget["forget_dropped"] != 0, correctness=True)
+    # The zero-downtime-swap bound, measured-vs-measured within the same
+    # run: serving p99 sampled while a shard retrains must stay within
+    # the factor of the steady-state p99 (absolute slack guards the
+    # millisecond-scale cells against scheduler jitter).
+    swap_factor = float(os.environ.get("REVEIL_FORGET_SWAP_FACTOR", "3.0"))
+    swap_slack = float(os.environ.get("REVEIL_FORGET_MIN_SLACK", "0.05"))
+    retrain_p99 = forget["forget_retrain_p99_seconds"]
+    steady_p99 = forget["forget_steady_p99_seconds"]
+    regressed = (retrain_p99 > steady_p99 * swap_factor
+                 and (retrain_p99 - steady_p99) > swap_slack)
+    gate.add("forget_retrain_vs_steady_p99",
+             f"{retrain_p99 * 1e3:.1f}ms",
+             f"{steady_p99 * 1e3:.1f}ms (steady p99)",
+             f"<= {swap_factor:g}x + {swap_slack:g}s", regressed)
+    # The ReVeil arc over served traffic is a correctness contract, not
+    # a timing one: camouflage removal must restore the backdoor (the
+    # attack reproducing online), and honoring the remaining
+    # attacker-data deletions must measurably put it back down.
+    restored = forget["forget_asr_restored"]
+    camouflaged = forget["forget_asr_camouflaged"]
+    gate.add("forget_asr_restored",
+             f"{restored:.3f}", f"{camouflaged:.3f} (camouflaged)",
+             "> camouflaged", restored <= camouflaged, correctness=True)
+    drop = forget["forget_asr_drop"]
+    gate.add("forget_asr_drop", f"{drop:.3f}",
+             f"{forget['forget_asr_final']:.3f} (final ASR)", ">= 0.1",
+             drop < 0.1, correctness=True)
+    gate.add("forget_swaps", str(int(forget["forget_swaps"])), "—", ">= 2",
+             forget["forget_swaps"] < 2, correctness=True)
+    gate.add("forget_guard_flags_camouflage",
+             str(int(forget["forget_guard_flags_camouflage"])), "—",
+             ">= 1", forget["forget_guard_flags_camouflage"] < 1,
+             correctness=True)
 
     gate.write_step_summary()
     if gate.failed:

@@ -158,11 +158,13 @@ def cmd_serve(args) -> int:
              if args.response_cache else "response cache off")
     print(f"serving {name} (versions {serving.store.versions(name)}, "
           f"active '{active}') at {httpd.url} [{backend}, {cache}]")
-    print(f"  predict: POST {httpd.url}/predict "
+    print(f"  predict: POST {httpd.url}/v1/predict "
           f'{{"model": "{name}", "inputs": [...]}}')
-    print(f"  hot-swap: POST {httpd.url}/activate "
+    print(f"  forget: POST {httpd.url}/v1/forget "
+          f'{{"user": "...", "sample_ids": [...]}}  (needs a forget plane)')
+    print(f"  hot-swap: POST {httpd.url}/v1/activate "
           f'{{"model": "{name}", "version": "unlearned"}}')
-    print(f"  metrics: GET {httpd.url}/metrics   (Ctrl-C to stop)")
+    print(f"  metrics: GET {httpd.url}/v1/metrics   (Ctrl-C to stop)")
     try:
         while True:
             time.sleep(3600)
@@ -203,11 +205,11 @@ def _serve_cluster(args, cfg, policy, reliability) -> int:
           f"active '{active}') at {httpd.url} "
           f"[{args.hosts} hosts x {max(1, args.serve_workers)} workers, "
           f"group size {len(cluster.groups[0])}]")
-    print(f"  predict: POST {httpd.url}/predict "
+    print(f"  predict: POST {httpd.url}/v1/predict "
           f'{{"model": "{name}", "inputs": [...]}}')
-    print(f"  hot-swap (cluster-wide): POST {httpd.url}/activate "
+    print(f"  hot-swap (cluster-wide): POST {httpd.url}/v1/activate "
           f'{{"model": "{name}", "version": "unlearned"}}')
-    print(f"  metrics: GET {httpd.url}/metrics   (Ctrl-C to stop)")
+    print(f"  metrics: GET {httpd.url}/v1/metrics   (Ctrl-C to stop)")
     try:
         while True:
             time.sleep(3600)
@@ -231,7 +233,7 @@ def cmd_client(args) -> int:
         images = attack.attack_test_set(test).images
     client = ServingClient(args.url)
     try:
-        client.healthz()
+        client.health()
     except (ServingError, OSError) as exc:
         print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
         return 1

@@ -111,12 +111,16 @@ def run_pipeline(cfg: PipelineConfig,
     ``"unlearn"`` implies a provider (SISA) trained on the camouflaged
     mixture; ``"camouflage"`` without ``"unlearn"`` trains a plain model
     (cheaper, and yields a single model for defense evaluation).
+    ``"provider"`` trains the SISA provider on the camouflaged mixture
+    but leaves the deletion to the caller — the entry point for the
+    online unlearning plane, where ``result.provider`` keeps serving
+    while ``/v1/forget`` requests retrain it incrementally.
 
     ``cfg.intra_op_threads`` scopes the conv-kernel thread pool over the
     whole run (plain trainings and measurement); the SISA stage re-derives
     its own setting so shard *processes* never multiply it.
     """
-    unknown = set(stages) - {"poison", "camouflage", "unlearn"}
+    unknown = set(stages) - {"poison", "camouflage", "unlearn", "provider"}
     if unknown:
         raise ValueError(f"unknown stages: {sorted(unknown)}")
     with nn.intra_op_threads(cfg.intra_op_threads):
@@ -142,7 +146,7 @@ def _run_pipeline_inner(cfg: PipelineConfig, stages: tuple) -> PipelineResult:
         result.poison_model = model
         result.poison = measure(model, test, attack_test, target)
 
-    needs_provider = "unlearn" in stages
+    needs_provider = "unlearn" in stages or "provider" in stages
     if "camouflage" in stages or needs_provider:
         if needs_provider:
             sisa_cfg = SISAConfig(num_shards=cfg.sisa_shards,
@@ -172,7 +176,7 @@ def _run_pipeline_inner(cfg: PipelineConfig, stages: tuple) -> PipelineResult:
             result.camouflage_model = model
             result.camouflage = measure(model, test, attack_test, target)
 
-    if needs_provider:
+    if "unlearn" in stages:
         result.unlearn_stats = result.provider.unlearn(
             bundle.unlearning_request_ids)
         result.unlearned = measure(result.provider, test, attack_test, target)

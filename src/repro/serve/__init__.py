@@ -26,9 +26,13 @@ from .cache import ResponseCache, input_digest
 from .client import LoadReport, ServingClient, ServingError, run_load
 from .cluster import (GroupMap, HostHandle, RouterHTTPServer, ServingCluster,
                       VersionSkewError)
-from .http import ServingHTTPServer, start_http_server, stop_http_server
+from .forget import (DeletionFlagged, DeletionRateLimited, ForgetConfig,
+                     ForgetPlane, GuardPolicy, OnlineUnlearningGuard)
+from .http import (API_PREFIX, Route, ServingHTTPServer, route_table,
+                   start_http_server, stop_http_server)
 from .multiproc import MultiprocBackend, ReplicaWorker
-from .scenario import (ReVeilCluster, ReVeilServing, build_reveil_cluster,
+from .scenario import (ReVeilCluster, ReVeilForgetServing, ReVeilServing,
+                       build_reveil_cluster, build_reveil_forget,
                        build_reveil_serving, serving_store)
 from .screening import OnlineStrip, ScreenConfig
 from .server import InferenceServer, PredictResult
@@ -42,9 +46,13 @@ __all__ = [
     "InferenceServer", "PredictResult",
     "OnlineStrip", "ScreenConfig",
     "ServingHTTPServer", "start_http_server", "stop_http_server",
+    "API_PREFIX", "Route", "route_table",
+    "ForgetPlane", "ForgetConfig", "OnlineUnlearningGuard", "GuardPolicy",
+    "DeletionRateLimited", "DeletionFlagged",
     "ServingCluster", "GroupMap", "HostHandle", "RouterHTTPServer",
     "VersionSkewError",
     "ServingClient", "ServingError", "LoadReport", "run_load",
     "ReVeilServing", "build_reveil_serving", "serving_store",
     "ReVeilCluster", "build_reveil_cluster",
+    "ReVeilForgetServing", "build_reveil_forget",
 ]

@@ -15,6 +15,7 @@ import http.client
 import json
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 from urllib.parse import urlparse
@@ -23,30 +24,59 @@ import numpy as np
 
 from ..obs.backoff import backoff_delay
 
+#: Deprecation shims that already warned this process (warn once each).
+_SHIMS_WARNED: set = set()
+
+
+def _warn_shim(old: str, new: str) -> None:
+    if old in _SHIMS_WARNED:
+        return
+    _SHIMS_WARNED.add(old)
+    warnings.warn(f"ServingClient.{old}() is deprecated; use "
+                  f"ServingClient.{new}()", DeprecationWarning,
+                  stacklevel=3)
+
 
 class ServingError(RuntimeError):
-    """Non-2xx response from the serving front end."""
+    """Non-2xx response from the serving front end.
 
-    def __init__(self, status: int, message: str):
+    Carries the HTTP ``status`` plus — when the server answered with
+    the ``/v1`` error envelope — the machine-readable ``code`` and the
+    request's ``trace_id`` (pull exactly this request's spans from
+    ``/v1/debug/traces?trace=<id>``).
+    """
+
+    def __init__(self, status: int, message: str,
+                 code: Optional[str] = None,
+                 trace_id: Optional[str] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code
+        self.trace_id = trace_id
 
 
 class ServingClient:
     """Client for one serving endpoint (e.g. ``http://127.0.0.1:8351``).
 
-    Connections are per-call (the load generator opens one per worker
-    thread through ``http.client`` anyway), which keeps the client
-    trivially thread-safe.
+    All endpoint methods (``predict`` / ``forget`` / ``activate`` /
+    ``health`` / …) ride one request core that speaks the versioned
+    ``/v1`` API and understands the unified error envelope.  The old
+    call shapes (``healthz`` / ``readyz``) remain as thin deprecation
+    shims.  Connections are per-call (the load generator opens one per
+    worker thread through ``http.client`` anyway), which keeps the
+    client trivially thread-safe.
     """
 
     def __init__(self, url: str, timeout: float = 60.0,
-                 retry_resets: int = 1):
+                 retry_resets: int = 1, api_prefix: str = "/v1"):
         parsed = urlparse(url)
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"only http:// endpoints are supported, got {url}")
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 80
+        #: Path prefix for every endpoint; "" talks to the legacy
+        #: unprefixed aliases (deprecated server-side).
+        self.api_prefix = api_prefix.rstrip("/")
         #: Per-request socket timeout: a stalled server fails the call
         #: instead of hanging a closed-loop worker (and the whole load
         #: run behind it) forever.
@@ -58,19 +88,25 @@ class ServingClient:
 
     # -- transport -----------------------------------------------------
     def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None) -> dict:
+                 payload: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> dict:
         """One logical round-trip, retrying connection resets.
 
-        A server restarting a worker (or an OS reclaiming sockets under
-        pressure) shows up client-side as a reset or mid-response
-        hangup; those retry up to ``retry_resets`` times.  Anything
-        still failing is normalized into :class:`ServingError` /
-        ``OSError`` so callers — the load generator's worker threads in
-        particular — only ever see those two."""
+        ``path`` is the endpoint name (``/predict``); the configured
+        ``api_prefix`` is prepended here — the one request core every
+        endpoint method rides.  A server restarting a worker (or an OS
+        reclaiming sockets under pressure) shows up client-side as a
+        reset or mid-response hangup; those retry up to
+        ``retry_resets`` times.  Anything still failing is normalized
+        into :class:`ServingError` / ``OSError`` so callers — the load
+        generator's worker threads in particular — only ever see those
+        two."""
+        path = f"{self.api_prefix}{path}"
         last_exc: Optional[BaseException] = None
         for attempt in range(self.retry_resets + 1):
             try:
-                return self._request_once(method, path, payload)
+                return self._request_once(method, path, payload,
+                                          timeout=timeout)
             except (ConnectionResetError, BrokenPipeError,
                     http.client.RemoteDisconnected) as exc:
                 last_exc = exc
@@ -87,9 +123,11 @@ class ServingClient:
                f"{last_exc}") from last_exc
 
     def _request_once(self, method: str, path: str,
-                      payload: Optional[dict] = None) -> dict:
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
+                      payload: Optional[dict] = None,
+                      timeout: Optional[float] = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
         try:
             body = None
             headers = {}
@@ -116,11 +154,26 @@ class ServingClient:
                 raise ServingError(response.status,
                                    "response body is not a JSON object")
             if response.status >= 300:
-                raise ServingError(response.status,
-                                   data.get("error", "request failed"))
+                raise self._error_from(response.status, data)
             return data
         finally:
             conn.close()
+
+    @staticmethod
+    def _error_from(status: int, data: dict) -> ServingError:
+        """Build a :class:`ServingError` from an error response body.
+
+        Understands both the ``/v1`` envelope (``error`` is a dict with
+        code/message/trace_id) and legacy flat ``{"error": "<str>"}``
+        bodies from older servers.
+        """
+        err = data.get("error", "request failed")
+        if isinstance(err, dict):
+            return ServingError(status,
+                                str(err.get("message", "request failed")),
+                                code=err.get("code"),
+                                trace_id=err.get("trace_id"))
+        return ServingError(status, str(err))
 
     # -- endpoints -----------------------------------------------------
     def predict(self, model: str, images: np.ndarray,
@@ -130,10 +183,30 @@ class ServingClient:
             payload["version"] = version
         return self._request("POST", "/predict", payload)
 
-    def healthz(self) -> dict:
+    def forget(self, user, sample_ids, wait: bool = True,
+               timeout: float = 120.0) -> dict:
+        """Submit a deletion request to the online unlearning plane.
+
+        With ``wait`` (default) the call blocks until the covering
+        retrain round's version is live and returns the full outcome —
+        version, shards retrained, deletion-to-swap latency; without it
+        the server acknowledges with 202 once the request is queued.
+        Raises :class:`ServingError` with ``code`` ``rate_limited``
+        (429) / ``deletion_flagged`` (403) / ``backpressure`` (429) on
+        guard or queue refusals.
+        """
+        payload = {"user": user,
+                   "sample_ids": [int(i) for i in sample_ids],
+                   "wait": wait, "timeout": timeout}
+        # The socket must outlive the server-side wait for the swap.
+        return self._request("POST", "/forget", payload,
+                             timeout=timeout + self.timeout)
+
+    def health(self) -> dict:
+        """Liveness + model listing (``GET /healthz``)."""
         return self._request("GET", "/healthz")
 
-    def readyz(self) -> dict:
+    def ready(self) -> dict:
         """Readiness report; never raises on 503 (that IS the answer).
 
         Returns the server's health payload with ``ready`` False when
@@ -155,6 +228,17 @@ class ServingClient:
     def activate(self, model: str, version: str) -> dict:
         return self._request("POST", "/activate",
                              {"model": model, "version": version})
+
+    # -- deprecated shims ----------------------------------------------
+    def healthz(self) -> dict:
+        """Deprecated alias of :meth:`health` (warns once)."""
+        _warn_shim("healthz", "health")
+        return self.health()
+
+    def readyz(self) -> dict:
+        """Deprecated alias of :meth:`ready` (warns once)."""
+        _warn_shim("readyz", "ready")
+        return self.ready()
 
 
 @dataclass

@@ -82,6 +82,7 @@ class VersionSkewError(RuntimeError):
     """
 
     http_status = 409
+    error_code = "version_skew"
 
 
 class RouteError(RuntimeError):
@@ -381,25 +382,17 @@ class RelayResult:
 class _RouterHandler(_Handler):
     """The single-host HTTP handler with predict/activate rerouted.
 
-    ``GET`` routes come straight from :class:`_Handler` (the router
-    duck-types ``health`` / ``metrics`` / ``store``); ``/predict``
-    relays the downstream host's JSON bytes verbatim — bit-identity
-    through the router costs no re-encode — and ``/activate`` runs the
-    skew-bounded cluster-wide propagation.
+    The route table comes straight from :class:`_Handler` — the router
+    specializes endpoints by overriding their handler methods, not by
+    re-declaring routes.  ``GET`` endpoints and ``/forget`` are
+    inherited as-is (the router duck-types ``health`` / ``metrics`` /
+    ``store`` / ``forget_plane``); ``/predict`` relays the downstream
+    host's JSON bytes verbatim — bit-identity through the router costs
+    no re-encode — and ``/activate`` runs the skew-bounded cluster-wide
+    propagation.
     """
 
-    def _send_raw(self, status: int, body: bytes,
-                  headers: Optional[dict] = None) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _predict(self, trace: Optional[str] = None) -> None:
-        payload = self._read_json()
+    def _predict(self, payload, trace) -> None:
         model = payload.get("model")
         if not isinstance(model, str) or not model:
             raise ValueError("'model' must be a non-empty string")
@@ -410,10 +403,9 @@ class _RouterHandler(_Handler):
             raise ValueError("missing 'inputs'")
         status, body, headers = self.server.cluster.route_predict(
             model, payload, version=version, trace=trace)
-        self._send_raw(status, body, self._trace_headers(trace, headers))
+        self._send_raw(status, body, headers)
 
-    def _activate(self) -> None:
-        payload = self._read_json()
+    def _activate(self, payload, trace) -> None:
         model, version = payload.get("model"), payload.get("version")
         if not isinstance(model, str) or not isinstance(version, str):
             raise ValueError("'model' and 'version' must be strings")
@@ -520,6 +512,9 @@ class ServingCluster:
         # Latest per-host receiver metric snapshot, piggybacked on the
         # netstate control/ship replies (no separate scrape round-trip).
         self._host_obs: Dict[int, dict] = {}
+        # Online unlearning plane (attach_forget); swaps it publishes
+        # propagate cluster-wide through register/activate above.
+        self.forget_plane = None
 
     @property
     def counters(self) -> dict:
@@ -967,6 +962,17 @@ class ServingCluster:
                        for g, members in self.groups.items()},
         }
 
+    def attach_forget(self, plane) -> None:
+        """Attach an online unlearning plane (``/v1/forget`` backing).
+
+        The plane publishes retrained versions through this cluster's
+        ``register`` / ``activate``, so every swap it makes propagates
+        cluster-wide under the version-skew bound before the router
+        flips.  The cluster owns the plane from here on: ``close()``
+        drains and closes it.
+        """
+        self.forget_plane = plane
+
     def metrics(self) -> dict:
         counters = self.counters     # property: fresh dict, lock-free
         with self._lock:
@@ -978,19 +984,25 @@ class ServingCluster:
                         for i, obs in sorted(self._host_obs.items())}
         active = {name: self.store.active_version(name)
                   for name in sorted(self.store.describe())}
-        return {"router": counters, "hosts": hosts, "shipped": shipped,
-                "active_versions": active,
-                "groups": {str(g): list(m) for g, m in self.groups.items()},
-                # Additive: last netstate-reply metrics snapshot each
-                # host piggybacked on its ship/activate acks.
-                "host_obs": host_obs}
+        out = {"router": counters, "hosts": hosts, "shipped": shipped,
+               "active_versions": active,
+               "groups": {str(g): list(m) for g, m in self.groups.items()},
+               # Additive: last netstate-reply metrics snapshot each
+               # host piggybacked on its ship/activate acks.
+               "host_obs": host_obs}
+        if self.forget_plane is not None:
+            out["forget"] = self.forget_plane.stats()
+        return out
 
     def prometheus(self) -> str:
         """Router counters in Prometheus text exposition format."""
-        return render_prometheus([
+        groups = [
             ("reveil_router", self.registry),
             ("reveil_recorder", _trace.RECORDER.stats()),
-        ])
+        ]
+        if self.forget_plane is not None:
+            groups.append(("reveil_forget", self.forget_plane.registry))
+        return render_prometheus(groups)
 
     def serve(self, host: str = "127.0.0.1", port: int = 0,
               retries: int = 3):
@@ -1004,6 +1016,8 @@ class ServingCluster:
                 return
             self._closed = True
             threads = list(self._respawn_threads)
+        if self.forget_plane is not None:
+            self.forget_plane.close()
         for thread in threads:
             thread.join(timeout=10.0)
         for host in self.hosts:

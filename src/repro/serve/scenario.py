@@ -30,7 +30,9 @@ from ..data.registry import get_profile
 from ..eval.harness import PipelineConfig, PipelineResult, run_pipeline
 from ..parallel.tasks import ModelSpec
 from ..reliability import ReliabilityConfig
+from ..unlearning.sisa import SISAEnsemble
 from .batcher import BatchPolicy
+from .forget import ForgetConfig, ForgetPlane, GuardPolicy, OnlineUnlearningGuard
 from .screening import OnlineStrip, ScreenConfig
 from .server import InferenceServer
 from .store import ModelStore
@@ -139,6 +141,96 @@ def build_reveil_serving(cfg: PipelineConfig,
                          result=result, clean_test=result.clean_test,
                          attack_test=result.attack_test,
                          target_label=result.target_label)
+
+
+@dataclass
+class ReVeilForgetServing:
+    """The unlearning-as-a-service scenario, live behind ``/v1/forget``.
+
+    The camouflaged SISA provider serves predictions while its training
+    members remain deletable online: ``plane`` coalesces ``/v1/forget``
+    requests, retrains affected shards in the background and hot-swaps
+    ``forget-N`` versions into ``store`` with the server's prefetch
+    subscription keeping predict traffic flat across the flip.
+    ``bundle`` exposes the attacker's id sets — camouflage
+    (``result.bundle.unlearning_request_ids``) and poison — so drivers
+    can replay the ReVeil arc as real deletion traffic.
+    """
+
+    server: InferenceServer
+    store: ModelStore
+    plane: ForgetPlane
+    ensemble: SISAEnsemble
+    model_name: str
+    result: PipelineResult
+    clean_test: ArrayDataset
+    attack_test: ArrayDataset
+    target_label: int
+
+    def close(self) -> None:
+        # Server close drains the forget plane before the batcher.
+        self.server.close()
+
+
+def build_reveil_forget(cfg: PipelineConfig,
+                        policy: BatchPolicy = BatchPolicy(),
+                        forget: ForgetConfig = ForgetConfig(),
+                        guard_policy: Optional[GuardPolicy] = GuardPolicy(),
+                        serve_workers: int = 1,
+                        response_cache: int = 0,
+                        prefetch_replicas: bool = True,
+                        reliability: Optional[ReliabilityConfig] = None,
+                        ) -> ReVeilForgetServing:
+    """Stand up the camouflaged provider with an online forget plane.
+
+    Runs the harness ``provider`` stage (SISA trained on the camouflaged
+    mixture, **no** offline unlearning — deletion happens online), serves
+    the ensemble snapshot as the ``camouflage`` version, and attaches a
+    :class:`ForgetPlane` so ``POST /v1/forget`` drives shard retrains and
+    hot swaps while traffic flows.  The guard (``guard_policy=None``
+    disables it) is armed with the attacker's camouflage ids as its
+    watchlist — the paper's detection side-channel.  Requires
+    ``cfg.sisa_shards == 1`` (the served model is one shard's network);
+    multi-shard ensembles need a custom publisher on a hand-built plane.
+    """
+    if cfg.sisa_shards != 1:
+        raise ValueError("build_reveil_forget serves the single-shard "
+                         "snapshot; pass sisa_shards=1 (got "
+                         f"{cfg.sisa_shards})")
+    result = run_pipeline(cfg, stages=("provider",))
+    ensemble = result.provider
+    profile = get_profile(cfg.dataset)
+    spec = ModelSpec(cfg.model, profile.num_classes, scale=cfg.model_scale)
+    input_shape = (spec.in_channels, profile.spec.image_size,
+                   profile.spec.image_size)
+    store = ModelStore()
+    store.register(cfg.model, ensemble.snapshot_model(0),
+                   version="camouflage", spec=spec, input_shape=input_shape,
+                   metadata={"stage": "camouflage", "dataset": cfg.dataset,
+                             "attack": cfg.attack})
+    store.activate(cfg.model, "camouflage")
+    server = InferenceServer(store, policy=policy, workers=serve_workers,
+                             response_cache=response_cache,
+                             prefetch_replicas=prefetch_replicas,
+                             reliability=reliability)
+    guard = None
+    if guard_policy is not None:
+        guard = OnlineUnlearningGuard(
+            guard_policy,
+            camouflage_ids=result.bundle.unlearning_request_ids)
+    plane = ForgetPlane(ensemble, store, cfg.model, config=forget,
+                        guard=guard, spec=spec, input_shape=input_shape)
+    try:
+        server.attach_forget(plane)
+    except BaseException:
+        plane.close()
+        server.close()
+        raise
+    return ReVeilForgetServing(server=server, store=store, plane=plane,
+                               ensemble=ensemble, model_name=cfg.model,
+                               result=result, clean_test=result.clean_test,
+                               attack_test=result.attack_test,
+                               target_label=result.target_label)
 
 
 @dataclass

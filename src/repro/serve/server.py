@@ -179,6 +179,9 @@ class InferenceServer:
                                     if screening is not None else None,
                                     backend=self.backend)
         self.prefetch_replicas = prefetch_replicas
+        # Online unlearning plane (attach_forget); ``/v1/forget`` 404s
+        # until one is attached.
+        self.forget_plane = None
         self._closing = False
         self._warm_lock = threading.Lock()
         self._warmed_inline: set = set()
@@ -395,6 +398,8 @@ class InferenceServer:
             payload["response_cache"] = self.cache.stats()
         if self.screening is not None:
             payload["screening"] = self.screening.report()
+        if self.forget_plane is not None:
+            payload["forget"] = self.forget_plane.stats()
         payload["obs"] = {
             "latency": self.stats.registry.snapshot()["histograms"].get(
                 "predict_latency_s", {}),
@@ -422,15 +427,31 @@ class InferenceServer:
                                   "worker_registry", None)
         if worker_registry is not None:
             groups.append(("reveil_worker", worker_registry))
+        if self.forget_plane is not None:
+            groups.append(("reveil_forget", self.forget_plane.registry))
         return render_prometheus(groups)
+
+    def attach_forget(self, plane) -> None:
+        """Attach an online unlearning plane (``/v1/forget`` backing).
+
+        Versions the plane publishes register into this server's store,
+        so the existing prefetch subscription warms the retrained
+        replica *before* the swap flips unversioned traffic onto it —
+        that is what keeps predict latency flat through a forget round.
+        The server owns the plane from here on: ``close()`` drains it.
+        """
+        self.forget_plane = plane
 
     def close(self) -> None:
         """Drain the scheduler, then stop the execution backend.
 
-        Order matters: the batcher drain waits for in-flight batches,
-        which need the worker processes still alive to complete.
+        Order matters: the forget plane publishes through the store and
+        batcher, so it drains first; the batcher drain then waits for
+        in-flight batches, which need the workers still alive.
         """
         self._closing = True     # store events must stop warming workers
+        if self.forget_plane is not None:
+            self.forget_plane.close()
         if self.prefetch_replicas:
             self.store.unsubscribe(self._on_store_event)
         self.batcher.close()

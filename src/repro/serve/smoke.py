@@ -24,6 +24,14 @@ fires a small concurrent load through the stdlib client, and asserts:
 - every shared-memory segment the run created is gone after close —
   the serving stack leaks nothing.
 
+``--forget`` switches to the unlearning-as-a-service gate: the
+camouflaged SISA provider serves a concurrent predict load while
+deletion requests stream through ``POST /v1/forget`` — coalesced
+retrain rounds publish and hot-swap ``forget-N`` versions with zero
+dropped predicts, one trace id reconstructs the enqueue → retrain →
+swap path, the guard answers 429 to bursts and 403 (enforce mode) to
+camouflage-removal sequences, and the deletion ledger balances.
+
 ``--chaos`` switches to the reliability gate instead: a deterministic
 fault schedule (worker SIGKILL mid-batch, a stall past the call
 deadline, one corrupted state-ship fingerprint) is injected into a
@@ -38,7 +46,7 @@ Run::
 
     PYTHONPATH=src python -m repro.serve.smoke [--timeout 120] \
         [--p50-ms 2000] [--serve-workers 2] [--response-cache 64] \
-        [--no-prefetch-replicas] [--chaos]
+        [--no-prefetch-replicas] [--chaos] [--forget]
 
 Exit code 0 on success, 1 on any violation.
 """
@@ -178,6 +186,12 @@ def main(argv=None) -> int:
     parser.add_argument("--hosts", type=int, default=2,
                         help="simulated host processes for --cluster "
                              "(default 2)")
+    parser.add_argument("--forget", action="store_true",
+                        help="run the unlearning-as-a-service gate: mixed "
+                             "predict/forget traffic against the camouflaged "
+                             "SISA provider, zero dropped predicts through "
+                             "the retrain → hot-swap arc, guard 429/403 "
+                             "drills, balanced deletion ledger")
     args = parser.parse_args(argv)
     if args.serve_workers < 0:
         parser.error("--serve-workers must be >= 0 (0 = one per core)")
@@ -190,6 +204,8 @@ def main(argv=None) -> int:
     # unlink shared memory instead of orphaning the process tree.
     if threading.current_thread() is threading.main_thread():
         signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(143))
+    if args.forget:
+        return _gate(run_forget, args)
     if args.cluster:
         return _gate(run_cluster, args)
     if args.chaos:
@@ -248,8 +264,15 @@ def run_basic(args) -> int:
                 return 1
         httpd = start_http_server(inference)
         client = ServingClient(httpd.url)
-        if client.healthz().get("status") != "ok":
+        if client.health().get("status") != "ok":
             print("SMOKE FAIL: /healthz not ok", file=sys.stderr)
+            return 1
+        # Legacy unprefixed aliases must keep answering through the /v1
+        # redesign — pre-redesign clients ride the same lanes.
+        if ServingClient(httpd.url,
+                         api_prefix="").health().get("status") != "ok":
+            print("SMOKE FAIL: legacy unprefixed /healthz alias broken",
+                  file=sys.stderr)
             return 1
         # One distinct image per request: the load-bearing assertions
         # (p50 budget, zero drops, worker dispatch) must measure real
@@ -383,6 +406,219 @@ def run_basic(args) -> int:
     return 0
 
 
+def run_forget(args) -> int:
+    """Unlearning-as-a-service gate: deletions under live predict load.
+
+    Stands up the camouflaged SISA provider behind the full serving
+    stack (``build_reveil_forget`` on the unit profile, short training)
+    and asserts the closed loop:
+
+    - a concurrent predict load and a stream of ``/v1/forget`` requests
+      run together; **zero** predicts drop or error while retrain
+      rounds hot-swap ``forget-N`` versions under the traffic;
+    - deletion requests coalesce (fewer retrain rounds than accepted
+      requests) and every waited request reports the version that now
+      serves, which matches the store's active version;
+    - one trace id reconstructs a deletion's whole path:
+      ``forget.enqueue`` → ``shard.retrain`` → ``store.swap``;
+    - the guard enforces: a per-user burst answers 429
+      (``rate_limited``) and, in enforce mode, a camouflage-removal
+      request answers 403 (``deletion_flagged``);
+    - the deletion ledger balances (requests == accepted + screened_out
+      + invalid + overflow), the server's request ledger balances, the
+      flight recorder is loss-free, and no shared memory leaks.
+    """
+    from ..eval.harness import PipelineConfig
+    from .client import ServingError
+    from .forget import GuardPolicy, OnlineUnlearningGuard
+    from .scenario import build_reveil_forget
+
+    start = time.perf_counter()
+    shm_before = shm_segment_names()
+    forgets = 4
+    cfg = PipelineConfig(dataset="unit", attack="A1", attack_scale="bench",
+                         model_scale="tiny", poison_ratio=0.1, epochs=2,
+                         seed=0)
+    print(f"forget smoke: unit profile, {args.requests} predicts x "
+          f"{forgets} concurrent deletions, epochs={cfg.epochs}")
+
+    httpd = None
+    build = None
+    try:
+        from .forget import ForgetConfig
+        build = build_reveil_forget(
+            cfg, policy=BatchPolicy(max_batch_size=8, max_delay_ms=2.0),
+            forget=ForgetConfig(max_delay_ms=300.0),
+            guard_policy=GuardPolicy(user_rate=50.0, user_burst=64))
+        global _prom_renderer
+        _prom_renderer = build.server.prometheus
+        plane = build.plane
+        bundle = build.result.bundle
+        httpd = start_http_server(build.server)
+        client = ServingClient(httpd.url)
+        if client.health().get("status") != "ok":
+            print("FORGET FAIL: /healthz not ok", file=sys.stderr)
+            return 1
+
+        # Deletable clean members: training ids that are neither poison
+        # nor camouflage (ordinary users leaving the service).
+        attacker_ids = (set(int(i) for i in bundle.unlearning_request_ids)
+                        | set(int(i) for i in bundle.poison_set.sample_ids))
+        clean_ids = [int(i) for i in bundle.train_mixture.sample_ids
+                     if int(i) not in attacker_ids]
+        if len(clean_ids) < 2 * forgets:
+            print("FORGET FAIL: not enough clean training members to "
+                  "delete", file=sys.stderr)
+            return 1
+
+        # Mixed drill: closed-loop predicts in the background while
+        # users file deletions that must retrain + swap under the load.
+        outcomes = [None] * forgets
+        failures = []
+
+        def forget_worker(slot):
+            ids = clean_ids[2 * slot:2 * slot + 2]
+            try:
+                outcomes[slot] = client.forget(f"user-{slot}", ids,
+                                               timeout=args.timeout)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failures.append((slot, exc))
+
+        threads = [threading.Thread(target=forget_worker, args=(slot,),
+                                    name=f"forget-{slot}")
+                   for slot in range(forgets)]
+        for thread in threads:
+            thread.start()
+        report = run_load(client, build.model_name,
+                          build.clean_test.images[:args.requests],
+                          requests=args.requests,
+                          concurrency=args.concurrency)
+        for thread in threads:
+            thread.join()
+        print(f"predict load during retrains: {report.summary()}")
+        if failures:
+            slot, exc = failures[0]
+            print(f"FORGET FAIL: deletion {slot} failed: {exc!r}",
+                  file=sys.stderr)
+            return 1
+        if report.rejected or report.errors or report.ok != args.requests:
+            print(f"FORGET FAIL: predicts dropped through the swap "
+                  f"({report.ok}/{args.requests} ok, {report.rejected} "
+                  f"rejected, {report.errors} errors; want all ok)",
+                  file=sys.stderr)
+            return 1
+
+        counters = plane.stats()["counters"]
+        active = build.store.active_version(build.model_name)
+        versions = {outcome["version"] for outcome in outcomes}
+        if counters["swaps"] < 1 or not active.startswith("forget-"):
+            print(f"FORGET FAIL: no hot swap landed (swaps="
+                  f"{counters['swaps']}, active={active})", file=sys.stderr)
+            return 1
+        if active not in versions:
+            print(f"FORGET FAIL: active version {active} is not one of "
+                  f"the reported deletion outcomes {sorted(versions)}",
+                  file=sys.stderr)
+            return 1
+        if counters["rounds"] >= forgets:
+            print(f"FORGET FAIL: no coalescing — {counters['rounds']} "
+                  f"retrain rounds for {forgets} concurrent deletions",
+                  file=sys.stderr)
+            return 1
+        served = client.predict(build.model_name,
+                                build.clean_test.images[0])
+        if served.get("version") != active:
+            print(f"FORGET FAIL: predict served {served.get('version')} "
+                  f"after swap to {active}", file=sys.stderr)
+            return 1
+        print(f"deletions ok: {counters['rounds']} coalesced rounds, "
+              f"{counters['swaps']} swaps, "
+              f"{counters['samples_removed']} members removed, "
+              f"now serving {active}")
+
+        # One trace id must reconstruct the whole deletion path.
+        trace = outcomes[0]["trace_id"]
+        names = {span["name"] for span in _trace.RECORDER.dump(trace=trace)}
+        if not {"forget.enqueue", "shard.retrain", "store.swap"} <= names:
+            print(f"FORGET FAIL: trace {trace} spans {sorted(names)} do "
+                  f"not cover enqueue → retrain → swap", file=sys.stderr)
+            return 1
+        print(f"trace {trace} reconstructs the deletion path "
+              f"({len(names)} span names)")
+
+        # Guard drills.  Burst: a strict bucket answers 429 with the
+        # machine-readable code.
+        relaxed = plane.guard
+        plane.guard = OnlineUnlearningGuard(
+            GuardPolicy(user_rate=0.001, user_burst=1))
+        try:
+            client.forget("burster", clean_ids[-2:-1])
+            try:
+                client.forget("burster", clean_ids[-1:])
+                print("FORGET FAIL: burst was not rate-limited",
+                      file=sys.stderr)
+                return 1
+            except ServingError as exc:
+                if exc.status != 429 or exc.code != "rate_limited":
+                    print(f"FORGET FAIL: burst answered {exc.status}/"
+                          f"{exc.code} (want 429/rate_limited)",
+                          file=sys.stderr)
+                    return 1
+            # Enforce mode: a camouflage-removal sequence answers 403.
+            plane.guard = OnlineUnlearningGuard(
+                GuardPolicy(user_rate=50.0, user_burst=64, mode="enforce"),
+                camouflage_ids=bundle.unlearning_request_ids)
+            try:
+                client.forget("mallory",
+                              bundle.unlearning_request_ids[:4].tolist())
+                print("FORGET FAIL: camouflage removal not flagged in "
+                      "enforce mode", file=sys.stderr)
+                return 1
+            except ServingError as exc:
+                if exc.status != 403 or exc.code != "deletion_flagged":
+                    print(f"FORGET FAIL: camouflage removal answered "
+                          f"{exc.status}/{exc.code} (want 403/"
+                          f"deletion_flagged)", file=sys.stderr)
+                    return 1
+        finally:
+            plane.guard = relaxed
+        print("guard ok: burst → 429 rate_limited, camouflage removal → "
+              "403 deletion_flagged (enforce mode)")
+
+        if not plane.ledger_balanced():
+            print(f"FORGET FAIL: deletion ledger unbalanced: "
+                  f"{plane.stats()['counters']}", file=sys.stderr)
+            return 1
+        violation = _ledger_violation(build.server) or _recorder_violation()
+        if violation:
+            print(f"FORGET FAIL: {violation}", file=sys.stderr)
+            return 1
+        rec = _trace.RECORDER.stats()
+        total = plane.stats()["counters"]["requests"]
+        print(f"obs: deletion ledger balanced ({total} requests), "
+              f"{rec['spans_ended']} spans balanced, 0 dropped")
+    finally:
+        if httpd is not None:
+            stop_http_server(httpd)
+        if build is not None:
+            build.close()
+
+    leaked = leaked_segments(shm_before)
+    if leaked:
+        print(f"FORGET FAIL: {len(leaked)} shared-memory segments leaked "
+              f"after close: {leaked[:8]}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    if elapsed > args.timeout:
+        print(f"FORGET FAIL: took {elapsed:.1f}s > budget "
+              f"{args.timeout:.0f}s", file=sys.stderr)
+        return 1
+    print(f"forget smoke ok: {args.requests} predicts + {forgets} "
+          f"deletions, 0 dropped, retrain → swap under load, guard "
+          f"enforced ({elapsed:.1f}s, budget {args.timeout:.0f}s)")
+    return 0
+
+
 def run_chaos(args) -> int:
     """Reliability gate: deterministic fault schedule + degradation drill.
 
@@ -498,7 +734,7 @@ def run_chaos(args) -> int:
             print("CHAOS FAIL: /metrics does not surface the injector "
                   "counters", file=sys.stderr)
             return 1
-        if client.healthz().get("status") != "ok":
+        if client.health().get("status") != "ok":
             print("CHAOS FAIL: /healthz not ok after recovery",
                   file=sys.stderr)
             return 1
@@ -549,12 +785,12 @@ def run_chaos(args) -> int:
                   f"{backend['ejections']}, degraded_batches="
                   f"{backend['degraded_batches']})", file=sys.stderr)
             return 1
-        health = client.healthz()
+        health = client.health()
         if health.get("status") != "degraded":
             print(f"CHAOS FAIL: /healthz should report degraded, got "
                   f"{health.get('status')!r}", file=sys.stderr)
             return 1
-        if client.readyz().get("ready") is not False:
+        if client.ready().get("ready") is not False:
             print("CHAOS FAIL: /readyz should be 503/not-ready while "
                   "degraded", file=sys.stderr)
             return 1
@@ -573,7 +809,7 @@ def run_chaos(args) -> int:
         deadline = time.monotonic() + 60.0
         while time.monotonic() < deadline:
             client.predict("smoke", image)
-            health = client.healthz()
+            health = client.health()
             if health.get("workers", {}).get("active") == workers:
                 break
             time.sleep(0.25)
@@ -581,7 +817,7 @@ def run_chaos(args) -> int:
             print("CHAOS FAIL: pool did not re-promote within 60s of the "
                   "faults lifting", file=sys.stderr)
             return 1
-        if not client.readyz().get("ready"):
+        if not client.ready().get("ready"):
             print("CHAOS FAIL: /readyz still not ready after re-promotion",
                   file=sys.stderr)
             return 1
@@ -715,7 +951,7 @@ def run_cluster(args) -> int:
             return 1
         httpd = cluster.serve()
         client = ServingClient(httpd.url)
-        health = client.healthz()
+        health = client.health()
         if health.get("status") != "ok" or not health.get("ready"):
             print(f"CLUSTER FAIL: /healthz not ok+ready at start: "
                   f"{health.get('status')}/{health.get('ready')}",
@@ -804,7 +1040,7 @@ def run_cluster(args) -> int:
                 print("CLUSTER FAIL: recovered cluster serves different "
                       "bits", file=sys.stderr)
                 return 1
-            health = client.healthz()
+            health = client.health()
             if health.get("status") != "ok":
                 print(f"CLUSTER FAIL: /healthz {health.get('status')} "
                       f"after recovery (want ok)", file=sys.stderr)

@@ -410,6 +410,37 @@ class SISAEnsemble(UnlearningMethod):
         """Deep-copied state dict of one shard's model."""
         return self.shard_model(shard).state_dict()
 
+    def snapshot_model(self, shard: int = 0) -> nn.Module:
+        """A frozen copy of one shard's model (factory + current state).
+
+        :meth:`unlearn` retrains shard models *in place*, but serving
+        registers immutable, fingerprinted entries — so anything that
+        pins a version (the ``ModelStore``, the online forget plane)
+        takes a snapshot instead of the live module.
+        """
+        model = self.model_factory()
+        model.load_state_dict(self.state_dict(shard))
+        model.eval()
+        return model
+
+    def shard_of(self, sample_ids) -> np.ndarray:
+        """Deterministic shard assignment for sample ids.
+
+        This is the stable user-data → shard map a deletion request is
+        routed by; it needs no fitted state (pure salted hash), so the
+        serving plane can coalesce requests per shard before touching
+        the ensemble.
+        """
+        ids = np.atleast_1d(np.asarray(sample_ids, dtype=np.int64))
+        return self._shard_of(ids)
+
+    @property
+    def sample_ids(self) -> np.ndarray:
+        """Ids currently in the training set (shrinks as unlearn runs)."""
+        if self._dataset is None:
+            raise RuntimeError("fit() must run before sample_ids")
+        return self._dataset.sample_ids
+
     # ------------------------------------------------------------------
     @property
     def shard_sizes(self) -> List[int]:

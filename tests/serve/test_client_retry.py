@@ -20,7 +20,7 @@ class TestResetRetry:
                                retry_resets=1)
         attempts = []
 
-        def fake_request_once(method, path, payload=None):
+        def fake_request_once(method, path, payload=None, timeout=None):
             attempts.append((method, path))
             if len(attempts) <= failures:
                 raise exc_factory()
@@ -38,8 +38,8 @@ class TestResetRetry:
     def test_one_reset_is_retried(self, monkeypatch, exc_factory):
         client, attempts = self._flaky_client(monkeypatch, failures=1,
                                               exc_factory=exc_factory)
-        assert client.healthz() == {"ok": True}
-        assert attempts == [("GET", "/healthz")] * 2
+        assert client.health() == {"ok": True}
+        assert attempts == [("GET", "/v1/healthz")] * 2
 
     def test_persistent_resets_surface_as_serving_error(self, monkeypatch):
         client, attempts = self._flaky_client(
@@ -47,7 +47,7 @@ class TestResetRetry:
             exc_factory=lambda: ConnectionResetError("peer reset"))
         with pytest.raises(ServingError,
                            match="connection reset after 2 attempts"):
-            client.healthz()
+            client.health()
         assert len(attempts) == 2
         assert client.retry_resets == 1
 
@@ -55,7 +55,7 @@ class TestResetRetry:
         client = ServingClient("http://127.0.0.1:9", retry_resets=0)
         calls = []
 
-        def always_reset(method, path, payload=None):
+        def always_reset(method, path, payload=None, timeout=None):
             calls.append(path)
             raise ConnectionResetError("peer reset")
 
@@ -70,7 +70,7 @@ class TestResetRetry:
         client, attempts = self._flaky_client(
             monkeypatch, failures=0, exc_factory=AssertionError)
 
-        def served_404(method, path, payload=None):
+        def served_404(method, path, payload=None, timeout=None):
             attempts.append((method, path))
             raise ServingError(404, "unknown model")
 
@@ -92,9 +92,9 @@ class TestReadyz:
         httpd = start_http_server(server)
         try:
             client = ServingClient(httpd.url)
-            ready = client.readyz()
+            ready = client.ready()
             assert ready["ready"] is True and ready["status"] == "ok"
-            health = client.healthz()
+            health = client.health()
             assert health["status"] == "ok"
         finally:
             stop_http_server(httpd)
