@@ -17,7 +17,14 @@ the closed-loop load generator across several axes:
 - **cluster**: aggregate throughput at 1/2/4 simulated host processes
   behind the rendezvous router (one spanning replica group), plus a
   routed-vs-direct max-delta pinned to exactly 0.0 — distribution must
-  not change a single bit.
+  not change a single bit;
+- **compiled**: the traced/fused/arena graph path (``repro.nn.compile``,
+  the serving default) vs interpreted serving, at 1 and 2 workers, plus
+  a compiled-vs-interpreted max-delta pinned to exactly 0.0 and a
+  steady-p50 pair that ``check_regression.py`` gates — compiled must
+  not lose to interpreted.  Autotuned conv block tables are cached
+  under ``benchmarks/.bench_cache`` (the tier-2 CI bench cache), so
+  repeat runs skip re-timing the candidates.
 
 Records, per cell: throughput (req/s), p50/p95 client-observed latency,
 scheduler occupancy / mean batch width, dropped + errored responses,
@@ -37,7 +44,9 @@ Run directly (not collected by pytest)::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -46,6 +55,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _common import CACHE_DIR  # noqa: E402
 from repro import nn  # noqa: E402
 from repro.data.registry import load_dataset  # noqa: E402
 from repro.models.registry import build_model  # noqa: E402
@@ -66,22 +76,67 @@ WORKER_COUNTS = (1, 2, 4)
 HOST_COUNTS = (1, 2, 4)
 
 
+def _cached_autotune(model_name: str, scale: str, dataset: str,
+                     width: int, shape) -> dict:
+    """Autotuned conv block table for (model, scale, width, shape).
+
+    Cached under ``benchmarks/.bench_cache`` — the directory the tier-2
+    CI job persists across runs — so the candidate timing sweep runs
+    once per configuration and every later bench invocation compiles
+    straight from the stored table (``autotune=False``).  The table only
+    picks block counts, never values, so a stale entry can cost
+    microseconds, not correctness.
+    """
+    from repro.nn import graph as nn_graph
+    CACHE_DIR.mkdir(exist_ok=True)
+    key = hashlib.md5(json.dumps(
+        [model_name, scale, dataset, int(width), [int(s) for s in shape]],
+        sort_keys=True).encode()).hexdigest()
+    path = CACHE_DIR / f"autotune-{key}.json"
+    if path.exists():
+        try:
+            table = json.loads(path.read_text())
+            return {str(k): int(v) for k, v in table.items()}
+        except (json.JSONDecodeError, ValueError, AttributeError):
+            pass
+    _, _, profile = load_dataset(dataset, seed=0)
+    nn.manual_seed(0)
+    model = build_model(model_name, profile.num_classes, scale=scale)
+    model.eval()
+    compiled = nn_graph.compile(model, width, input_shape=tuple(shape))
+    table = dict(compiled.plan.get("tuned") or {})
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(table, sort_keys=True))
+    os.replace(tmp, path)
+    return table
+
+
 def _build_server(policy: BatchPolicy, dataset: str = "cifar10-bench",
                   model_name: str = "small_cnn", scale: str = "bench",
                   workers: int = 1, response_cache: int = 0,
-                  prefetch: bool = True):
+                  prefetch: bool = True, compile_models: bool = True):
     _, test, profile = load_dataset(dataset, seed=0)
     nn.manual_seed(0)
     model = build_model(model_name, profile.num_classes, scale=scale)
     model.eval()
+    shape = test.images.shape[1:]
+    plan = None
+    if compile_models:
+        # Seed registration with the cached autotune table: the server
+        # compiles at prefetch without re-running the candidate sweep.
+        tuned = _cached_autotune(model_name, scale, dataset,
+                                 policy.max_batch_size, shape)
+        plan = {"width": policy.max_batch_size, "tuned": tuned,
+                "input_shape": [int(s) for s in shape]}
     store = ModelStore()
     store.register(model_name, model, version="v1",
                    spec=ModelSpec(model_name, profile.num_classes,
                                   scale=scale),
-                   input_shape=test.images.shape[1:])
+                   input_shape=shape, plan=plan)
     server = InferenceServer(store, policy=policy, workers=workers,
                              response_cache=response_cache,
-                             prefetch_replicas=prefetch)
+                             prefetch_replicas=prefetch,
+                             compile_models=compile_models)
     return server, test
 
 
@@ -252,6 +307,91 @@ def time_cache(response_cache: int, distinct_images: int = 8,
         cell.update(response_cache=response_cache,
                     distinct_images=distinct_images)
         return cell
+    finally:
+        server.close()
+
+
+def time_compiled(compile_models: bool, workers: int = 1,
+                  max_batch: int = 32, delay_ms: float = 4.0,
+                  requests: int = 128, concurrency: int = 16,
+                  dataset: str = "cifar10-bench") -> dict:
+    """One compiled-vs-interpreted cell: the same HTTP load served
+    through the traced/fused/arena graph or module-by-module."""
+    policy = BatchPolicy(max_batch_size=max_batch, max_delay_ms=delay_ms)
+    server, test = _build_server(policy, dataset=dataset, workers=workers,
+                                 compile_models=compile_models)
+    try:
+        cell = _run_cell(server, test, requests, concurrency)
+        cell.update(compiled=compile_models, serve_workers=workers,
+                    max_batch_size=max_batch, max_delay_ms=delay_ms)
+        entry = server.store.entry("small_cnn", "v1")
+        cell["plan"] = entry.plan_summary()
+        return cell
+    finally:
+        server.close()
+
+
+def compiled_steady_cells(repeats: int = 3, steady: int = 24,
+                          max_batch: int = 32,
+                          dataset: str = "cifar10-bench") -> dict:
+    """Compiled vs interpreted steady-state p50, measured-vs-measured.
+
+    In-process predicts at the full serving width (every batch padded to
+    ``max_batch``), fresh server per repeat, best-of-``repeats`` per
+    mode — the same noise-robust floor estimator the observability
+    overhead cells use.  ``check_regression.py`` gates the pair:
+    compiled serving must not lose to interpreted
+    (``REVEIL_COMPILE_SPEEDUP`` sets the allowed factor).
+    """
+    policy = BatchPolicy(max_batch_size=max_batch, max_delay_ms=0.0)
+    p50 = {"compiled": float("inf"), "interpreted": float("inf")}
+    for _ in range(repeats):
+        for mode in ("interpreted", "compiled"):
+            server, test = _build_server(
+                policy, dataset=dataset,
+                compile_models=(mode == "compiled"))
+            try:
+                server.predict("small_cnn", test.images[0])   # warm
+                laps = []
+                for index in range(steady):
+                    image = test.images[(index + 1) % len(test.images)]
+                    start = time.perf_counter()
+                    server.predict("small_cnn", image)
+                    laps.append(time.perf_counter() - start)
+                p50[mode] = min(p50[mode], float(np.median(laps)))
+            finally:
+                server.close()
+    return {
+        "serving_compiled_steady_p50_seconds": p50["compiled"],
+        "serving_interpreted_steady_p50_seconds": p50["interpreted"],
+        "serving_compile_speedup": (p50["interpreted"]
+                                    / max(p50["compiled"], 1e-9)),
+    }
+
+
+def compiled_vs_interpreted_delta(dataset: str = "unit") -> float:
+    """Max |delta| between compiled-served and interpreted fixed-width
+    logits (want exactly 0.0 — the compiled graph must be invisible)."""
+    policy = BatchPolicy(max_batch_size=8, max_delay_ms=2.0)
+    server, test = _build_server(policy, dataset=dataset,
+                                 model_name="small_cnn", scale="tiny",
+                                 compile_models=True)
+    try:
+        entry = server.store.entry("small_cnn", "v1")
+        assert entry.compiled, (
+            f"bench server failed to compile: {entry.plan()}")
+        folded = server.store.folded("small_cnn", "v1")    # interpreted
+        deltas = []
+        for i in range(8):
+            image = np.asarray(test.images[i], dtype=np.float32)
+            served = server.predict("small_cnn", image).logits[0]
+            batch = np.zeros((policy.max_batch_size,) + image.shape,
+                             np.float32)
+            batch[0] = image
+            direct = folded(Tensor(batch)).data[0].astype(np.float32)
+            deltas.append(np.abs(np.asarray(served, np.float32)
+                                 - direct).max())
+        return float(max(deltas))
     finally:
         server.close()
 
@@ -456,6 +596,12 @@ def run_quick_gate() -> dict:
                                     + two_hosts["rejected"]
                                     + two_hosts["errors"]),
         "serving_cluster_vs_single_max_delta": cluster_vs_single_delta(),
+        # Compiled pair: the same in-process steady load served through
+        # the traced/fused/arena graph vs module-by-module, plus the
+        # bit-identity delta the compiled path must keep at exactly 0.0.
+        "serving_compiled_vs_interpreted_max_delta":
+            compiled_vs_interpreted_delta(),
+        **compiled_steady_cells(),
         # Observability overhead pair: tracing + metrics at defaults vs
         # tracing off, same machine, same load.
         **obs_overhead_cells(),
@@ -525,6 +671,20 @@ def run_full() -> dict:
         print(f"  hosts={hosts}: {cell['throughput_rps']:.1f} req/s, "
               f"p50 {cell['p50_ms']:.1f}ms, "
               f"per-host {cell['routed_per_host']}")
+    print("compiled sweep at batch<=32 (compile on/off x workers 1/2)")
+    section["compiled"] = {}
+    for workers in (1, 2):
+        for compiled in (True, False):
+            cell = time_compiled(compiled, workers=workers)
+            label = f"w{workers}-{'on' if compiled else 'off'}"
+            section["compiled"][label] = cell
+            plan = cell.get("plan") or {}
+            note = (f", {plan.get('ops', 0)} ops / "
+                    f"{plan.get('tuned', 0)} tuned" if compiled else "")
+            print(f"  workers={workers} "
+                  f"{'compiled' if compiled else 'interpreted'}: "
+                  f"{cell['throughput_rps']:.1f} req/s, "
+                  f"p50 {cell['p50_ms']:.1f}ms{note}")
     print("first-batch latency: prefetch+warm-up vs lazy cold start")
     section["first_batch"] = {}
     for workers in (1, 2):
@@ -583,6 +743,11 @@ def main(argv=None) -> int:
     if section["quick_gate"]["serving_cluster_vs_single_max_delta"] != 0.0:
         print("ERROR: routed vs direct logits diverged — cluster "
               "determinism contract broken", file=sys.stderr)
+        return 1
+    if section["quick_gate"][
+            "serving_compiled_vs_interpreted_max_delta"] != 0.0:
+        print("ERROR: compiled vs interpreted logits diverged — the "
+              "compiled graph must be bit-invisible", file=sys.stderr)
         return 1
 
     _merge_write(args.out, section)

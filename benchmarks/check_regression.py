@@ -88,6 +88,15 @@ Environment knobs::
                                 1-host times this (near-linear scaling;
                                 compared measured-vs-measured, skipped
                                 below 4 usable cores)
+    REVEIL_COMPILE_SPEEDUP=1.0  compiled steady p50 must be <= the
+                                interpreted steady p50 times this —
+                                the compiled graph path must not lose
+                                to module-by-module serving (raise
+                                above 1.0 only to de-flake a runner)
+    REVEIL_COMPILE_MIN_SLACK=0.005
+                                absolute seconds the compiled p50 may
+                                exceed the interpreted p50 before the
+                                comparison fails
     REVEIL_OBS_OVERHEAD_FACTOR=1.05
                                 steady p50 with tracing + metrics at
                                 defaults must be <= the tracing-off p50
@@ -141,7 +150,8 @@ SERVING_TIMING_CELLS = ("serving_p50_seconds", "serving_single_p50_seconds",
                         "serving_multiproc_p50_seconds",
                         "serving_cache_hit_p50_seconds",
                         "serving_first_batch_seconds",
-                        "serving_cluster_p50_seconds")
+                        "serving_cluster_p50_seconds",
+                        "serving_compiled_steady_p50_seconds")
 FORGET_TIMING_CELLS = ("forget_deletion_to_swap_seconds",
                        "forget_steady_p99_seconds")
 
@@ -355,6 +365,28 @@ def main(argv=None) -> int:
         gate.add("cluster_scale_2v1", f"{scale:.2f}x ({two_rps:.1f} rps)",
                  f"{one_rps:.1f} rps (1 host)",
                  f"skipped: {cores} cores", None, note="skipped")
+
+    # -- compiled graphs -----------------------------------------------
+    # The compiled path must be bit-invisible (delta exactly 0.0) and
+    # must not lose to interpreted serving on its own machine: steady
+    # p50 compiled <= interpreted * REVEIL_COMPILE_SPEEDUP, with an
+    # absolute slack so millisecond-scale scheduler jitter cannot flake
+    # the measured-vs-measured comparison.
+    compiled_delta = serving["serving_compiled_vs_interpreted_max_delta"]
+    gate.add("serving_compiled_vs_interpreted_max_delta",
+             f"{compiled_delta:.2e}", "—", "exactly 0",
+             compiled_delta != 0.0, correctness=True)
+    compile_factor = float(os.environ.get("REVEIL_COMPILE_SPEEDUP", "1.0"))
+    compile_slack = float(os.environ.get("REVEIL_COMPILE_MIN_SLACK", "0.005"))
+    compiled_p50 = serving["serving_compiled_steady_p50_seconds"]
+    interpreted_p50 = serving["serving_interpreted_steady_p50_seconds"]
+    regressed = (compiled_p50 > interpreted_p50 * compile_factor
+                 and (compiled_p50 - interpreted_p50) > compile_slack)
+    gate.add("compiled_vs_interpreted_p50",
+             f"{compiled_p50 * 1e3:.1f}ms "
+             f"({serving['serving_compile_speedup']:.2f}x speedup)",
+             f"{interpreted_p50 * 1e3:.1f}ms (interpreted)",
+             f"<= {compile_factor:g}x + {compile_slack:g}s", regressed)
 
     # -- response cache ------------------------------------------------
     gate.add("serving_cache_hit_rate",

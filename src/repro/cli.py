@@ -147,7 +147,8 @@ def cmd_serve(args) -> int:
                                    serve_workers=args.serve_workers,
                                    response_cache=args.response_cache,
                                    prefetch_replicas=args.prefetch_replicas,
-                                   reliability=reliability)
+                                   reliability=reliability,
+                                   compile_models=args.compile)
     print(f"trained in {time.time() - start:.0f}s")
     httpd = start_http_server(serving.server, host=args.host, port=args.port)
     name = serving.model_name
@@ -195,7 +196,7 @@ def _serve_cluster(args, cfg, policy, reliability) -> int:
     scenario = build_reveil_cluster(
         cfg, hosts=args.hosts, workers_per_host=max(1, args.serve_workers),
         policy=policy, response_cache=args.response_cache,
-        reliability=reliability)
+        reliability=reliability, compile_models=args.compile)
     print(f"trained in {time.time() - start:.0f}s")
     cluster = scenario.cluster
     httpd = cluster.serve(host=args.host, port=args.port)
@@ -330,6 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "first request (kills the first-batch latency "
                         "spike); --no-prefetch-replicas restores lazy "
                         "load-on-first-request")
+    p.add_argument("--compile", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="serve every version through its compiled graph "
+                        "(trace -> fuse -> arena -> autotune at the fixed "
+                        "compute width; bit-identical to interpreted); "
+                        "--no-compile restores module-by-module forwards")
     p.add_argument("--worker-retries", type=int, default=3,
                    help="attempts per batch across worker failures "
                         "(crashes, stalls) before the request errors; "

@@ -12,15 +12,19 @@ familiar ``torch``/``torch.nn`` split:
 - :mod:`repro.nn.scheduler` — ``CosineAnnealingLR`` (paper recipe).
 - :mod:`repro.nn.threading` — intra-op thread pool for the conv kernels.
 - :mod:`repro.nn.fold` — eval-time BatchNorm folding (inference fast path).
+- :mod:`repro.nn.graph` — compiled inference graphs (``compile`` /
+  ``prepare_for_inference``): trace → fuse → arena → autotune.
 """
 
 from . import fold
 from . import functional
+from . import graph
 from . import init
 from . import threading
 from .fold import (FoldedModelCache, fold_batchnorm, folded_replica,
                    inference_copy, inference_mode, shared_folded_cache,
                    state_fingerprint)
+from .graph import CompiledModel, TraceError, compile, prepare_for_inference
 from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
                      Flatten, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
                      ReLU, ReLU6, Sigmoid, SiLU, Tanh)
@@ -50,4 +54,6 @@ __all__ = [
     "fold", "fold_batchnorm", "folded_replica", "inference_copy",
     "inference_mode", "state_fingerprint",
     "FoldedModelCache", "shared_folded_cache",
+    "graph", "compile", "CompiledModel", "TraceError",
+    "prepare_for_inference",
 ]

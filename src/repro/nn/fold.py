@@ -24,9 +24,10 @@ from __future__ import annotations
 import copy
 import hashlib
 import threading
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -126,6 +127,29 @@ def count_foldable(model: Module) -> int:
     return total
 
 
+#: Deprecation shims that already warned this process (warn once each).
+_SHIMS_WARNED: set = set()
+
+
+def _warn_shim(old: str, new: str) -> None:
+    """Once-per-process deprecation warning for a legacy call shape."""
+    if old in _SHIMS_WARNED:
+        return
+    _SHIMS_WARNED.add(old)
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=3)
+
+
+def _inference_copy_impl(model: Module) -> Module:
+    """Eval-mode, BN-folded, parameter-frozen deep copy (internal core)."""
+    frozen = copy.deepcopy(model)
+    frozen.eval()
+    frozen = fold_batchnorm(frozen, inplace=True)
+    for param in frozen.parameters():
+        param.requires_grad = False
+    return frozen
+
+
 def inference_copy(model: Module) -> Module:
     """Eval-mode, BN-folded, parameter-frozen deep copy for prediction sweeps.
 
@@ -136,13 +160,15 @@ def inference_copy(model: Module) -> Module:
     ``requires_grad=False``: gradient-based sweeps (Neural Cleanse's
     trigger optimization) then skip every weight-gradient GEMM while
     input gradients still flow.
+
+    .. deprecated:: Route through
+       :func:`repro.nn.graph.prepare_for_inference`, the consolidated
+       inference front door (which also shares copies via the process
+       cache and can return a width-compiled plan).
     """
-    frozen = copy.deepcopy(model)
-    frozen.eval()
-    frozen = fold_batchnorm(frozen, inplace=True)
-    for param in frozen.parameters():
-        param.requires_grad = False
-    return frozen
+    _warn_shim("repro.nn.inference_copy",
+               "repro.nn.prepare_for_inference(model)")
+    return _inference_copy_impl(model)
 
 
 def _state_fingerprint(model: Module) -> str:
@@ -192,22 +218,26 @@ def folded_replica(factory, state, expected_fingerprint: Optional[str] = None,
                 f"the shipped fingerprint {expected_fingerprint[:12]} — the "
                 f"worker-side factory does not reproduce the registered "
                 f"model, so serving through it would break bit-identity")
-    return inference_copy(model)
+    return _inference_copy_impl(model)
 
 
 class FoldedModelCache:
-    """Fingerprint-keyed LRU cache of folded inference copies.
+    """(fingerprint, width)-keyed LRU cache of inference executables.
 
     One process-wide instance (:func:`shared_folded_cache`) backs every
     consumer of folded models — the defense sweeps' per-detector
     :class:`LazyFoldedInference` handles and the serving layer's
     :class:`repro.serve.ModelStore` — so a model swept by STRIP, Neural
     Cleanse and Beatrix *and* registered for serving is folded exactly
-    once.  Keys are value fingerprints of the source model's parameters
-    and buffers: two identical models share one copy, and a model whose
-    weights changed gets a fresh one (the stale entry ages out of the
-    LRU).  Thread-safe; folded copies are frozen eval-mode models, so
-    sharing one across readers is sound.
+    once.  Keys pair the value fingerprint of the source model's
+    parameters/buffers with the serving width: plain folded copies live
+    under ``width=None``, while width-compiled plans (see
+    :mod:`repro.nn.graph`) are width-specific artifacts and must never
+    collide across widths — the same weights compiled at width 1 and
+    width 32 are two distinct entries.  Two identical models share one
+    copy per width, and a model whose weights changed gets a fresh one
+    (the stale entry ages out of the LRU).  Thread-safe; cached objects
+    are frozen, so sharing one across readers is sound.
     """
 
     def __init__(self, capacity: int = 8):
@@ -215,7 +245,7 @@ class FoldedModelCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[str, Module]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -223,36 +253,45 @@ class FoldedModelCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, model: Module, fingerprint: Optional[str] = None) -> Module:
-        """Folded inference copy of ``model``, built once per weight
-        fingerprint (up to a lost race between concurrent first callers).
+    def get(self, model: Module, fingerprint: Optional[str] = None,
+            width: Optional[int] = None,
+            build: Optional[Callable[[Module], object]] = None):
+        """Inference executable for ``model``, built once per
+        (weight fingerprint, width) — up to a lost race between
+        concurrent first callers.
 
-        The deepcopy + fold runs *outside* the lock: one consumer
-        folding a large model must not head-of-line-block every other
-        consumer's cache hit.  Two threads racing on the same brand-new
-        fingerprint may both build; the loser's copy is discarded and
-        the winner's is returned to both, so identity stays stable.
+        ``build`` constructs the cached object from the model (defaults
+        to the folded-copy builder); :func:`repro.nn.graph.
+        prepare_for_inference` passes a compiler here so compiled plans
+        share the same cache, keyed by their width.
+
+        The build runs *outside* the lock: one consumer folding a large
+        model must not head-of-line-block every other consumer's cache
+        hit.  Two threads racing on the same brand-new key may both
+        build; the loser's copy is discarded and the winner's is
+        returned to both, so identity stays stable.
         """
         if fingerprint is None:
             fingerprint = _state_fingerprint(model)
+        key = (fingerprint, width)
         with self._lock:
-            cached = self._entries.get(fingerprint)
+            cached = self._entries.get(key)
             if cached is not None:
-                self._entries.move_to_end(fingerprint)
+                self._entries.move_to_end(key)
                 self.hits += 1
                 return cached
-        folded = inference_copy(model)
+        built = (build or _inference_copy_impl)(model)
         with self._lock:
-            existing = self._entries.get(fingerprint)
+            existing = self._entries.get(key)
             if existing is not None:            # lost the build race
-                self._entries.move_to_end(fingerprint)
+                self._entries.move_to_end(key)
                 self.hits += 1
                 return existing
-            self._entries[fingerprint] = folded
+            self._entries[key] = built
             self.misses += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-            return folded
+            return built
 
     def clear(self) -> None:
         with self._lock:
@@ -304,7 +343,7 @@ class LazyFoldedInference:
             if self.cache is not None:
                 self._copy = self.cache.get(self.model, fingerprint)
             else:
-                self._copy = inference_copy(self.model)
+                self._copy = _inference_copy_impl(self.model)
             self._fingerprint = fingerprint
         return self._copy
 
@@ -326,6 +365,6 @@ def inference_mode(model: Module):
     The defense sweeps (STRIP / Neural Cleanse / Beatrix) route their
     thousands of forward passes through this fast path.
     """
-    frozen = inference_copy(model)
+    frozen = _inference_copy_impl(model)
     with no_grad():
         yield frozen

@@ -163,16 +163,27 @@ def _get_pool(size: int) -> ThreadPoolExecutor:
         return _pool
 
 
-def batch_blocks(n: int) -> List[slice]:
+def batch_blocks(n: int, blocks: "int | None" = None) -> List[slice]:
     """Contiguous row-block slices of a batch of ``n`` samples.
 
-    Shape-only: one block below :data:`MIN_BLOCK_BATCH`, otherwise
-    :data:`NUM_BLOCKS` near-equal blocks (remainder spread over the
-    leading blocks, matching ``np.array_split``).
+    Shape-only by default: one block below :data:`MIN_BLOCK_BATCH`,
+    otherwise :data:`NUM_BLOCKS` near-equal blocks (remainder spread
+    over the leading blocks, matching ``np.array_split``).
+
+    ``blocks`` overrides the count — the compiled-graph path
+    (:mod:`repro.nn.graph`) passes a per-(conv geometry, width) value
+    from its autotuned table instead of the global default.  Forward
+    conv GEMMs are per-sample independent, so the override is shape-safe
+    for inference; the interpreted training path always uses the
+    default, keeping its reduction order fixed.
     """
-    if n < MIN_BLOCK_BATCH:
+    if blocks is None:
+        if n < MIN_BLOCK_BATCH:
+            return [slice(0, n)]
+        blocks = NUM_BLOCKS
+    blocks = max(1, min(int(blocks), max(n, 1)))
+    if blocks <= 1:
         return [slice(0, n)]
-    blocks = min(n, NUM_BLOCKS)
     base, extra = divmod(n, blocks)
     out = []
     start = 0

@@ -23,7 +23,8 @@ workload, single-host or clustered.
 from .batcher import (BatchOutput, BatchPolicy, InlineBackend, MicroBatcher,
                       QueueFullError)
 from .cache import ResponseCache, input_digest
-from .client import LoadReport, ServingClient, ServingError, run_load
+from .client import (LoadReport, ModelVersionEntry, ServingClient,
+                     ServingError, run_load)
 from .cluster import (GroupMap, HostHandle, RouterHTTPServer, ServingCluster,
                       VersionSkewError)
 from .forget import (DeletionFlagged, DeletionRateLimited, ForgetConfig,
@@ -51,7 +52,8 @@ __all__ = [
     "DeletionRateLimited", "DeletionFlagged",
     "ServingCluster", "GroupMap", "HostHandle", "RouterHTTPServer",
     "VersionSkewError",
-    "ServingClient", "ServingError", "LoadReport", "run_load",
+    "ServingClient", "ServingError", "LoadReport", "ModelVersionEntry",
+    "run_load",
     "ReVeilServing", "build_reveil_serving", "serving_store",
     "ReVeilCluster", "build_reveil_cluster",
     "ReVeilForgetServing", "build_reveil_forget",

@@ -37,6 +37,24 @@ def _warn_shim(old: str, new: str) -> None:
                   stacklevel=3)
 
 
+@dataclass(frozen=True)
+class ModelVersionEntry:
+    """One model version from ``GET /v1/models``, typed.
+
+    ``plan`` is the compact compiled-plan summary (``ops`` / ``fused``
+    / ``arena_bytes`` / ``tuned``) or ``None`` while the version serves
+    interpreted.  ``metadata`` is the registration metadata with the
+    additive ``compiled``/``plan`` wire keys stripped back out.
+    """
+
+    name: str
+    version: str
+    active: bool
+    compiled: bool
+    plan: Optional[dict]
+    metadata: Dict[str, str]
+
+
 class ServingError(RuntimeError):
     """Non-2xx response from the serving front end.
 
@@ -222,12 +240,41 @@ class ServingClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
-    def models(self) -> dict:
+    def models(self) -> List[ModelVersionEntry]:
+        """Typed model listing (``GET /models``), name/version order."""
+        entries = []
+        for name, info in sorted(self.models_json().items()):
+            active = info.get("active")
+            for version, meta in sorted(info.get("versions", {}).items()):
+                meta = dict(meta)
+                compiled = bool(meta.pop("compiled", False))
+                plan = meta.pop("plan", None)
+                entries.append(ModelVersionEntry(
+                    name=name, version=version, active=version == active,
+                    compiled=compiled, plan=plan, metadata=meta))
+        return entries
+
+    def models_json(self) -> dict:
+        """The raw ``GET /models`` wire payload (legacy dict shape)."""
         return self._request("GET", "/models")
 
     def activate(self, model: str, version: str) -> dict:
         return self._request("POST", "/activate",
                              {"model": model, "version": version})
+
+    def compile(self, model: str, version: Optional[str] = None) -> dict:
+        """Trigger server-side compilation (``POST /compile``).
+
+        Returns the compilation report: ``compiled`` (bool), the plan
+        summary, and — when compilation fell back to the interpreted
+        path — the ``fallback`` reason.  Raises :class:`ServingError`
+        with ``code`` ``bad_request`` when the version has no
+        registered input shape and ``not_found`` for unknown models.
+        """
+        payload: dict = {"model": model}
+        if version is not None:
+            payload["version"] = version
+        return self._request("POST", "/compile", payload)
 
     # -- deprecated shims ----------------------------------------------
     def healthz(self) -> dict:

@@ -173,7 +173,8 @@ def _host_register(store: ModelStore, message: dict,
                    metadata=message.get("metadata"),
                    activate=bool(message.get("activate", True)),
                    spec=factory,
-                   input_shape=message.get("input_shape"))
+                   input_shape=message.get("input_shape"),
+                   plan=message.get("plan"))
     # Registration on a prefetching host triggers replica ship + warm-up
     # before this reply is sent (the store subscription runs inline), so
     # "warmed" in the ship reply is the router's re-warm evidence.
@@ -209,7 +210,9 @@ def _host_main(conn, index: int, options: dict) -> None:
                                     workers=options["workers"],
                                     response_cache=options["response_cache"],
                                     prefetch_replicas=True,
-                                    reliability=options["reliability"])
+                                    reliability=options["reliability"],
+                                    compile_models=options.get("compile",
+                                                               True))
 
         def handle(message: dict, state: Optional[dict]) -> dict:
             kind = message.get("kind")
@@ -218,6 +221,14 @@ def _host_main(conn, index: int, options: dict) -> None:
             if kind == "activate":
                 store.activate(message["name"], message["version"])
                 return {"active": message["version"]}
+            if kind == "compile":
+                entry = store.entry(message["name"], message.get("version"))
+                if message.get("plan"):
+                    # The router's plan (autotune table included) seeds
+                    # this host's compile so no candidate timing reruns.
+                    entry.plan_hint = message["plan"]
+                return inference.compile_model(message["name"],
+                                               message.get("version"))
             if kind == "ping":
                 return {"pid": os.getpid(), "models": sorted(store.describe())}
             raise ValueError(f"unknown control message kind {kind!r}")
@@ -441,12 +452,14 @@ class ServingCluster:
                  policy: Optional[BatchPolicy] = None,
                  response_cache: int = 0,
                  reliability: Optional[ReliabilityConfig] = None,
-                 mp_context=None, spawn_timeout: float = 60.0):
+                 mp_context=None, spawn_timeout: float = 60.0,
+                 compile_models: bool = True):
         if hosts < 1:
             raise ValueError("a cluster needs at least one host")
         self.policy = policy if policy is not None else BatchPolicy()
         self.reliability = (reliability if reliability is not None
                             else ReliabilityConfig())
+        self.compile_models = compile_models
         group_size = hosts if group_size is None else group_size
         if not 1 <= group_size <= hosts:
             raise ValueError(f"group_size must be in [1, {hosts}], "
@@ -455,13 +468,15 @@ class ServingCluster:
                else mp.get_context(default_context()))
         options = {"workers": workers_per_host, "policy": self.policy,
                    "response_cache": response_cache,
-                   "reliability": self.reliability}
+                   "reliability": self.reliability,
+                   "compile": compile_models}
 
         # The authoritative store: version resolution, activation order
         # and the inline-fallback forwards all come from here.
         self.store = ModelStore()
         self._fallback = InferenceServer(self.store, policy=self.policy,
-                                         workers=1, prefetch_replicas=False)
+                                         workers=1, prefetch_replicas=False,
+                                         compile_models=compile_models)
 
         self.hosts: List[HostHandle] = []
         try:
@@ -556,6 +571,10 @@ class ServingCluster:
                                       metadata=metadata, activate=activate,
                                       spec=spec, input_shape=input_shape)
         key = (name, version)
+        if self.compile_models and input_shape is not None:
+            # Compile once at the router; the plan (autotune table
+            # included) rides every ship below, so no host re-tunes.
+            self.store.entry(*key).ensure_compiled(self.policy.max_batch_size)
         group = self.map.owner(name, version)
         for host_index in self.groups[group]:
             self._ship_to_host(host_index, key, activate=activate)
@@ -614,6 +633,57 @@ class ServingCluster:
         finally:
             lock.release()
 
+    def compile_model(self, name: str,
+                      version: Optional[str] = None) -> dict:
+        """Compile ``name/version`` cluster-wide (``/v1/compile``).
+
+        Compiles once at the router (autotune runs here), then pushes
+        the plan to every reachable host of the owning group over the
+        netstate control port — hosts that already hold the version
+        recompile from the shipped table; hosts that never got it are
+        shipped the full payload (plan included).  Returns the router's
+        compilation report plus ``hosts_acked``.
+        """
+        key = self.store.resolve(name, version)
+        entry = self.store.entry(*key)
+        if entry.input_shape is None and not entry.plan_hint:
+            raise ValueError(
+                f"cannot compile {key[0]}/{key[1]}: no input_shape was "
+                f"registered for it")
+        compiled = entry.ensure_compiled(self.policy.max_batch_size)
+        plan = entry.plan()
+        group = self.map.owner(*key)
+        acked = 0
+        for host_index in self.groups[group]:
+            if not self._usable(host_index):
+                continue
+            with self._lock:
+                shipped = key in self._shipped[host_index]
+            try:
+                if not shipped:
+                    # The full ship already carries the plan; the host
+                    # compiles during its register-time prefetch.
+                    if self._ensure_shipped(host_index, key):
+                        acked += 1
+                    continue
+                reply = request(self.hosts[host_index].state_address,
+                                {"kind": "compile", "name": key[0],
+                                 "version": key[1], "plan": plan})
+                if not reply.get("ok"):
+                    raise NetstateError(
+                        f"host {host_index} refused compile: "
+                        f"{reply.get('detail')}")
+                self._note_host_obs(host_index, reply)
+                acked += 1
+            except (NetstateError, OSError) as exc:
+                self._host_failed(host_index, exc)
+        report = {"model": key[0], "version": key[1],
+                  "compiled": entry.compiled,
+                  "plan": entry.plan_summary(), "hosts_acked": acked}
+        if compiled.fallback_reason is not None:
+            report["fallback"] = str(compiled.fallback_reason)
+        return report
+
     def _note_host_obs(self, host_index: int, reply: dict) -> None:
         obs = reply.get("obs")
         if isinstance(obs, dict):
@@ -632,7 +702,8 @@ class ServingCluster:
                    "factory": payload["factory"],
                    "fingerprint": payload["fingerprint"],
                    "input_shape": entry.input_shape,
-                   "metadata": entry.metadata, "activate": activate}
+                   "metadata": entry.metadata, "activate": activate,
+                   "plan": payload.get("plan")}
         transfer_id = f"{key[0]}@{key[1]}#h{host_index}.g{host.generation}"
         with _trace.span("state.ship", trace=trace, host=host_index,
                          key=f"{key[0]}/{key[1]}") as tags:

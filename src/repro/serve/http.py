@@ -24,6 +24,11 @@ paths remain as aliases answering identically but with a
   guard runs in enforce mode and flags the request.
 - ``POST /v1/activate`` — ``{"model": str, "version": str}`` hot-swaps
   the active version; subsequent unversioned requests hit the new one.
+- ``POST /v1/compile`` — ``{"model": str, "version"?: str}`` compiles
+  the version into a fused/arena/autotuned program at the serving width
+  (:func:`repro.nn.compile`) and pushes the plan to every serving
+  worker; answers with the compilation report (``compiled``/``plan``).
+  ``400`` when the entry registered no input shape.
 - ``GET /v1/healthz`` — liveness + registered model names.  Always
   ``200`` while the process answers; ``status`` reads ``"degraded"``
   (with worker-pool detail) when every serving worker is ejected and
@@ -40,7 +45,8 @@ paths remain as aliases answering identically but with a
 - ``GET /v1/debug/traces`` — the process-local flight recorder dump
   (``?trace=<id>`` filters to one request's spans); the CI smoke lanes
   write this into the failure artifact when an assertion trips.
-- ``GET /v1/models`` — the store listing (versions, active flags).
+- ``GET /v1/models`` — the store listing (versions, active flags, and
+  per-version ``compiled``/``plan`` compilation state).
 
 Every response — success or error, on either prefix — echoes the
 request's trace id on the ``X-Trace-Id`` header (minted here when the
@@ -122,6 +128,7 @@ ROUTES: Tuple[Route, ...] = (
     Route("GET", "models", "_models"),
     Route("POST", "predict", "_predict", needs_body=True),
     Route("POST", "activate", "_activate", needs_body=True),
+    Route("POST", "compile", "_compile", needs_body=True),
     Route("POST", "forget", "_forget", needs_body=True),
 )
 
@@ -380,6 +387,18 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("'model' and 'version' must be strings")
         self.inference.store.activate(model, version)
         self._send_json(200, {"model": model, "active": version})
+
+    def _compile(self, payload, trace) -> None:
+        model = payload.get("model")
+        if not isinstance(model, str) or not model:
+            raise ValueError("'model' must be a non-empty string")
+        version = payload.get("version")
+        if version is not None and not isinstance(version, str):
+            raise ValueError("'version' must be a string when given")
+        compiler = getattr(self.inference, "compile_model", None)
+        if not callable(compiler):
+            raise KeyError("this server does not support compilation")
+        self._send_json(200, compiler(model, version))
 
     def _forget(self, payload, trace) -> None:
         plane = getattr(self.inference, "forget_plane", None)

@@ -75,7 +75,8 @@ from typing import Callable, Dict, Hashable, List, Optional
 
 import numpy as np
 
-from ..nn.fold import folded_replica, inference_copy
+from ..nn import graph as _graph
+from ..nn.fold import _inference_copy_impl, folded_replica
 from ..nn.tensor import Tensor
 from ..nn.threading import set_intra_op_threads
 from ..obs import trace as _trace
@@ -88,14 +89,35 @@ from ..reliability import ReliabilityConfig
 from . import batcher as _batcher
 
 
+def _compiled_replica(replica, plan: dict):
+    """Rebuild the parent's compiled program from its shipped plan.
+
+    The plan carries the width, input shape and the parent's autotuned
+    conv block table, so the worker compiles without timing a single
+    candidate (``autotune=False``) — and the built-in verification
+    forward still byte-checks the program against the local interpreted
+    replica before it serves.  A trace failure degrades to the folded
+    replica (one warning, interpreted serving), never to an error.
+    """
+    base = (replica.model if isinstance(replica, _graph.CompiledModel)
+            else replica)
+    shape = plan.get("input_shape")
+    return _graph.compile(
+        base, int(plan["width"]),
+        input_shape=tuple(shape) if shape else None,
+        tuned={str(k): int(v) for k, v in (plan.get("tuned") or {}).items()},
+        autotune=False)
+
+
 class ReplicaWorker:
     """Worker-side handler: replicas keyed by (name, version).
 
     Lives inside a :class:`WorkerSession` process.  ``load`` /
-    ``load_model`` materialize folded replicas; ``infer`` runs one
-    fixed-width forward and parks the logits in the caller's output
-    channel segment (falling back to the pipe when the segment is still
-    too small — the parent grows it for the next call).
+    ``load_model`` materialize folded replicas (compiling them when the
+    payload shipped a plan); ``infer`` runs one fixed-width forward and
+    parks the logits in the caller's output channel segment (falling
+    back to the pipe when the segment is still too small — the parent
+    grows it for the next call).
     """
 
     def __init__(self, intra_op_threads: int = 1):
@@ -111,13 +133,19 @@ class ReplicaWorker:
     def ping(self) -> int:
         return os.getpid()
 
-    def load(self, key, factory, state, fingerprint) -> int:
-        """Materialize a replica from a pipe-shipped state dict (verified)."""
-        self._replicas[tuple(key)] = folded_replica(
-            factory, state, expected_fingerprint=fingerprint)
+    def _install(self, key, replica, plan) -> int:
+        if plan is not None:
+            replica = _compiled_replica(replica, plan)
+        self._replicas[tuple(key)] = replica
         return os.getpid()
 
-    def load_state(self, key, factory, slot: StateSlot, fingerprint) -> int:
+    def load(self, key, factory, state, fingerprint, plan=None) -> int:
+        """Materialize a replica from a pipe-shipped state dict (verified)."""
+        return self._install(key, folded_replica(
+            factory, state, expected_fingerprint=fingerprint), plan)
+
+    def load_state(self, key, factory, slot: StateSlot, fingerprint,
+                   plan=None) -> int:
         """Materialize a replica from a state dict parked in shared memory.
 
         Only the slot descriptor crossed the pipe; the arrays are copied
@@ -127,13 +155,19 @@ class ReplicaWorker:
         a single divergent bit.
         """
         state = self._peer.read_state(slot)
-        self._replicas[tuple(key)] = folded_replica(
-            factory, state, expected_fingerprint=fingerprint)
-        return os.getpid()
+        return self._install(key, folded_replica(
+            factory, state, expected_fingerprint=fingerprint), plan)
 
-    def load_model(self, key, model) -> int:
+    def load_model(self, key, model, plan=None) -> int:
         """Fallback: materialize from a pickled module (no factory)."""
-        self._replicas[tuple(key)] = inference_copy(model)
+        return self._install(key, _inference_copy_impl(model), plan)
+
+    def compile(self, key, plan) -> int:
+        """(Re)compile an already-loaded replica under a shipped plan."""
+        replica = self._replicas.get(tuple(key))
+        if replica is None:
+            raise KeyError(f"no replica for {key!r} in worker {os.getpid()}")
+        self._replicas[tuple(key)] = _compiled_replica(replica, plan)
         return os.getpid()
 
     def loaded_keys(self) -> List[tuple]:
@@ -339,6 +373,7 @@ class MultiprocBackend:
         self._pipe_returns = self.registry.counter("pipe_returns")
         self._state_shm_ships = self.registry.counter("state_shm_ships")
         self._state_pipe_ships = self.registry.counter("state_pipe_ships")
+        self._compile_ships = self.registry.counter("compile_ships")
         self._respawns = self.registry.counter("respawns")
         self._retries = self.registry.counter("retries")
         self._ship_retries = self.registry.counter("ship_retries")
@@ -442,21 +477,55 @@ class MultiprocBackend:
 
     def _ship_to_handle(self, handle: _WorkerHandle, key: Hashable,
                         payload: dict) -> None:
+        plan = payload.get("plan")
         if payload["kind"] != "state":
-            handle.session.call("load_model", key, payload["model"],
+            handle.session.call("load_model", key, payload["model"], plan,
                                 timeout=self.call_timeout)
             return
         slot = payload.get("slot")
         if slot is not None:
             handle.session.call("load_state", key, payload["factory"],
-                                slot, payload["fingerprint"],
+                                slot, payload["fingerprint"], plan,
                                 timeout=self.call_timeout)
             self._state_shm_ships.inc()
         else:
             handle.session.call("load", key, payload["factory"],
                                 payload["state"], payload["fingerprint"],
-                                timeout=self.call_timeout)
+                                plan, timeout=self.call_timeout)
             self._state_pipe_ships.inc()
+
+    def compile_key(self, key: Hashable, plan: dict) -> int:
+        """Push a compiled plan to every active worker holding ``key``.
+
+        The explicit-compile path (``/v1/compile`` after replicas
+        already shipped plan-less): each worker rebuilds its replica as
+        a compiled program from the plan's autotune table.  Recovery
+        needs no special casing — by the time this runs the parent
+        entry is compiled, so :meth:`_recover_handle_locked`'s re-ship
+        payloads carry the plan themselves.  Returns the worker count
+        reached.
+        """
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        shipped = 0
+        with self._ship_lock:
+            if key not in self._shipped:
+                raise KeyError(
+                    f"no replica shipped for {key!r}; call ensure_loaded() "
+                    f"before compiling it")
+            for handle in self._handles:
+                if handle.ejected:
+                    continue    # re-shipped (plan included) at re-promotion
+                try:
+                    handle.session.call("compile", key, plan,
+                                        timeout=self.call_timeout)
+                except (WorkerError, TimeoutError):
+                    if handle.session.alive and not handle.session.poisoned:
+                        raise   # handler-side failure, not a crash
+                    self._recover_handle_locked(handle)
+                shipped += 1
+                self._compile_ships.inc()
+        return shipped
 
     def _recover_handle_locked(self, handle: _WorkerHandle) -> None:
         """Respawn a dead worker and re-ship everything it held.
@@ -836,6 +905,7 @@ class MultiprocBackend:
             # a healthy shm-enabled backend shows zero pipe ships.
             "state_shm_ships": self._state_shm_ships.value,
             "state_pipe_ships": self._state_pipe_ships.value,
+            "compile_ships": self._compile_ships.value,
             "respawns": self._respawns.value,
             # Supervision: batch replays after infrastructure failures,
             # re-parked state ships after fingerprint-verify failures,

@@ -114,6 +114,7 @@ def build_reveil_serving(cfg: PipelineConfig,
                          response_cache: int = 0,
                          prefetch_replicas: bool = True,
                          reliability: Optional[ReliabilityConfig] = None,
+                         compile_models: bool = True,
                          ) -> ReVeilServing:
     """Train the scenario and assemble the serving stack around it.
 
@@ -123,7 +124,8 @@ def build_reveil_serving(cfg: PipelineConfig,
     per-process folded replicas; ``response_cache`` > 0 enables the
     exact-response LRU; ``prefetch_replicas`` ships and warms every
     version before the first request; ``reliability`` tunes worker
-    retry/respawn supervision (all per :class:`InferenceServer`).
+    retry/respawn supervision; ``compile_models`` serves every version
+    through its compiled graph (all per :class:`InferenceServer`).
     """
     result = run_pipeline(cfg, stages=("camouflage", "unlearn"))
     store = serving_store(result)
@@ -136,7 +138,8 @@ def build_reveil_serving(cfg: PipelineConfig,
                              workers=serve_workers,
                              response_cache=response_cache,
                              prefetch_replicas=prefetch_replicas,
-                             reliability=reliability)
+                             reliability=reliability,
+                             compile_models=compile_models)
     return ReVeilServing(server=server, store=store, model_name=cfg.model,
                          result=result, clean_test=result.clean_test,
                          attack_test=result.attack_test,
@@ -180,6 +183,7 @@ def build_reveil_forget(cfg: PipelineConfig,
                         response_cache: int = 0,
                         prefetch_replicas: bool = True,
                         reliability: Optional[ReliabilityConfig] = None,
+                        compile_models: bool = True,
                         ) -> ReVeilForgetServing:
     """Stand up the camouflaged provider with an online forget plane.
 
@@ -212,7 +216,8 @@ def build_reveil_forget(cfg: PipelineConfig,
     server = InferenceServer(store, policy=policy, workers=serve_workers,
                              response_cache=response_cache,
                              prefetch_replicas=prefetch_replicas,
-                             reliability=reliability)
+                             reliability=reliability,
+                             compile_models=compile_models)
     guard = None
     if guard_policy is not None:
         guard = OnlineUnlearningGuard(
@@ -258,6 +263,7 @@ def build_reveil_cluster(cfg: PipelineConfig, hosts: int = 2,
                          policy: BatchPolicy = BatchPolicy(),
                          response_cache: int = 0,
                          reliability: Optional[ReliabilityConfig] = None,
+                         compile_models: bool = True,
                          ) -> ReVeilCluster:
     """Train the scenario and stand it up on a multi-host cluster.
 
@@ -274,7 +280,8 @@ def build_reveil_cluster(cfg: PipelineConfig, hosts: int = 2,
     cluster = ServingCluster(hosts=hosts, group_size=group_size,
                              workers_per_host=workers_per_host,
                              policy=policy, response_cache=response_cache,
-                             reliability=reliability)
+                             reliability=reliability,
+                             compile_models=compile_models)
     try:
         serving_store(result, store=cluster)
     except BaseException:

@@ -150,6 +150,14 @@ class InferenceServer:
         inline forward as the degradation fallback, so an all-workers
         -dead backend keeps answering (slower, never down,
         bit-identical by the fingerprint contract).
+    compile_models:
+        Compile every entry that declares an ``input_shape`` into a
+        fused/arena/autotuned program at the serving width
+        (:func:`repro.nn.compile`) during prefetch, and serve through
+        it (default on).  The compiled plan ships to worker processes
+        with the replica payload, so workers reuse the parent's
+        autotune table.  Logits are bit-identical either way — a trace
+        failure warns once and falls back to the interpreted path.
     """
 
     def __init__(self, store: ModelStore,
@@ -159,10 +167,12 @@ class InferenceServer:
                  response_cache: int = 0,
                  mp_context: Optional[str] = None,
                  prefetch_replicas: bool = True,
-                 reliability: Optional[ReliabilityConfig] = None):
+                 reliability: Optional[ReliabilityConfig] = None,
+                 compile_models: bool = True):
         self.store = store
         self.policy = policy
         self.screening = screening
+        self.compile_models = compile_models
         self.stats = ServerStats()
         self.workers = resolve_workers(workers)
         self.reliability = reliability or ReliabilityConfig()
@@ -212,6 +222,10 @@ class InferenceServer:
         first real request for the version does no lazy work at all.
         """
         key = entry.key
+        # Compile *before* the replica ships: the plan (with its
+        # autotuned block table) rides the payload, so workers build
+        # the same program without re-timing candidates.
+        self._ensure_compiled(entry)
         if self.backend is not None:
             self.backend.ensure_loaded(key, entry)
         else:
@@ -233,9 +247,21 @@ class InferenceServer:
                          dtype=np.float32)
         self.store.folded(*key)(Tensor(batch))
 
+    def _ensure_compiled(self, entry) -> None:
+        """Compile ``entry`` at the serving width when the knob is on
+        and the input shape is known (via registration or a shipped
+        plan hint).  Never raises: compilation failures surface as a
+        one-time warning inside :func:`repro.nn.compile` and the entry
+        keeps serving interpreted."""
+        if not self.compile_models:
+            return
+        if entry.input_shape is None and not entry.plan_hint:
+            return                       # no shape → nothing to trace
+        entry.ensure_compiled(self.policy.max_batch_size)
+
     # -- scheduler callbacks -------------------------------------------
     def _infer(self, key: ModelKey, batch: np.ndarray) -> np.ndarray:
-        return self.store.folded(*key)(Tensor(batch)).data
+        return self.store.entry(*key).executable()(Tensor(batch)).data
 
     def _post_batch(self, key: ModelKey, images: np.ndarray,
                     logits: np.ndarray) -> Dict[str, np.ndarray]:
@@ -306,10 +332,14 @@ class InferenceServer:
                 # these bytes at this version could not differ.  No
                 # queue slot, no forward, no backpressure exposure.
                 return hit.clone(cached=True)
+        # Lazy-path safety net (prefetch normally did all of this):
+        # compile first so a worker payload carries the plan too.
+        entry = self.store.entry(*key)
+        self._ensure_compiled(entry)
         if self.backend is not None:
             # Ship this version's replica to the worker processes on
             # first use (once per version; cheap membership check after).
-            self.backend.ensure_loaded(key, self.store.entry(*key))
+            self.backend.ensure_loaded(key, entry)
         if self.screening is not None:
             # Calibrate the screen for this version here, in the caller's
             # thread, so the first request after a hot-swap never stalls
@@ -331,6 +361,37 @@ class InferenceServer:
         if self.cache is not None and digest is not None:
             self.cache.put((key, digest), result.clone())
         return result
+
+    def compile_model(self, name: str, version: Optional[str] = None) -> dict:
+        """Compile ``name/version`` at the serving width (``/v1/compile``).
+
+        Explicit admin trigger — works even with ``compile_models``
+        off.  When the multi-process backend is up, the resulting plan
+        is pushed to every worker so they rebuild their replicas as the
+        same fused/arena program (reusing the parent's autotune table).
+        Returns the JSON-ready compilation report.
+
+        Raises :class:`KeyError` for unknown models/versions and
+        ``ValueError`` when the entry registered no ``input_shape`` (no
+        shape → nothing to trace).
+        """
+        key = self.store.resolve(name, version)
+        entry = self.store.entry(*key)
+        if entry.input_shape is None and not entry.plan_hint:
+            raise ValueError(
+                f"cannot compile {key[0]}/{key[1]}: no input_shape was "
+                f"registered for it")
+        compiled = entry.ensure_compiled(self.policy.max_batch_size)
+        plan = entry.plan()
+        if self.backend is not None and plan is not None:
+            self.backend.ensure_loaded(key, entry)
+            self.backend.compile_key(key, plan)
+        report = {"model": key[0], "version": key[1],
+                  "compiled": entry.compiled,
+                  "plan": entry.plan_summary()}
+        if compiled.fallback_reason is not None:
+            report["fallback"] = str(compiled.fallback_reason)
+        return report
 
     def health(self) -> dict:
         """Liveness + readiness report (drives ``/healthz`` and ``/readyz``).
@@ -379,6 +440,12 @@ class InferenceServer:
             "prefetch": {
                 "enabled": self.prefetch_replicas,
                 "warmed_inline": len(self._warmed_inline),
+            },
+            "compile": {
+                "enabled": self.compile_models,
+                "compiled_versions": sum(
+                    1 for entry in self.store.all_entries()
+                    if entry.compiled),
             },
         }
         payload["reliability"] = {

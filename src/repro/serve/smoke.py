@@ -274,6 +274,27 @@ def run_basic(args) -> int:
             print("SMOKE FAIL: legacy unprefixed /healthz alias broken",
                   file=sys.stderr)
             return 1
+        # Compiled serving is the default: the registered version must
+        # advertise its plan through /v1/models (typed client entries)
+        # and POST /v1/compile must be an idempotent no-op on it.
+        listed = {(entry.name, entry.version): entry
+                  for entry in client.models()}
+        version = listed.get(("smoke", "v1"))
+        if version is None or not version.compiled or not version.plan:
+            print(f"SMOKE FAIL: /v1/models does not report smoke/v1 as "
+                  f"compiled with a plan (got {version})", file=sys.stderr)
+            return 1
+        recompiled = client.compile("smoke")
+        if not recompiled.get("compiled") \
+                or recompiled.get("plan") != version.plan:
+            print(f"SMOKE FAIL: POST /v1/compile disagreed with "
+                  f"/v1/models ({recompiled} vs {version.plan})",
+                  file=sys.stderr)
+            return 1
+        print(f"compiled: {version.plan['ops']} ops "
+              f"({version.plan['fused']} fused buffers), arena "
+              f"{version.plan['arena_bytes']} bytes, "
+              f"{version.plan['tuned']} tuned conv blockings")
         # One distinct image per request: the load-bearing assertions
         # (p50 budget, zero drops, worker dispatch) must measure real
         # scheduler + forward traffic, not response-cache lookups.  The

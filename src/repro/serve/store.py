@@ -23,6 +23,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..nn import graph as _graph
 from ..nn.fold import _state_fingerprint, shared_folded_cache
 from ..nn.module import Module
 
@@ -55,8 +56,16 @@ class ModelEntry:
     #: compute width right after replicas ship, so the first real batch
     #: pays no lazy-initialization cost.
     input_shape: Optional[Tuple[int, ...]] = None
+    #: Optional pre-built compilation plan (the ``CompiledModel.plan``
+    #: dict) shipped from another process/host.  When the plan's width
+    #: matches the serving width, :meth:`ensure_compiled` reuses its
+    #: autotuned table instead of re-timing candidates locally — that is
+    #: how workers and remote hosts compile without paying autotune.
+    plan_hint: Optional[dict] = None
     fingerprint: str = field(init=False, repr=False)
     _folded: Optional[Module] = field(init=False, repr=False, default=None)
+    _compiled: Optional["_graph.CompiledModel"] = field(
+        init=False, repr=False, default=None)
 
     def __post_init__(self):
         self.fingerprint = _state_fingerprint(self.model)
@@ -85,6 +94,65 @@ class ModelEntry:
             self._folded = shared_folded_cache().get(self.model, current)
         return self._folded
 
+    def ensure_compiled(self, width: int) -> "_graph.CompiledModel":
+        """Compile this version at ``width`` (built at most once).
+
+        Goes through the process-wide folded cache keyed by
+        ``(fingerprint, width)``, so every consumer of this version at
+        this width — server, eval harness, forget plane — shares one
+        compiled program and one arena.  A :attr:`plan_hint` whose width
+        matches seeds the autotuned block table, skipping local timing
+        runs entirely.  Trace failures never propagate: the returned
+        :class:`~repro.nn.graph.CompiledModel` falls back to the folded
+        interpreter and says so via ``.compiled``.
+        """
+        width = int(width)
+        if self._compiled is not None and self._compiled.width == width:
+            return self._compiled
+        tuned = None
+        hint = self.plan_hint
+        if hint and int(hint.get("width", -1)) == width:
+            tuned = hint.get("tuned") or None
+        shape = self.input_shape
+        if shape is None and hint and hint.get("input_shape"):
+            shape = tuple(hint["input_shape"])
+
+        def build(model: Module) -> "_graph.CompiledModel":
+            return _graph.compile(model, width, input_shape=shape,
+                                  tuned=tuned, autotune=tuned is None)
+
+        self._compiled = shared_folded_cache().get(
+            self.model, self.fingerprint, width=width, build=build)
+        return self._compiled
+
+    @property
+    def compiled(self) -> bool:
+        """True once a compiled (non-fallback) program is attached."""
+        return self._compiled is not None and self._compiled.compiled
+
+    def plan(self) -> Optional[dict]:
+        """The compiled plan dict, or ``None`` before/without one."""
+        if self._compiled is not None and self._compiled.compiled:
+            return self._compiled.plan
+        return None
+
+    def plan_summary(self) -> Optional[dict]:
+        """Compact JSON plan view for listings (``/v1/models``)."""
+        plan = self.plan()
+        if plan is None:
+            return None
+        return {"ops": plan["ops"], "fused": plan["fused"],
+                "arena_bytes": plan["arena_bytes"],
+                "tuned": len(plan.get("tuned") or {})}
+
+    def executable(self) -> Module:
+        """What the hot path should call: the compiled program when one
+        exists (falling back internally on width mismatch), otherwise
+        the plain folded copy."""
+        if self._compiled is not None:
+            return self._compiled
+        return self.folded()
+
     def replica_payload(self) -> dict:
         """What ships to a worker process to rebuild this version there.
 
@@ -93,14 +161,21 @@ class ModelEntry:
         worker rebuilds and *verifies* the replica
         (:func:`repro.nn.fold.folded_replica`).  Without one, the
         pickled module itself travels (same bits, fatter payload).
-        Either way the shipment happens once per version.
+        Either way the shipment happens once per version.  A compiled
+        plan, when present, rides along so workers compile from the
+        parent's autotuned table instead of re-tuning.
         """
         if self.spec is not None:
-            return {"kind": "state", "factory": self.spec,
-                    "state": self.model.state_dict(),
-                    "fingerprint": self.fingerprint}
-        return {"kind": "model", "model": self.model,
-                "fingerprint": self.fingerprint}
+            payload = {"kind": "state", "factory": self.spec,
+                       "state": self.model.state_dict(),
+                       "fingerprint": self.fingerprint}
+        else:
+            payload = {"kind": "model", "model": self.model,
+                       "fingerprint": self.fingerprint}
+        plan = self.plan()
+        if plan is not None:
+            payload["plan"] = plan
+        return payload
 
 
 class ModelStore:
@@ -150,7 +225,8 @@ class ModelStore:
                  metadata: Optional[Dict[str, str]] = None,
                  activate: bool = True,
                  spec: Optional[Callable[[], Module]] = None,
-                 input_shape: Optional[Tuple[int, ...]] = None) -> str:
+                 input_shape: Optional[Tuple[int, ...]] = None,
+                 plan: Optional[dict] = None) -> str:
         """Register ``model`` as ``name/version``; returns the version.
 
         ``spec`` (optional) is a picklable zero-arg architecture factory
@@ -158,7 +234,11 @@ class ModelStore:
         state dict instead of a pickled module.  ``input_shape``
         (optional) is the per-input array shape; providing it lets the
         serving layer warm this version up (replica ship + fixed-width
-        forward) before the first request arrives.
+        forward) before the first request arrives.  ``plan`` (optional)
+        is a compiled-plan dict from another process/host — it becomes
+        the entry's :attr:`~ModelEntry.plan_hint` *before* listeners
+        fire, so a subscribed server's prefetch compiles from the
+        shipped autotune table instead of re-timing.
         """
         if not name:
             raise ValueError("model name must be non-empty")
@@ -171,7 +251,8 @@ class ModelStore:
             entry = ModelEntry(name, version, model, dict(metadata or {}),
                                spec=spec,
                                input_shape=(tuple(input_shape)
-                                            if input_shape else None))
+                                            if input_shape else None),
+                               plan_hint=plan)
             versions[version] = entry
             if activate or name not in self._active:
                 self._active[name] = version
@@ -236,13 +317,21 @@ class ModelStore:
             return self._active[name]
 
     def describe(self) -> Dict[str, dict]:
-        """JSON-ready listing used by the ``/models`` endpoint."""
+        """JSON-ready listing used by the ``/models`` endpoint.
+
+        Version dicts are the registration metadata plus two additive
+        keys: ``"compiled"`` (bool) and ``"plan"`` (compact plan summary
+        or ``None``) — the legacy ``/models`` alias stays compatible
+        modulo exactly these keys.
+        """
         with self._lock:
             return {
                 name: {
                     "active": self._active[name],
                     "versions": {
-                        version: dict(entry.metadata)
+                        version: dict(entry.metadata,
+                                      compiled=entry.compiled,
+                                      plan=entry.plan_summary())
                         for version, entry in sorted(versions.items())
                     },
                 }

@@ -90,17 +90,23 @@ def train_model(model: nn.Module, dataset: ArrayDataset,
 
 
 def predict_logits(model: nn.Module, images: np.ndarray,
-                   batch_size: int = 256, fold: bool = False) -> np.ndarray:
+                   batch_size: int = 256, fold: bool = None) -> np.ndarray:
     """Batched forward pass without tape construction.
 
-    ``fold=True`` runs a BatchNorm-folded inference copy of the model
-    (:func:`repro.nn.fold.inference_copy`) — worthwhile for single large
-    calls; sweeps that call in a loop should fold once themselves and
-    pass the folded model in.
+    .. deprecated::
+        ``fold=`` is deprecated; call
+        :func:`repro.nn.prepare_for_inference` once yourself and pass
+        the prepared model in.  ``fold=True`` still works (it routes
+        through ``prepare_for_inference``) but warns once per process.
     """
     model.eval()
-    if fold:
-        model = nn.inference_copy(model)
+    if fold is not None:
+        from .nn.fold import _warn_shim
+        _warn_shim("predict_logits(fold=)",
+                   "prepare the model once with "
+                   "repro.nn.prepare_for_inference(model) and pass it in")
+        if fold:
+            model = nn.prepare_for_inference(model)
     outputs = []
     with nn.no_grad():
         for start in range(0, len(images), batch_size):

@@ -174,6 +174,21 @@ def test_degraded_reroute_serves_identical_bits(cluster, image):
     assert counters["routed_per_host"][other_host] >= 1
 
 
+@pytest.mark.parallel
+def test_compile_plan_ships_to_the_owning_hosts(cluster, image):
+    # register() compiled on the router, so the plan rode the ship.
+    entry = cluster.store.entry("m", "v1")
+    assert entry.compiled and entry.plan() is not None
+    report = cluster.compile_model("m")
+    assert report["compiled"] is True
+    assert report["hosts_acked"] == 1       # group_size=1: one owner
+    assert {"ops", "fused", "arena_bytes", "tuned"} <= set(report["plan"])
+    # Compiled on router and hosts alike, the routed bits don't move.
+    result = cluster.predict("m", image)
+    assert np.array_equal(result.logits[0],
+                          direct_forward(cluster, image, "v1"))
+
+
 # -- observability: metrics schema + exposition ------------------------
 
 #: Router counter keys the cluster /metrics payload must keep.

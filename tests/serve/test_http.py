@@ -49,8 +49,19 @@ class TestEndpoints:
 
     def test_models_listing(self, stack):
         _, _, _, client = stack
-        listing = client.models()
-        assert set(listing["m"]["versions"]) == {"v1", "v2"}
+        entries = client.models()
+        assert {(e.name, e.version) for e in entries} \
+            == {("m", "v1"), ("m", "v2")}
+        active = {e.version for e in entries if e.active}
+        assert active == {"v1"}
+        # No input_shape registered → nothing compiled, plan is None,
+        # and the compilation keys stay out of the metadata dict.
+        for entry in entries:
+            assert entry.compiled is False and entry.plan is None
+            assert "compiled" not in entry.metadata
+        # The raw wire dict is still there for legacy-shaped consumers.
+        raw = client.models_json()
+        assert set(raw["m"]["versions"]) == {"v1", "v2"}
 
     def test_predict_single_and_batch(self, stack, image):
         _, _, _, client = stack

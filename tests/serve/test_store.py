@@ -61,7 +61,10 @@ class TestRegistration:
         store.activate("m", "v1")
         listing = store.describe()
         assert listing["m"]["active"] == "v1"
-        assert listing["m"]["versions"]["v1"] == {"stage": "camouflage"}
+        # Metadata plus the additive compilation keys (never compiled
+        # here — describe() must not trigger compilation itself).
+        assert listing["m"]["versions"]["v1"] == {
+            "stage": "camouflage", "compiled": False, "plan": None}
         assert set(listing["m"]["versions"]) == {"v1", "v2"}
 
 
